@@ -1,0 +1,57 @@
+// Ablation — the design alternatives discussed on the road to the ceiling
+// protocol (§3.1) plus the contemporaneous abort-based line of work:
+//
+//   2PL-P  : priority queues, no inheritance (the baseline "P")
+//   2PL-PIP: basic priority inheritance — bounded inversion, but chained
+//            blocking and deadlocks remain
+//   PCP    : the ceiling protocol — block-at-most-once, deadlock-free
+//   2PL-HP : High-Priority 2PL — wounds lower-priority conflicting holders
+//   TSO    : timestamp ordering — never blocks, restarts on conflicts
+//
+// Together with Figures 2-3 this quantifies what each mechanism buys.
+
+#include "params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtdb;
+  using namespace rtdb::bench;
+  using core::ExperimentRunner;
+  using core::Protocol;
+
+  const std::uint32_t sizes[] = {4, 8, 12, 16, 20};
+  const Protocol protocols[] = {
+      Protocol::kTwoPhasePriority, Protocol::kPriorityInheritance,
+      Protocol::kPriorityCeiling, Protocol::kHighPriority,
+      Protocol::kTimestampOrdering, Protocol::kWaitDie, Protocol::kWoundWait};
+
+  stats::Table miss{
+      {"size", "2PL-P", "2PL-PIP", "PCP", "2PL-HP", "TSO", "2PL-WD", "2PL-WW"}};
+  stats::Table restarts{
+      {"size", "2PL-P", "2PL-PIP", "PCP", "2PL-HP", "TSO", "2PL-WD", "2PL-WW"}};
+  for (const std::uint32_t size : sizes) {
+    std::vector<std::string> miss_row{std::to_string(size)};
+    std::vector<std::string> restart_row{std::to_string(size)};
+    for (const Protocol p : protocols) {
+      const auto results =
+          ExperimentRunner::run_many(fig23_config(p, size, 1), kFig23Runs);
+      miss_row.push_back(
+          stats::Table::num(ExperimentRunner::mean_pct_missed(results)));
+      restart_row.push_back(stats::Table::num(
+          ExperimentRunner::aggregate(results,
+                                      [](const core::RunResult& r) {
+                                        return static_cast<double>(r.restarts);
+                                      })
+              .mean,
+          1));
+    }
+    miss.add_row(std::move(miss_row));
+    restarts.add_row(std::move(restart_row));
+  }
+  emit(miss,
+       "Ablation: % deadline-missing by synchronization mechanism, "
+       "10 runs/point",
+       argc, argv);
+  emit(restarts, "Ablation: mean protocol-initiated restarts per run", argc,
+       argv);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation — read/write versus exclusive lock semantics in the ceiling
+// protocol. The paper's conclusion raises exactly this question: "the use
+// of read and write semantics of a lock may lead to worse performance in
+// terms of schedulability than the use of exclusive semantics ... Is it
+// necessarily true?"
+//
+// PCP   = three-ceiling protocol with shared read locks (§3.2)
+// PCP-X = every lock treated as exclusive (single ceiling)
+//
+// The read/write semantics can only pay off when read sharing exists, so
+// the comparison sweeps the read-only fraction of the mix.
+
+#include "params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtdb;
+  using namespace rtdb::bench;
+  using core::ExperimentRunner;
+  using core::Protocol;
+
+  const double mixes[] = {0.0, 0.25, 0.5, 0.75, 0.9};
+  constexpr std::uint32_t kTxnSize = 16;
+
+  stats::Table table{{"read-only %", "PCP thr", "PCP-X thr", "PCP miss%",
+                      "PCP-X miss%"}};
+  for (const double mix : mixes) {
+    std::vector<std::string> row{stats::Table::num(mix * 100, 0)};
+    std::vector<std::string> miss;
+    for (const Protocol p : {Protocol::kPriorityCeiling,
+                             Protocol::kPriorityCeilingExclusive}) {
+      auto cfg = fig23_config(p, kTxnSize, 1);
+      cfg.workload.read_only_fraction = mix;
+      const auto results = ExperimentRunner::run_many(cfg, kFig23Runs);
+      row.push_back(
+          stats::Table::num(ExperimentRunner::mean_throughput(results)));
+      miss.push_back(
+          stats::Table::num(ExperimentRunner::mean_pct_missed(results)));
+    }
+    row.insert(row.end(), miss.begin(), miss.end());
+    table.add_row(std::move(row));
+  }
+  emit(table,
+       "Ablation: PCP read/write semantics vs exclusive-only locks, "
+       "transaction size 16, 10 runs/point",
+       argc, argv);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation — deadlock victim selection for the 2PL protocols, the design
+// choice behind part of the P-vs-L gap in Figures 2/3 and a knob the
+// paper's discussion of restarts ("the preemption decision ... should not
+// necessarily be based only on relative deadlines") motivates examining:
+//
+//   requester : abort whoever closed the cycle (the classic DBMS policy)
+//   lowest    : abort the least urgent member of the cycle
+//   youngest  : abort the most recently started member
+//
+// Swept at the heavy end of the Figure 2/3 workload where deadlocks storm.
+
+#include "params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtdb;
+  using namespace rtdb::bench;
+  using cc::TwoPhaseLocking;
+  using core::ExperimentRunner;
+
+  const std::pair<const char*, TwoPhaseLocking::VictimPolicy> policies[] = {
+      {"requester", TwoPhaseLocking::VictimPolicy::kRequester},
+      {"lowest-priority", TwoPhaseLocking::VictimPolicy::kLowestPriority},
+      {"youngest", TwoPhaseLocking::VictimPolicy::kYoungest},
+  };
+  const std::uint32_t sizes[] = {14, 16, 18};
+
+  stats::Table table{{"policy", "size", "thr obj/s", "miss %", "restarts"}};
+  for (const auto& [name, policy] : policies) {
+    for (const std::uint32_t size : sizes) {
+      auto cfg = fig23_config(core::Protocol::kTwoPhasePriority, size, 1);
+      cfg.victim_policy = policy;
+      const auto results = ExperimentRunner::run_many(cfg, kFig23Runs);
+      table.add_row({
+          name,
+          std::to_string(size),
+          stats::Table::num(ExperimentRunner::mean_throughput(results)),
+          stats::Table::num(ExperimentRunner::mean_pct_missed(results)),
+          stats::Table::num(
+              ExperimentRunner::aggregate(results,
+                                          [](const core::RunResult& r) {
+                                            return static_cast<double>(
+                                                r.restarts);
+                                          })
+                  .mean,
+              1),
+      });
+    }
+  }
+  emit(table,
+       "Ablation: 2PL deadlock victim policies under priority queues, "
+       "10 runs/point",
+       argc, argv);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 4 — Transaction Throughput Ratio (distributed).
+//
+// Ratio of the local ceiling approach's normalized throughput to the
+// global ceiling approach's, over the transaction mix (% read-only), for
+// several communication delays.
+//
+// Expected shape (paper §4): even at zero communication delay the local
+// approach wins by roughly 1.5-3x over a wide range of mixes (the
+// decoupling effect of replication); the ratio grows with the
+// communication delay and shrinks toward 1 as the mix approaches 100%
+// read-only (fewer conflicts, fewer update round trips).
+
+#include "params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtdb;
+  using namespace rtdb::bench;
+  using core::DistScheme;
+  using core::ExperimentRunner;
+
+  const double delays[] = {0, 1, 2, 5};
+  const double mixes[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  stats::Table table{{"read-only %", "delay=0", "delay=1", "delay=2",
+                      "delay=5"}};
+  for (const double mix : mixes) {
+    std::vector<std::string> row{stats::Table::num(mix * 100, 0)};
+    for (const double delay : delays) {
+      const auto global = ExperimentRunner::run_many(
+          dist_config(DistScheme::kGlobalCeiling, mix, delay, 1), kDistRuns);
+      const auto local = ExperimentRunner::run_many(
+          dist_config(DistScheme::kLocalCeiling, mix, delay, 1), kDistRuns);
+      const double ratio = ExperimentRunner::mean_throughput(local) /
+                           ExperimentRunner::mean_throughput(global);
+      row.push_back(stats::Table::num(ratio));
+    }
+    table.add_row(std::move(row));
+  }
+  emit(table,
+       "Fig 4: throughput ratio local/global vs transaction mix, by "
+       "communication delay (tu), 5 runs/point",
+       argc, argv);
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Microbenchmarks of the substrate: event queue, process switching,
+// synchronization primitives, the preemptive CPU, and the hot paths of the
+// lock protocols. These bound the cost of simulation itself (virtual-time
+// events per wall-clock second), which is what makes the 10-run sweeps of
+// the figure benches cheap.
+
+#include <benchmark/benchmark.h>
+
+#include "cc/lock_table.hpp"
+#include "cc/pcp.hpp"
+#include "core/system.hpp"
+#include "sched/cpu.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+#include "sim/semaphore.hpp"
+
+namespace {
+
+using namespace rtdb;
+using sim::Duration;
+using sim::Kernel;
+using sim::Task;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.schedule(sim::TimePoint::at_ticks(t + (i * 37) % 1000), [] {});
+    }
+    while (auto ev = q.pop()) {
+      benchmark::DoNotOptimize(ev->time);
+    }
+    t += 1000;
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  sim::EventQueue q;
+  for (auto _ : state) {
+    sim::EventId ids[64];
+    for (int i = 0; i < 64; ++i) {
+      ids[i] = q.schedule(sim::TimePoint::at_ticks(i), [] {});
+    }
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(q.cancel(ids[i]));
+    }
+    while (q.pop()) {
+    }
+  }
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_ProcessSpawnDelayComplete(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel k;
+    for (int i = 0; i < 32; ++i) {
+      k.spawn("p", [](Kernel& k) -> Task<void> {
+        for (int j = 0; j < 8; ++j) co_await k.delay(Duration::units(1));
+      }(k));
+    }
+    k.run();
+    benchmark::DoNotOptimize(k.events_executed());
+  }
+}
+BENCHMARK(BM_ProcessSpawnDelayComplete);
+
+void BM_SemaphorePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel k;
+    sim::Semaphore a{k, 0};
+    sim::Semaphore b{k, 0};
+    k.spawn("ping", [](sim::Semaphore& a, sim::Semaphore& b) -> Task<void> {
+      for (int i = 0; i < 64; ++i) {
+        b.release();
+        co_await a.acquire();
+      }
+    }(a, b));
+    k.spawn("pong", [](sim::Semaphore& a, sim::Semaphore& b) -> Task<void> {
+      for (int i = 0; i < 64; ++i) {
+        co_await b.acquire();
+        a.release();
+      }
+    }(a, b));
+    k.run();
+  }
+}
+BENCHMARK(BM_SemaphorePingPong);
+
+void BM_CpuPreemptionStorm(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel k;
+    sched::PreemptiveCpu cpu{k};
+    for (int i = 0; i < 32; ++i) {
+      k.spawn("j", [](Kernel& k, sched::PreemptiveCpu& cpu, int i) -> Task<void> {
+        co_await k.delay(Duration::units(i));
+        // Descending keys: every arrival preempts the previous job.
+        co_await cpu.execute(Duration::units(40),
+                             sim::Priority{100 - i, static_cast<std::uint32_t>(i)});
+      }(k, cpu, i));
+    }
+    k.run();
+    benchmark::DoNotOptimize(cpu.busy_time());
+  }
+}
+BENCHMARK(BM_CpuPreemptionStorm);
+
+void BM_LockTableGrantRelease(benchmark::State& state) {
+  cc::LockTable table{cc::LockTable::QueuePolicy::kPriority};
+  std::vector<cc::CcTxn> txns(16);
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    txns[i].id = db::TxnId{i + 1};
+    txns[i].base_priority = sim::Priority{static_cast<std::int64_t>(i), 0};
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < txns.size(); ++i) {
+      for (db::ObjectId o = 0; o < 8; ++o) {
+        benchmark::DoNotOptimize(
+            table.try_grant(txns[i], static_cast<db::ObjectId>(o + 8 * i),
+                            cc::LockMode::kWrite));
+      }
+    }
+    for (auto& txn : txns) table.release_all(txn);
+  }
+}
+BENCHMARK(BM_LockTableGrantRelease);
+
+void BM_PcpCeilingMaintenance(benchmark::State& state) {
+  Kernel k;
+  cc::PriorityCeiling pcp{k, 256};
+  sim::RandomStream rng{1};
+  std::vector<cc::CcTxn> txns(32);
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    txns[i].id = db::TxnId{i + 1};
+    txns[i].base_priority =
+        sim::Priority{static_cast<std::int64_t>(rng.uniform_int(0, 1000)),
+                      static_cast<std::uint32_t>(i)};
+    std::vector<cc::Operation> ops;
+    for (auto o : rng.sample_without_replacement(256, 8)) {
+      ops.push_back(cc::Operation{o, cc::LockMode::kWrite});
+    }
+    txns[i].access = cc::AccessSet::from_operations(std::move(ops));
+  }
+  for (auto _ : state) {
+    for (auto& txn : txns) pcp.on_begin(txn);
+    for (auto& txn : txns) pcp.on_end(txn);
+    benchmark::DoNotOptimize(pcp.active_transactions());
+  }
+}
+BENCHMARK(BM_PcpCeilingMaintenance);
+
+void BM_EndToEndSingleSiteRun(benchmark::State& state) {
+  // A complete single-site experiment per iteration — the unit of work
+  // behind every figure data point (here: 100 PCP transactions of size 8).
+  for (auto _ : state) {
+    core::SystemConfig cfg;
+    cfg.protocol = core::Protocol::kPriorityCeiling;
+    cfg.db_objects = 200;
+    cfg.workload.size_min = cfg.workload.size_max = 8;
+    cfg.workload.mean_interarrival = Duration::units(50);
+    cfg.workload.transaction_count = 100;
+    cfg.seed = 1;
+    core::System system{cfg};
+    system.run_to_completion();
+    benchmark::DoNotOptimize(system.metrics().committed);
+  }
+}
+BENCHMARK(BM_EndToEndSingleSiteRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+#pragma once
+
+// Canonical experiment parameters for the paper reproduction. Every bench
+// binary takes its configuration from here so EXPERIMENTS.md can reference
+// one source of truth.
+//
+// Units: 1 time unit (tu) = 1 ms of virtual time; throughput is data
+// objects accessed per second by committed transactions (the paper's
+// normalized throughput).
+
+#include <cstdio>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace rtdb::bench {
+
+// ---- Figures 2 and 3: single-site size sweep ----
+//
+// Heavy load: the CPU saturates as the mean transaction size approaches 20
+// (cpu 2tu/object at one arrival per 50tu ~ 80% raw utilization at size
+// 20, before any restart waste). I/O is one parallel-disk access per
+// object read plus one per committed write. Deadlines are proportional to
+// size ("set in proportion to its size and system workload"). 400
+// transactions per run, 10 seeded runs averaged per point.
+inline core::SystemConfig fig23_config(core::Protocol protocol,
+                                       std::uint32_t size,
+                                       std::uint64_t seed) {
+  core::SystemConfig cfg;
+  cfg.protocol = protocol;
+  cfg.db_objects = 200;
+  cfg.cpu_per_object = sim::Duration::units(2);
+  cfg.io_per_object = sim::Duration::units(1);
+  // Plain 2PL resolves deadlocks the classic way (abort the requester that
+  // closed the cycle); the priority-mode variant picks the least urgent.
+  cfg.victim_policy = protocol == core::Protocol::kTwoPhase
+                          ? cc::TwoPhaseLocking::VictimPolicy::kRequester
+                          : cc::TwoPhaseLocking::VictimPolicy::kLowestPriority;
+  cfg.workload.size_min = size;
+  cfg.workload.size_max = size;
+  cfg.workload.mean_interarrival = sim::Duration::units(50);
+  cfg.workload.transaction_count = 400;
+  cfg.workload.slack_min = 15;
+  cfg.workload.slack_max = 30;
+  cfg.workload.est_time_per_object = sim::Duration::units(4);
+  cfg.workload.read_only_fraction = 0.0;  // update transactions
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline constexpr std::uint32_t kFig23Sizes[] = {2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
+inline constexpr int kFig23Runs = 10;
+
+// ---- Figures 4, 5 and 6: distributed global vs local ceiling ----
+//
+// Three fully interconnected sites, memory-resident database (no I/O
+// cost), transactions of 4-8 objects, one arrival per 4tu system-wide.
+// 300 transactions per run, 5 seeded runs averaged per point (the
+// distributed runs are an order of magnitude more expensive than the
+// single-site ones).
+inline core::SystemConfig dist_config(core::DistScheme scheme,
+                                      double read_only_fraction,
+                                      double comm_delay_units,
+                                      std::uint64_t seed) {
+  core::SystemConfig cfg;
+  cfg.scheme = scheme;
+  cfg.sites = 3;
+  cfg.db_objects = 60;
+  cfg.cpu_per_object = sim::Duration::units(2);
+  cfg.io_per_object = sim::Duration::zero();
+  cfg.comm_delay = sim::Duration::from_units(comm_delay_units);
+  cfg.workload.size_min = 4;
+  cfg.workload.size_max = 8;
+  cfg.workload.mean_interarrival = sim::Duration::from_units(4.5);
+  cfg.workload.read_only_fraction = read_only_fraction;
+  cfg.workload.transaction_count = 300;
+  cfg.workload.slack_min = 3.5;
+  cfg.workload.slack_max = 7;
+  cfg.workload.est_time_per_object = sim::Duration::units(3);
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline constexpr int kDistRuns = 5;
+
+// Prints the table and, when the binary was invoked with --csv, the CSV
+// form as well.
+inline void emit(const stats::Table& table, const std::string& title,
+                 int argc, char** argv) {
+  std::fputs(table.to_text(title).c_str(), stdout);
+  std::fputs("\n", stdout);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--csv") {
+      std::fputs(table.to_csv().c_str(), stdout);
+      std::fputs("\n", stdout);
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace rtdb::bench

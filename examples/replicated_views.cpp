@@ -1,0 +1,100 @@
+// Replicated views — §4 side by side: the global ceiling manager versus
+// local ceiling managers over replicated data, on the same workload, with
+// the consistency/timeliness trade made visible.
+//
+// The global scheme keeps every copy identical (synchronous updates under
+// global locks) but holds locks across the network; the local scheme
+// commits locally and ships updates afterwards, so remote views lag. This
+// example measures both sides of that trade: deadline behaviour and the
+// observed staleness of replicas, including a §4-style temporally
+// consistent read using the multi-version store.
+
+#include <cstdio>
+
+#include "core/system.hpp"
+
+static rtdb::core::SystemConfig base_config() {
+  using namespace rtdb;
+  core::SystemConfig cfg;
+  cfg.sites = 3;
+  cfg.db_objects = 60;
+  cfg.cpu_per_object = sim::Duration::units(2);
+  cfg.io_per_object = sim::Duration::zero();
+  cfg.comm_delay = sim::Duration::units(2);
+  cfg.keep_version_history = true;
+  cfg.workload.transaction_count = 400;
+  cfg.workload.read_only_fraction = 0.5;
+  cfg.workload.size_min = 4;
+  cfg.workload.size_max = 8;
+  cfg.workload.mean_interarrival = sim::Duration::from_units(4.5);
+  cfg.workload.slack_min = 3.5;
+  cfg.workload.slack_max = 7;
+  cfg.workload.est_time_per_object = sim::Duration::units(3);
+  cfg.seed = 3;
+  return cfg;
+}
+
+int main() {
+  using namespace rtdb;
+
+  std::printf("== global vs local ceiling on one workload (3 sites, comm "
+              "delay 2tu) ==\n\n");
+
+  for (const core::DistScheme scheme :
+       {core::DistScheme::kGlobalCeiling, core::DistScheme::kLocalCeiling}) {
+    auto cfg = base_config();
+    cfg.scheme = scheme;
+    core::System system{cfg};
+    system.run_to_completion();
+    const auto m = system.metrics();
+    std::printf("%-15s: %5.1f obj/s, %5.1f%% missed, %llu committed\n",
+                core::to_string(scheme), m.throughput_objects_per_sec,
+                m.pct_missed, (unsigned long long)m.committed);
+
+    if (scheme == core::DistScheme::kLocalCeiling) {
+      std::printf("\n  replica staleness while running (local scheme):\n");
+      for (net::SiteId s = 0; s < 3; ++s) {
+        const auto& rep = *system.site(s).replication;
+        std::printf("    site %u: mean lag %.1ftu, max lag %.1ftu, "
+                    "%llu updates applied\n",
+                    s, rep.mean_lag().as_units(), rep.max_lag().as_units(),
+                    (unsigned long long)rep.updates_applied());
+      }
+      // §4's remedy for applications needing temporal consistency: with
+      // multiple versions kept, a reader can ask for the state of several
+      // objects "as of" one instant even though they were updated at
+      // different times by different stations.
+      const auto* versions = system.site(1).rm->version_history();
+      const sim::TimePoint when =
+          sim::TimePoint::origin() + sim::Duration::units(500);
+      std::printf("\n  temporally consistent view at t=500tu from site 1:\n");
+      for (db::ObjectId o = 0; o < 3; ++o) {
+        const db::Version& v = versions->read_at(o, when);
+        std::printf("    object %u: version %llu written at %.1ftu by T%llu\n",
+                    o, (unsigned long long)v.sequence,
+                    v.written_at.as_units(),
+                    (unsigned long long)v.writer.value);
+      }
+    } else {
+      // The global scheme's selling point: after the run every copy of
+      // every object is identical.
+      bool identical = true;
+      for (db::ObjectId o = 0; o < system.schema().object_count(); ++o) {
+        for (net::SiteId s = 1; s < 3; ++s) {
+          if (!(system.site(s).rm->current(o) ==
+                system.site(0).rm->current(o))) {
+            identical = false;
+          }
+        }
+      }
+      std::printf("  all copies identical after drain: %s\n\n",
+                  identical ? "yes" : "NO");
+    }
+  }
+
+  std::printf(
+      "\nThe local scheme trades bounded staleness (≈ the communication\n"
+      "delay) for dramatically better deadline behaviour — the paper's\n"
+      "central distributed result.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Tracking — the application the paper's introduction motivates: "both the
+// update and query on a tracking data of a missile must be processed within
+// the given deadlines; otherwise, the information provided could be of
+// little value", and §4's "distributed tracking in which each radar station
+// maintains its view and makes it available to other sites".
+//
+// Three radar stations, each owning a partition of track objects (its own
+// view) replicated at the other stations. Periodic update transactions
+// refresh each station's local tracks in step with its scan; aperiodic
+// query transactions read a temporally consistent picture. The example
+// runs the local ceiling scheme and reports deadline behaviour per
+// transaction class plus the replication lag (§4's "time lag") that
+// queries of remote views observe.
+
+#include <cstdio>
+
+#include "core/system.hpp"
+
+int main() {
+  using namespace rtdb;
+
+  core::SystemConfig config;
+  config.scheme = core::DistScheme::kLocalCeiling;
+  config.sites = 3;
+  config.db_objects = 90;  // 30 tracks per station
+  config.cpu_per_object = sim::Duration::units(2);
+  config.io_per_object = sim::Duration::zero();  // memory-resident tracks
+  config.comm_delay = sim::Duration::units(3);
+
+  // Aperiodic queries: operators asking for track pictures.
+  config.workload.transaction_count = 300;
+  config.workload.read_only_fraction = 1.0;
+  config.workload.size_min = 4;
+  config.workload.size_max = 10;
+  config.workload.mean_interarrival = sim::Duration::units(12);
+  config.workload.slack_min = 4;
+  config.workload.slack_max = 8;
+  config.workload.est_time_per_object = sim::Duration::units(3);
+
+  // Periodic scan updates: each station refreshes 6 of its tracks per
+  // revolution ("a local track would be updated periodically in
+  // conjunction with repetitive scanning"). Implicit deadline = period.
+  for (std::uint32_t station = 0; station < 3; ++station) {
+    workload::PeriodicSource scan;
+    scan.period = sim::Duration::units(40);
+    scan.phase = sim::Duration::units(5 + station * 7);  // staggered dishes
+    scan.size = 6;
+    scan.read_only = false;
+    scan.deadline_slack = 1.0;
+    scan.home_site = station;  // each station refreshes its own view
+    config.workload.periodic.push_back(scan);
+  }
+  config.seed = 7;
+
+  core::System system{config};
+  // Periodic sources run forever; bound the mission time explicitly.
+  system.start();
+  system.kernel().run_until(sim::TimePoint::origin() +
+                            sim::Duration::units(4000));
+
+  // Per-class statistics from the raw monitor records.
+  std::uint64_t scans = 0, scan_missed = 0, queries = 0, query_missed = 0;
+  for (const stats::TxnRecord& r : system.monitor().records()) {
+    if (!r.processed) continue;
+    if (r.read_only) {
+      ++queries;
+      query_missed += r.missed_deadline ? 1 : 0;
+    } else {
+      ++scans;
+      scan_missed += r.missed_deadline ? 1 : 0;
+    }
+  }
+  std::printf("== distributed tracking, local ceiling scheme ==\n");
+  std::printf("scan updates : %llu processed, %llu missed their revolution\n",
+              (unsigned long long)scans, (unsigned long long)scan_missed);
+  std::printf("track queries: %llu processed, %llu missed their deadline\n",
+              (unsigned long long)queries, (unsigned long long)query_missed);
+
+  std::printf("\nreplication (the price of decoupling):\n");
+  for (net::SiteId s = 0; s < 3; ++s) {
+    const auto& rep = *system.site(s).replication;
+    std::printf(
+        "  station %u: %llu remote track versions applied, view lag mean "
+        "%.1ftu / max %.1ftu\n",
+        s, (unsigned long long)rep.updates_applied(),
+        rep.mean_lag().as_units(), rep.max_lag().as_units());
+  }
+  std::printf(
+      "\nEvery station answered queries from its own replica without ever\n"
+      "holding a lock across the network; remote views lag by roughly the\n"
+      "communication delay (%.0ftu) - the temporal inconsistency the paper\n"
+      "accepts in exchange for responsiveness.\n",
+      config.comm_delay.as_units());
+  return 0;
+}

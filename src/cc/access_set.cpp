@@ -1,0 +1,92 @@
+#include "cc/access_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtdb::cc {
+
+const char* to_string(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kDeadlineMiss:
+      return "deadline miss";
+    case AbortReason::kDeadlockVictim:
+      return "deadlock victim";
+    case AbortReason::kWounded:
+      return "wounded";
+    case AbortReason::kTimestampOrder:
+      return "timestamp order";
+    case AbortReason::kAgeBased:
+      return "age based (wait-die)";
+    case AbortReason::kSystem:
+      return "system";
+  }
+  return "?";
+}
+
+AccessSet AccessSet::from_operations(std::vector<Operation> operations) {
+  AccessSet result;
+  result.operations_.reserve(operations.size());
+  for (const Operation& op : operations) {
+    auto it = std::find_if(
+        result.operations_.begin(), result.operations_.end(),
+        [&](const Operation& o) { return o.object == op.object; });
+    if (it == result.operations_.end()) {
+      result.operations_.push_back(op);
+    } else if (op.mode == LockMode::kWrite && it->mode == LockMode::kRead) {
+      it->mode = LockMode::kWrite;  // upgrade the declaration in place
+    }
+  }
+  result.write_count_ = static_cast<std::size_t>(
+      std::count_if(result.operations_.begin(), result.operations_.end(),
+                    [](const Operation& o) { return o.mode == LockMode::kWrite; }));
+  return result;
+}
+
+AccessSet AccessSet::reads_then_writes(std::vector<db::ObjectId> reads,
+                                       std::vector<db::ObjectId> writes) {
+  std::vector<Operation> ops;
+  ops.reserve(reads.size() + writes.size());
+  for (db::ObjectId o : reads) ops.push_back(Operation{o, LockMode::kRead});
+  for (db::ObjectId o : writes) ops.push_back(Operation{o, LockMode::kWrite});
+  return from_operations(std::move(ops));
+}
+
+AccessSet AccessSet::coarsened(std::uint32_t granularity) const {
+  assert(granularity >= 1);
+  std::vector<Operation> ops;
+  ops.reserve(operations_.size());
+  for (const Operation& op : operations_) {
+    ops.push_back(Operation{op.object / granularity, op.mode});
+  }
+  return from_operations(std::move(ops));
+}
+
+bool AccessSet::touches(db::ObjectId object) const {
+  return std::any_of(operations_.begin(), operations_.end(),
+                     [&](const Operation& o) { return o.object == object; });
+}
+
+bool AccessSet::writes(db::ObjectId object) const {
+  return std::any_of(operations_.begin(), operations_.end(),
+                     [&](const Operation& o) {
+                       return o.object == object && o.mode == LockMode::kWrite;
+                     });
+}
+
+std::vector<db::ObjectId> AccessSet::write_set() const {
+  std::vector<db::ObjectId> result;
+  for (const Operation& o : operations_) {
+    if (o.mode == LockMode::kWrite) result.push_back(o.object);
+  }
+  return result;
+}
+
+std::vector<db::ObjectId> AccessSet::read_set() const {
+  std::vector<db::ObjectId> result;
+  for (const Operation& o : operations_) {
+    if (o.mode == LockMode::kRead) result.push_back(o.object);
+  }
+  return result;
+}
+
+}  // namespace rtdb::cc

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cc/types.hpp"
+#include "db/types.hpp"
+
+namespace rtdb::cc {
+
+// One step of a transaction's execution.
+struct Operation {
+  db::ObjectId object = 0;
+  LockMode mode = LockMode::kRead;
+
+  friend bool operator==(Operation, Operation) = default;
+};
+
+// A transaction's predeclared access sets, in execution order.
+//
+// The priority ceiling protocol requires access sets to be known when the
+// transaction starts (the per-object ceilings are derived from the declared
+// sets of all active transactions); the 2PL-family protocols only use the
+// operation sequence. An object appears at most once; an object that is
+// both read and written is declared as a write (the write lock covers the
+// read).
+class AccessSet {
+ public:
+  AccessSet() = default;
+
+  // Builds from an execution-ordered operation list; duplicate objects are
+  // coalesced (write wins) keeping the first position.
+  static AccessSet from_operations(std::vector<Operation> operations);
+
+  // Convenience: reads then writes, in the given order.
+  static AccessSet reads_then_writes(std::vector<db::ObjectId> reads,
+                                     std::vector<db::ObjectId> writes);
+
+  // The set at a coarser locking granularity: object o maps to granule
+  // o / granularity; granules are deduplicated (write wins, first position
+  // kept). granularity == 1 returns a copy of this set.
+  AccessSet coarsened(std::uint32_t granularity) const;
+
+  std::span<const Operation> operations() const { return operations_; }
+  std::size_t size() const { return operations_.size(); }
+  bool empty() const { return operations_.empty(); }
+
+  bool touches(db::ObjectId object) const;
+  bool writes(db::ObjectId object) const;
+  bool reads(db::ObjectId object) const {
+    return touches(object) && !writes(object);
+  }
+  bool read_only() const { return write_count_ == 0; }
+  std::size_t write_count() const { return write_count_; }
+
+  // The objects of the write set, in execution order.
+  std::vector<db::ObjectId> write_set() const;
+  std::vector<db::ObjectId> read_set() const;
+
+ private:
+  std::vector<Operation> operations_;
+  std::size_t write_count_ = 0;
+};
+
+}  // namespace rtdb::cc

@@ -1,0 +1,7 @@
+#include "cc/controller.hpp"
+
+// ConcurrencyController is header-only today; this translation unit anchors
+// the vtable-adjacent pieces and keeps a stable home for future out-of-line
+// members.
+
+namespace rtdb::cc {}  // namespace rtdb::cc

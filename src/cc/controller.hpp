@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "cc/txn_ctx.hpp"
+#include "cc/types.hpp"
+#include "db/types.hpp"
+#include "sim/kernel.hpp"
+#include "sim/task.hpp"
+
+namespace rtdb::cc {
+
+// Callbacks a controller uses to act on the rest of the system.
+struct ControllerHooks {
+  // Abort another transaction (deadlock victim, wound). The callee must
+  // synchronously terminate the victim's attempt — releasing its locks —
+  // and arrange its restart. Never called for the currently running
+  // transaction (protocols throw TxnAborted for self-aborts instead).
+  std::function<void(db::TxnId victim, AbortReason reason)> abort_txn;
+  // The transaction's effective (inherited) priority changed; the callee
+  // propagates it to the CPU scheduler.
+  std::function<void(const CcTxn& txn)> priority_changed;
+};
+
+// A synchronization protocol instance managing the data of one site.
+//
+// Contract, in execution order for each transaction attempt:
+//   on_begin(t)                      once, before the first acquire
+//   acquire(t, o, m)                 may suspend; may throw TxnAborted
+//                                    (self-abort) or ProcessCancelled
+//                                    (attempt killed while blocked)
+//   release_all(t)                   at commit or abort; never blocks
+//   on_end(t)                        once, after release_all
+//
+// Two-phase rule: protocols may assume no acquire() follows release_all().
+class ConcurrencyController {
+ public:
+  explicit ConcurrencyController(sim::Kernel& kernel) : kernel_(kernel) {}
+  virtual ~ConcurrencyController() = default;
+
+  ConcurrencyController(const ConcurrencyController&) = delete;
+  ConcurrencyController& operator=(const ConcurrencyController&) = delete;
+
+  void set_hooks(ControllerHooks hooks) { hooks_ = std::move(hooks); }
+
+  virtual void on_begin(CcTxn& txn) { (void)txn; }
+  virtual sim::Task<void> acquire(CcTxn& txn, db::ObjectId object,
+                                  LockMode mode) = 0;
+  virtual void release_all(CcTxn& txn) = 0;
+  virtual void on_end(CcTxn& txn) { (void)txn; }
+
+  virtual std::string_view name() const = 0;
+
+  // ---- aggregate counters ----
+  std::uint64_t grants() const { return grants_; }
+  std::uint64_t blocks() const { return blocks_; }
+  std::uint64_t protocol_aborts() const { return protocol_aborts_; }
+
+ protected:
+  // Blocking bookkeeping shared by all protocols.
+  void begin_block(CcTxn& txn) {
+    txn.blocked = true;
+    txn.blocked_since = kernel_.now();
+    ++txn.block_count;
+    ++blocks_;
+  }
+  void end_block(CcTxn& txn) {
+    if (!txn.blocked) return;
+    txn.blocked = false;
+    txn.blocked_total += kernel_.now() - txn.blocked_since;
+  }
+
+  // Updates a transaction's inherited priority, notifying the scheduler
+  // when the effective priority actually changes.
+  void set_inherited(CcTxn& txn, sim::Priority inherited) {
+    const sim::Priority before = txn.effective_priority();
+    txn.inherited = inherited;
+    if (txn.effective_priority() != before && hooks_.priority_changed) {
+      hooks_.priority_changed(txn);
+    }
+  }
+
+  void count_grant() { ++grants_; }
+  void count_protocol_abort() { ++protocol_aborts_; }
+
+  sim::Kernel& kernel_;
+  ControllerHooks hooks_;
+
+ private:
+  std::uint64_t grants_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t protocol_aborts_ = 0;
+};
+
+}  // namespace rtdb::cc

@@ -1,0 +1,83 @@
+#include "cc/deadlock.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtdb::cc {
+
+void WaitForGraph::add_edge(db::TxnId waiter, db::TxnId holder) {
+  if (waiter == holder) return;
+  out_[waiter].insert(holder);
+}
+
+void WaitForGraph::clear_waits_of(db::TxnId waiter) { out_.erase(waiter); }
+
+void WaitForGraph::remove(db::TxnId txn) {
+  out_.erase(txn);
+  for (auto& [_, targets] : out_) targets.erase(txn);
+}
+
+std::vector<db::TxnId> WaitForGraph::find_cycle_from(db::TxnId start) const {
+  // Iterative DFS keeping the wait path; the graph is tiny (bounded by the
+  // number of concurrently blocked transactions).
+  std::vector<db::TxnId> path;
+  std::unordered_set<db::TxnId> on_path;
+  std::unordered_set<db::TxnId> done;
+
+  struct Frame {
+    db::TxnId node;
+    std::vector<db::TxnId> targets;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+
+  auto push = [&](db::TxnId node) {
+    Frame frame{node, {}, 0};
+    if (auto it = out_.find(node); it != out_.end()) {
+      frame.targets.assign(it->second.begin(), it->second.end());
+      // Deterministic exploration order.
+      std::sort(frame.targets.begin(), frame.targets.end());
+    }
+    path.push_back(node);
+    on_path.insert(node);
+    stack.push_back(std::move(frame));
+  };
+
+  push(start);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.targets.size()) {
+      done.insert(frame.node);
+      on_path.erase(frame.node);
+      path.pop_back();
+      stack.pop_back();
+      continue;
+    }
+    const db::TxnId next = frame.targets[frame.next++];
+    if (on_path.contains(next)) {
+      // Cycle: the path suffix from `next` onward.
+      auto it = std::find(path.begin(), path.end(), next);
+      assert(it != path.end());
+      return std::vector<db::TxnId>(it, path.end());
+    }
+    if (!done.contains(next)) push(next);
+  }
+  return {};
+}
+
+const std::unordered_set<db::TxnId>& WaitForGraph::waits_of(
+    db::TxnId waiter) const {
+  static const std::unordered_set<db::TxnId> kEmpty;
+  auto it = out_.find(waiter);
+  return it == out_.end() ? kEmpty : it->second;
+}
+
+std::size_t WaitForGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, targets] : out_) n += targets.size();
+  return n;
+}
+
+bool WaitForGraph::empty() const { return edge_count() == 0; }
+
+}  // namespace rtdb::cc

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "db/types.hpp"
+
+namespace rtdb::cc {
+
+// Transaction wait-for graph with cycle detection; used by the protocols
+// that can deadlock (2PL with and without priority, basic priority
+// inheritance). The priority ceiling protocol never consults it — deadlock
+// freedom is one of its guarantees and the tests assert it.
+class WaitForGraph {
+ public:
+  // Declares that `waiter` waits for `holder`. Self-edges are ignored.
+  void add_edge(db::TxnId waiter, db::TxnId holder);
+
+  // Removes all outgoing edges of `waiter` (it stopped waiting).
+  void clear_waits_of(db::TxnId waiter);
+
+  // Removes the node entirely (transaction finished or aborted).
+  void remove(db::TxnId txn);
+
+  // Returns the transactions on a cycle reachable from `start` (in wait
+  // order, starting with `start`), or empty when none.
+  std::vector<db::TxnId> find_cycle_from(db::TxnId start) const;
+
+  const std::unordered_set<db::TxnId>& waits_of(db::TxnId waiter) const;
+
+  std::size_t edge_count() const;
+  bool empty() const;
+
+ private:
+  std::unordered_map<db::TxnId, std::unordered_set<db::TxnId>> out_;
+};
+
+}  // namespace rtdb::cc

@@ -1,0 +1,168 @@
+#include "cc/lock_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtdb::cc {
+
+bool LockTable::try_grant(CcTxn& txn, db::ObjectId object, LockMode mode) {
+  ObjectLock& lock = locks_[object];
+  assert(!holds(txn, object) && "re-acquiring a held lock is not supported");
+  if (!compatible_with_holders(lock, txn, mode)) {
+    return false;
+  }
+  // Respect queued waiters: a newcomer may only overtake the queue when the
+  // policy would place it at the head.
+  if (!lock.queue.empty()) {
+    Request probe{&txn, object, mode, nullptr, false, next_seq_};
+    if (!precedes(probe, *lock.queue.front())) return false;
+  }
+  lock.holders.emplace_back(&txn, mode);
+  return true;
+}
+
+void LockTable::enqueue(Request& request) {
+  request.seq = next_seq_++;
+  request.granted = false;
+  ObjectLock& lock = locks_[request.object];
+  auto it = std::find_if(
+      lock.queue.begin(), lock.queue.end(),
+      [&](const Request* queued) { return precedes(request, *queued); });
+  lock.queue.insert(it, &request);
+  ++waiting_;
+}
+
+void LockTable::cancel(Request& request) {
+  auto it = locks_.find(request.object);
+  assert(it != locks_.end());
+  ObjectLock& lock = it->second;
+  auto pos = std::find(lock.queue.begin(), lock.queue.end(), &request);
+  assert(pos != lock.queue.end());
+  lock.queue.erase(pos);
+  --waiting_;
+  promote(request.object, lock);
+  erase_if_idle(request.object);
+}
+
+std::vector<db::ObjectId> LockTable::release_all(CcTxn& txn) {
+  // Collect the objects first: promotion mutates the map's values and
+  // erase_if_idle the map itself.
+  std::vector<db::ObjectId> touched;
+  for (auto& [object, lock] : locks_) {
+    auto it = std::find_if(lock.holders.begin(), lock.holders.end(),
+                           [&](const auto& h) { return h.first == &txn; });
+    if (it != lock.holders.end()) {
+      lock.holders.erase(it);
+      touched.push_back(object);
+    }
+  }
+  for (db::ObjectId object : touched) {
+    auto it = locks_.find(object);
+    assert(it != locks_.end());
+    promote(object, it->second);
+    erase_if_idle(object);
+  }
+  return touched;
+}
+
+std::vector<LockTable::Request*> LockTable::queued_requests(
+    db::ObjectId object) const {
+  auto it = locks_.find(object);
+  if (it == locks_.end()) return {};
+  return it->second.queue;
+}
+
+std::vector<CcTxn*> LockTable::holders_of(db::ObjectId object) const {
+  std::vector<CcTxn*> result;
+  auto it = locks_.find(object);
+  if (it == locks_.end()) return result;
+  for (const auto& [txn, mode] : it->second.holders) {
+    (void)mode;
+    result.push_back(txn);
+  }
+  return result;
+}
+
+std::vector<CcTxn*> LockTable::blockers_of(const Request& request) const {
+  std::vector<CcTxn*> result;
+  auto it = locks_.find(request.object);
+  if (it == locks_.end()) return result;
+  const ObjectLock& lock = it->second;
+  for (const auto& [txn, mode] : lock.holders) {
+    if (txn != request.txn && !compatible(mode, request.mode)) {
+      result.push_back(txn);
+    }
+  }
+  for (const Request* queued : lock.queue) {
+    if (queued == &request) break;  // only requests ahead of ours
+    if (queued->txn != request.txn &&
+        !compatible(queued->mode, request.mode)) {
+      result.push_back(queued->txn);
+    }
+  }
+  return result;
+}
+
+bool LockTable::holds(const CcTxn& txn, db::ObjectId object) const {
+  auto it = locks_.find(object);
+  if (it == locks_.end()) return false;
+  return std::any_of(it->second.holders.begin(), it->second.holders.end(),
+                     [&](const auto& h) { return h.first == &txn; });
+}
+
+std::size_t LockTable::held_objects(const CcTxn& txn) const {
+  std::size_t n = 0;
+  for (const auto& [object, lock] : locks_) {
+    (void)object;
+    for (const auto& [holder, mode] : lock.holders) {
+      (void)mode;
+      if (holder == &txn) ++n;
+    }
+  }
+  return n;
+}
+
+bool LockTable::compatible_with_holders(const ObjectLock& lock,
+                                        const CcTxn& txn,
+                                        LockMode mode) const {
+  (void)txn;
+  return std::all_of(lock.holders.begin(), lock.holders.end(),
+                     [&](const auto& h) { return compatible(h.second, mode); });
+}
+
+bool LockTable::precedes(const Request& a, const Request& b) const {
+  if (policy_ == QueuePolicy::kPriority) {
+    const sim::Priority pa = a.txn->effective_priority();
+    const sim::Priority pb = b.txn->effective_priority();
+    if (pa != pb) return pa.higher_than(pb);
+  }
+  return a.seq < b.seq;
+}
+
+void LockTable::promote(db::ObjectId object, ObjectLock& lock) {
+  (void)object;
+  // Grant the longest grantable prefix: stops at the first waiter that
+  // conflicts with the (possibly just extended) holder set, so a queued
+  // writer is not overtaken by readers behind it.
+  while (!lock.queue.empty()) {
+    Request* head = lock.queue.front();
+    if (!compatible_with_holders(lock, *head->txn, head->mode)) break;
+    lock.queue.erase(lock.queue.begin());
+    --waiting_;
+    lock.holders.emplace_back(head->txn, head->mode);
+    head->granted = true;
+    if (on_grant_) on_grant_(*head);
+    assert(head->wakeup != nullptr);
+    head->wakeup->release();
+  }
+}
+
+void LockTable::erase_if_idle(db::ObjectId object) {
+  auto it = locks_.find(object);
+  if (it != locks_.end() && it->second.holders.empty() &&
+      it->second.queue.empty()) {
+    locks_.erase(it);
+  }
+}
+
+}  // namespace rtdb::cc

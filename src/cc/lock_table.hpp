@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/txn_ctx.hpp"
+#include "cc/types.hpp"
+#include "db/types.hpp"
+#include "sim/semaphore.hpp"
+
+namespace rtdb::cc {
+
+// Conventional per-object lock table used by the 2PL-family protocols
+// (plain, priority-mode, priority inheritance, high-priority). Read locks
+// are shared, write locks exclusive.
+//
+// The table only manages lock state and wait queues; blocking, deadlock
+// handling, and inheritance live in the protocols.
+class LockTable {
+ public:
+  // How waiters queue: arrival order (the paper's "two-phase locking
+  // protocol without priority mode", L) or by transaction priority (the
+  // "priority mode", P).
+  enum class QueuePolicy : std::uint8_t { kFifo, kPriority };
+
+  explicit LockTable(QueuePolicy policy) : policy_(policy) {}
+
+  QueuePolicy policy() const { return policy_; }
+
+  // One waiting request; lives in the requester's acquire() frame.
+  struct Request {
+    CcTxn* txn = nullptr;
+    db::ObjectId object = 0;
+    LockMode mode = LockMode::kRead;
+    sim::Semaphore* wakeup = nullptr;
+    bool granted = false;
+    std::uint64_t seq = 0;  // arrival order
+  };
+
+  // Grants immediately when `mode` is compatible with the holders and no
+  // queued waiter takes precedence; otherwise returns false (caller
+  // enqueues). An immediate grant records the holder.
+  bool try_grant(CcTxn& txn, db::ObjectId object, LockMode mode);
+
+  // Adds the request to the object's queue per the policy.
+  void enqueue(Request& request);
+
+  // Removes a waiting request (requester killed or aborted) and promotes
+  // any waiters its departure unblocks.
+  void cancel(Request& request);
+
+  // Releases every lock `txn` holds; grantable waiters are granted (their
+  // `granted` flag set and wakeup semaphores released). Returns the objects
+  // whose state changed.
+  std::vector<db::ObjectId> release_all(CcTxn& txn);
+
+  // Invoked (if set) for every request the moment it is granted from the
+  // queue, before its process resumes. Protocols use it to drop wait-for
+  // edges and refresh inheritance without racing the wake-up.
+  void set_grant_observer(std::function<void(Request&)> observer) {
+    on_grant_ = std::move(observer);
+  }
+
+  // The requests currently queued on `object`, in queue order.
+  std::vector<Request*> queued_requests(db::ObjectId object) const;
+
+  // ---- introspection (deadlock detection, wound decisions) ----
+  // Current holders of the object's lock.
+  std::vector<CcTxn*> holders_of(db::ObjectId object) const;
+  // Transactions a request must wait for: incompatible holders plus
+  // incompatible requests queued ahead of it.
+  std::vector<CcTxn*> blockers_of(const Request& request) const;
+  // Whether txn holds a lock on object (any mode).
+  bool holds(const CcTxn& txn, db::ObjectId object) const;
+
+  std::size_t held_objects(const CcTxn& txn) const;
+  std::size_t waiting_requests() const { return waiting_; }
+
+ private:
+  struct ObjectLock {
+    std::vector<std::pair<CcTxn*, LockMode>> holders;
+    std::vector<Request*> queue;  // maintained in policy order
+  };
+
+  bool compatible_with_holders(const ObjectLock& lock, const CcTxn& txn,
+                               LockMode mode) const;
+  // True when `a` should queue ahead of `b` under the current policy.
+  bool precedes(const Request& a, const Request& b) const;
+  // Grants the longest grantable prefix of the queue.
+  void promote(db::ObjectId object, ObjectLock& lock);
+  void erase_if_idle(db::ObjectId object);
+
+  QueuePolicy policy_;
+  std::unordered_map<db::ObjectId, ObjectLock> locks_;
+  std::function<void(Request&)> on_grant_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t waiting_ = 0;
+};
+
+}  // namespace rtdb::cc

@@ -1,0 +1,401 @@
+#include "cc/pcp.hpp"
+
+#include <algorithm>
+#include <set>
+#include <cassert>
+
+namespace rtdb::cc {
+
+using sim::Priority;
+
+bool PriorityCeiling::LockState::held_by_other(const CcTxn& txn) const {
+  if (writer != nullptr && writer != &txn) return true;
+  return std::any_of(readers.begin(), readers.end(),
+                     [&](const CcTxn* r) { return r != &txn; });
+}
+
+PriorityCeiling::PriorityCeiling(sim::Kernel& kernel,
+                                 std::uint32_t object_count, Options options)
+    : ConcurrencyController(kernel),
+      options_(options),
+      object_count_(object_count),
+      write_ceiling_(object_count, Priority::lowest()),
+      abs_ceiling_(object_count, Priority::lowest()) {}
+
+PriorityCeiling::~PriorityCeiling() {
+  assert(waiters_.empty() && "destroyed with blocked transactions");
+}
+
+void PriorityCeiling::on_begin(CcTxn& txn) {
+  assert(!active_.contains(txn.id));
+  active_.emplace(txn.id, &txn);
+  refresh_static_ceilings(txn);
+  // New declarations only *raise* ceilings, so nothing becomes grantable —
+  // but a raise can redirect which lock blocks an existing waiter, which
+  // is exactly the (dynamic-arrival) way a blocking cycle can close.
+  if (options_.deadlock_backstop) stabilize();
+}
+
+void PriorityCeiling::on_end(CcTxn& txn) {
+  assert(active_.contains(txn.id));
+  active_.erase(txn.id);
+  set_inherited(txn, Priority::lowest());
+  refresh_static_ceilings(txn);
+  // Lowered ceilings may unblock waiters.
+  stabilize();
+}
+
+sim::Task<void> PriorityCeiling::acquire(CcTxn& txn, db::ObjectId object,
+                                         LockMode mode) {
+  assert(object < object_count_);
+  assert(active_.contains(txn.id) && "acquire before on_begin");
+  mode = effective_mode(mode);
+
+  if (can_grant(txn)) {
+    grant(txn, object, mode);
+    count_grant();
+    co_return;
+  }
+
+  // Denied. The ceiling protocol may forbid locking an unlocked object;
+  // count that separately — it is the protocol's "insurance premium".
+  const bool object_unlocked = !is_locked(object);
+  if (object_unlocked) {
+    ++ceiling_denials_;
+    ++txn.ceiling_blocks;
+  }
+
+  sim::Semaphore wakeup{kernel_, 0};
+  Waiter waiter{&txn, object, mode, &wakeup, false, next_seq_++};
+  // Waiters wake in assigned-priority order (the same order the grant test
+  // uses).
+  auto pos = std::find_if(waiters_.begin(), waiters_.end(), [&](const Waiter* w) {
+    const Priority a = txn.base_priority;
+    const Priority b = w->txn->base_priority;
+    if (a != b) return a.higher_than(b);
+    return waiter.seq < w->seq;
+  });
+  waiters_.insert(pos, &waiter);
+  begin_block(txn);
+
+  struct Cleanup {
+    PriorityCeiling* self;
+    Waiter* waiter;
+    ~Cleanup() {
+      if (!waiter->granted) {
+        // Kill while blocked: withdraw the wait and settle inheritance.
+        auto it = std::find(self->waiters_.begin(), self->waiters_.end(), waiter);
+        assert(it != self->waiters_.end());
+        self->waiters_.erase(it);
+        self->end_block(*waiter->txn);
+        self->stabilize();
+      }
+    }
+  } cleanup{this, &waiter};
+
+  stabilize();
+  co_await wakeup.acquire();
+  assert(waiter.granted);
+  count_grant();
+}
+
+void PriorityCeiling::release_all(CcTxn& txn) {
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    LockState& lock = it->second;
+    if (lock.writer == &txn) lock.writer = nullptr;
+    std::erase(lock.readers, &txn);
+    if (lock.empty()) {
+      it = locks_.erase(it);
+    } else {
+      refresh_rw_ceiling(it->first, lock);
+      ++it;
+    }
+  }
+  stabilize();
+}
+
+std::string_view PriorityCeiling::name() const {
+  return options_.exclusive_only ? "PCP-X" : "PCP";
+}
+
+Priority PriorityCeiling::write_ceiling(db::ObjectId object) const {
+  assert(object < object_count_);
+  return options_.exclusive_only ? abs_ceiling_[object]
+                                 : write_ceiling_[object];
+}
+
+Priority PriorityCeiling::absolute_ceiling(db::ObjectId object) const {
+  assert(object < object_count_);
+  return abs_ceiling_[object];
+}
+
+std::optional<Priority> PriorityCeiling::rw_ceiling(db::ObjectId object) const {
+  auto it = locks_.find(object);
+  if (it == locks_.end()) return std::nullopt;
+  return it->second.rw_ceiling;
+}
+
+bool PriorityCeiling::is_locked(db::ObjectId object) const {
+  return locks_.contains(object);
+}
+
+std::vector<db::TxnId> PriorityCeiling::lower_priority_blockers_of(
+    const CcTxn& txn) const {
+  // The transactions with priority lower than txn's base priority that hold
+  // the lock blocking txn right now.
+  std::vector<db::TxnId> result;
+  if (!txn.blocked) return result;
+  const LockState* blocking = strongest_blocking_lock(txn);
+  if (blocking == nullptr) return result;
+  auto consider = [&](const CcTxn* holder) {
+    if (holder != &txn && txn.base_priority.higher_than(holder->base_priority)) {
+      result.push_back(holder->id);
+    }
+  };
+  if (blocking->writer != nullptr) consider(blocking->writer);
+  for (const CcTxn* reader : blocking->readers) consider(reader);
+  return result;
+}
+
+std::size_t PriorityCeiling::lower_priority_blocking_txns(
+    const CcTxn& txn) const {
+  std::set<const CcTxn*> blockers;
+  for (const auto& [object, lock] : locks_) {
+    (void)object;
+    if (!lock.held_by_other(txn)) continue;
+    if (txn.base_priority.higher_than(lock.rw_ceiling)) continue;  // no deny
+    auto consider = [&](const CcTxn* holder) {
+      if (holder != &txn &&
+          txn.base_priority.higher_than(holder->base_priority)) {
+        blockers.insert(holder);
+      }
+    };
+    if (lock.writer != nullptr) consider(lock.writer);
+    for (const CcTxn* reader : lock.readers) consider(reader);
+  }
+  return blockers.size();
+}
+
+const PriorityCeiling::LockState* PriorityCeiling::strongest_blocking_lock(
+    const CcTxn& txn) const {
+  const LockState* best = nullptr;
+  for (const auto& [object, lock] : locks_) {
+    (void)object;
+    if (!lock.held_by_other(txn)) continue;
+    if (best == nullptr || lock.rw_ceiling.higher_than(best->rw_ceiling)) {
+      best = &lock;
+    }
+  }
+  return best;
+}
+
+bool PriorityCeiling::can_grant(const CcTxn& txn) const {
+  // The ceiling test uses the transaction's *assigned* priority, never the
+  // inherited one: inheritance exists to speed up a blocking holder's
+  // execution, not to let it pass ceilings. (Using the effective priority
+  // here would let a transaction outrank its own object's write ceiling
+  // and acquire a conflicting lock.) Because every ceiling includes the
+  // requester's own declaration, base-priority comparison also subsumes
+  // the direct read/write conflict test, as §3.2 argues.
+  const LockState* blocking = strongest_blocking_lock(txn);
+  return blocking == nullptr ||
+         txn.base_priority.higher_than(blocking->rw_ceiling);
+}
+
+void PriorityCeiling::grant(CcTxn& txn, db::ObjectId object, LockMode mode) {
+  LockState& lock = locks_[object];
+  if (mode == LockMode::kWrite) {
+    assert(lock.writer == nullptr && lock.readers.empty() &&
+           "ceiling rule admitted a conflicting write");
+    lock.writer = &txn;
+  } else {
+    assert(lock.writer == nullptr &&
+           "ceiling rule admitted a read under a write lock");
+    lock.readers.push_back(&txn);
+  }
+  refresh_rw_ceiling(object, lock);
+}
+
+void PriorityCeiling::refresh_static_ceilings(const CcTxn& txn) {
+  for (const Operation& op : txn.access.operations()) {
+    Priority write = Priority::lowest();
+    Priority abs = Priority::lowest();
+    for (const auto& [id, active] : active_) {
+      (void)id;
+      if (!active->access.touches(op.object)) continue;
+      abs = Priority::stronger(abs, active->base_priority);
+      if (active->access.writes(op.object)) {
+        write = Priority::stronger(write, active->base_priority);
+      }
+    }
+    write_ceiling_[op.object] = write;
+    abs_ceiling_[op.object] = abs;
+    if (auto it = locks_.find(op.object); it != locks_.end()) {
+      refresh_rw_ceiling(op.object, it->second);
+    }
+  }
+}
+
+void PriorityCeiling::refresh_rw_ceiling(db::ObjectId object,
+                                         LockState& lock) {
+  assert(!lock.empty());
+  // "When a data object is write-locked, the rw-priority ceiling ... is
+  // equal to the absolute priority ceiling. When it is read-locked ...
+  // equal to the write-priority ceiling."
+  lock.rw_ceiling = lock.writer != nullptr ? abs_ceiling_[object]
+                                           : write_ceiling(object);
+}
+
+void PriorityCeiling::stabilize() {
+  // Alternate inheritance and granting until neither changes anything:
+  // a grant changes the lock set (new ceilings to respect), inheritance
+  // changes effective priorities (new grants may pass the ceiling test).
+  // A backstop abort re-enters through release_all/on_end; the dirty flag
+  // folds that into the outer loop instead of recursing.
+  if (stabilizing_) {
+    restabilize_ = true;
+    return;
+  }
+  stabilizing_ = true;
+  struct Reset {
+    bool& flag;
+    ~Reset() { flag = false; }  // exception-safe (a victim may throw)
+  } reset{stabilizing_};
+  do {
+    restabilize_ = false;
+    do {
+      update_inheritance();
+    } while (grant_pass());
+    if (options_.deadlock_backstop && resolve_dynamic_deadlock()) {
+      restabilize_ = true;
+    }
+  } while (restabilize_);
+}
+
+bool PriorityCeiling::resolve_dynamic_deadlock() {
+  // Blocked-by graph: each waiter points at the holders of its current
+  // strongest blocking lock. Every node on a cycle is a waiter (only
+  // waiters have outgoing edges), so any victim is safely abortable.
+  std::unordered_map<const CcTxn*, std::vector<const CcTxn*>> edges;
+  for (const Waiter* waiter : waiters_) {
+    const LockState* blocking = strongest_blocking_lock(*waiter->txn);
+    if (blocking == nullptr) continue;
+    auto& targets = edges[waiter->txn];
+    if (blocking->writer != nullptr && blocking->writer != waiter->txn) {
+      targets.push_back(blocking->writer);
+    }
+    for (const CcTxn* reader : blocking->readers) {
+      if (reader != waiter->txn) targets.push_back(reader);
+    }
+  }
+
+  for (const Waiter* start : waiters_) {
+    // DFS from each waiter looking for a cycle through it.
+    std::vector<const CcTxn*> path;
+    std::unordered_map<const CcTxn*, int> colour;  // 0 white 1 grey 2 black
+    struct Frame {
+      const CcTxn* node;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    auto targets_of = [&](const CcTxn* node) -> const std::vector<const CcTxn*>& {
+      static const std::vector<const CcTxn*> kEmpty;
+      auto it = edges.find(node);
+      return it == edges.end() ? kEmpty : it->second;
+    };
+    colour[start->txn] = 1;
+    path.push_back(start->txn);
+    stack.push_back(Frame{start->txn});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& targets = targets_of(frame.node);
+      if (frame.next >= targets.size()) {
+        colour[frame.node] = 2;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const CcTxn* next = targets[frame.next++];
+      if (colour[next] == 1) {
+        // Cycle: pick the lowest-priority member as victim.
+        auto it = std::find(path.begin(), path.end(), next);
+        assert(it != path.end());
+        const CcTxn* victim = *it;
+        for (auto member = it; member != path.end(); ++member) {
+          if (victim->effective_priority().higher_than(
+                  (*member)->effective_priority())) {
+            victim = *member;
+          }
+        }
+        ++dynamic_deadlocks_;
+        count_protocol_abort();
+        assert(hooks_.abort_txn != nullptr);
+        hooks_.abort_txn(victim->id, AbortReason::kDeadlockVictim);
+        return true;
+      }
+      if (colour[next] == 0) {
+        colour[next] = 1;
+        path.push_back(next);
+        stack.push_back(Frame{next});
+      }
+    }
+  }
+  return false;
+}
+
+void PriorityCeiling::update_inheritance() {
+  // "If transaction T blocks higher priority transactions, T inherits the
+  // highest priority of the transactions blocked by T." Computed to a
+  // fixpoint because inherited priorities feed back through chains.
+  std::unordered_map<const CcTxn*, Priority> inherited;
+  inherited.reserve(active_.size());
+  for (const auto& [id, txn] : active_) {
+    (void)id;
+    inherited.emplace(txn, Priority::lowest());
+  }
+  auto effective = [&](const CcTxn* txn) {
+    return Priority::stronger(txn->base_priority, inherited.at(txn));
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Waiter* waiter : waiters_) {
+      const LockState* blocking = strongest_blocking_lock(*waiter->txn);
+      if (blocking == nullptr) continue;
+      const Priority urgency = effective(waiter->txn);
+      auto inherit = [&](const CcTxn* holder) {
+        if (holder == waiter->txn) return;
+        auto it = inherited.find(holder);
+        assert(it != inherited.end());
+        if (urgency.higher_than(it->second)) {
+          it->second = urgency;
+          changed = true;
+        }
+      };
+      if (blocking->writer != nullptr) inherit(blocking->writer);
+      for (const CcTxn* reader : blocking->readers) inherit(reader);
+    }
+  }
+  for (const auto& [id, txn] : active_) {
+    (void)id;
+    set_inherited(*txn, inherited.at(txn));
+  }
+}
+
+bool PriorityCeiling::grant_pass() {
+  // Waiters are kept in priority order; grant the most urgent eligible one
+  // and report whether anything changed.
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    Waiter* waiter = *it;
+    if (!can_grant(*waiter->txn)) continue;
+    waiters_.erase(it);
+    grant(*waiter->txn, waiter->object, waiter->mode);
+    waiter->granted = true;
+    end_block(*waiter->txn);
+    waiter->wakeup->release();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rtdb::cc

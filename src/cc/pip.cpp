@@ -1,0 +1,11 @@
+// PriorityInheritance2PL is a configuration of TwoPhaseLocking (see
+// two_phase.hpp); this translation unit exists to anchor its vtable.
+
+#include "cc/two_phase.hpp"
+
+namespace rtdb::cc {
+
+static_assert(sizeof(PriorityInheritance2PL) == sizeof(TwoPhaseLocking),
+              "PIP adds no state beyond its 2PL configuration");
+
+}  // namespace rtdb::cc

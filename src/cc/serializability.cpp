@@ -1,0 +1,112 @@
+#include "cc/serializability.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rtdb::cc {
+
+void HistoryRecorder::record(db::TxnId txn, db::ObjectId object,
+                             LockMode mode) {
+  pending_[txn].push_back(Op{object, mode, next_seq_++});
+}
+
+void HistoryRecorder::commit(db::TxnId txn) {
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) return;  // empty transaction
+  committed_[txn] = std::move(it->second);
+  pending_.erase(it);
+}
+
+void HistoryRecorder::abort(db::TxnId txn) { pending_.erase(txn); }
+
+std::size_t HistoryRecorder::committed_operations() const {
+  std::size_t n = 0;
+  for (const auto& [_, ops] : committed_) n += ops.size();
+  return n;
+}
+
+bool HistoryRecorder::conflict_serializable(std::string* explanation) const {
+  // Build the conflict graph: an edge a -> b when a committed operation of
+  // a precedes a conflicting committed operation of b on the same object.
+  struct Access {
+    db::TxnId txn;
+    LockMode mode;
+    std::uint64_t seq;
+  };
+  std::map<db::ObjectId, std::vector<Access>> per_object;
+  for (const auto& [txn, ops] : committed_) {
+    for (const Op& op : ops) {
+      per_object[op.object].push_back(Access{txn, op.mode, op.seq});
+    }
+  }
+  std::map<db::TxnId, std::set<db::TxnId>> edges;
+  for (auto& [object, accesses] : per_object) {
+    (void)object;
+    std::sort(accesses.begin(), accesses.end(),
+              [](const Access& a, const Access& b) { return a.seq < b.seq; });
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+      for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+        const Access& a = accesses[i];
+        const Access& b = accesses[j];
+        if (a.txn == b.txn) continue;
+        if (!compatible(a.mode, b.mode)) edges[a.txn].insert(b.txn);
+      }
+    }
+  }
+
+  // Cycle detection by iterative three-colour DFS.
+  enum class Colour { kWhite, kGrey, kBlack };
+  std::map<db::TxnId, Colour> colour;
+  for (const auto& [txn, _] : committed_) colour[txn] = Colour::kWhite;
+
+  std::vector<db::TxnId> path;
+  auto describe_cycle = [&](db::TxnId repeat) {
+    if (explanation == nullptr) return;
+    std::string text = "conflict cycle:";
+    auto it = std::find(path.begin(), path.end(), repeat);
+    for (; it != path.end(); ++it) {
+      text += " T" + std::to_string(it->value) + " ->";
+    }
+    text += " T" + std::to_string(repeat.value);
+    *explanation = text;
+  };
+
+  for (const auto& [root, _] : committed_) {
+    if (colour[root] != Colour::kWhite) continue;
+    struct Frame {
+      db::TxnId node;
+      std::vector<db::TxnId> targets;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    auto push = [&](db::TxnId node) {
+      colour[node] = Colour::kGrey;
+      path.push_back(node);
+      Frame frame{node, {}, 0};
+      if (auto e = edges.find(node); e != edges.end()) {
+        frame.targets.assign(e->second.begin(), e->second.end());
+      }
+      stack.push_back(std::move(frame));
+    };
+    push(root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next >= frame.targets.size()) {
+        colour[frame.node] = Colour::kBlack;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const db::TxnId next = frame.targets[frame.next++];
+      if (colour[next] == Colour::kGrey) {
+        describe_cycle(next);
+        return false;
+      }
+      if (colour[next] == Colour::kWhite) push(next);
+    }
+  }
+  return true;
+}
+
+}  // namespace rtdb::cc

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/types.hpp"
+#include "db/types.hpp"
+
+namespace rtdb::cc {
+
+// Conflict-serializability oracle used by the test suites: every executed
+// operation is recorded in global execution order; at the end of a run the
+// committed projection of the history must have an acyclic conflict graph,
+// whatever protocol produced it.
+class HistoryRecorder {
+ public:
+  // Records one executed (granted) operation. `txn` is the transaction's
+  // stable identity (restarted attempts reuse it; an aborted attempt's
+  // operations are discarded by abort()).
+  void record(db::TxnId txn, db::ObjectId object, LockMode mode);
+
+  // Marks the transaction's current recorded operations as committed.
+  void commit(db::TxnId txn);
+
+  // Discards the transaction's uncommitted operations (aborted attempt; a
+  // restart records afresh).
+  void abort(db::TxnId txn);
+
+  std::size_t committed_transactions() const { return committed_.size(); }
+  std::size_t committed_operations() const;
+
+  // True iff the committed history's conflict graph is acyclic. On failure
+  // (and when `explanation` is non-null) describes one conflict cycle.
+  bool conflict_serializable(std::string* explanation = nullptr) const;
+
+ private:
+  struct Op {
+    db::ObjectId object;
+    LockMode mode;
+    std::uint64_t seq;
+  };
+
+  std::unordered_map<db::TxnId, std::vector<Op>> pending_;
+  std::unordered_map<db::TxnId, std::vector<Op>> committed_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rtdb::cc

@@ -1,0 +1,190 @@
+#include "cc/two_phase.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/semaphore.hpp"
+
+namespace rtdb::cc {
+
+using sim::Priority;
+
+TwoPhaseLocking::TwoPhaseLocking(sim::Kernel& kernel, Options options)
+    : ConcurrencyController(kernel),
+      options_(options),
+      table_(options.queue_policy) {
+  table_.set_grant_observer([this](LockTable::Request& request) {
+    // The waiter stops waiting the instant it is granted; its edges must
+    // go before any further deadlock check can see them.
+    wfg_.clear_waits_of(request.txn->id);
+    waiting_.erase(request.txn->id);
+    end_block(*request.txn);
+  });
+}
+
+void TwoPhaseLocking::on_begin(CcTxn& txn) {
+  assert(!active_.contains(txn.id));
+  active_.emplace(txn.id, &txn);
+}
+
+sim::Task<void> TwoPhaseLocking::acquire(CcTxn& txn, db::ObjectId object,
+                                         LockMode mode) {
+  assert(active_.contains(txn.id) && "acquire before on_begin");
+  if (table_.try_grant(txn, object, mode)) {
+    count_grant();
+    co_return;
+  }
+
+  sim::Semaphore wakeup{kernel_, 0};
+  LockTable::Request request{&txn, object, mode, &wakeup, false, 0};
+  table_.enqueue(request);
+  waiting_.emplace(txn.id, &request);
+  begin_block(txn);
+  refresh_edges(object);
+
+  // Unblock bookkeeping on *every* exit: normal grant (already dequeued,
+  // granted=true), kill while blocked (ProcessCancelled), or self-abort as
+  // deadlock victim (TxnAborted).
+  struct Cleanup {
+    TwoPhaseLocking* self;
+    LockTable::Request* request;
+    ~Cleanup() {
+      CcTxn& txn = *request->txn;
+      if (!request->granted) {
+        self->table_.cancel(*request);
+        self->waiting_.erase(txn.id);
+        self->wfg_.clear_waits_of(txn.id);
+        self->end_block(txn);
+        self->refresh_edges(request->object);
+      }
+      self->update_inheritance();
+    }
+  } cleanup{this, &request};
+
+  resolve_deadlocks(txn, request);
+  update_inheritance();
+  if (!request.granted) {
+    co_await wakeup.acquire();
+  }
+  assert(request.granted);
+  count_grant();
+}
+
+void TwoPhaseLocking::release_all(CcTxn& txn) {
+  const auto touched = table_.release_all(txn);
+  for (db::ObjectId object : touched) refresh_edges(object);
+  update_inheritance();
+}
+
+void TwoPhaseLocking::on_end(CcTxn& txn) {
+  assert(!waiting_.contains(txn.id) && "on_end while still waiting");
+  wfg_.remove(txn.id);
+  active_.erase(txn.id);
+  set_inherited(txn, Priority::lowest());
+  update_inheritance();
+}
+
+std::string_view TwoPhaseLocking::name() const {
+  if (options_.priority_inheritance) return "2PL-PIP";
+  return options_.queue_policy == LockTable::QueuePolicy::kPriority
+             ? "2PL-P"
+             : "2PL";
+}
+
+void TwoPhaseLocking::refresh_edges(db::ObjectId object) {
+  for (LockTable::Request* request : table_.queued_requests(object)) {
+    wfg_.clear_waits_of(request->txn->id);
+    for (const CcTxn* blocker : table_.blockers_of(*request)) {
+      wfg_.add_edge(request->txn->id, blocker->id);
+    }
+  }
+}
+
+void TwoPhaseLocking::resolve_deadlocks(CcTxn& requester,
+                                        LockTable::Request& request) {
+  for (;;) {
+    if (request.granted) return;  // a victim's release granted us meanwhile
+    const auto cycle = wfg_.find_cycle_from(requester.id);
+    if (cycle.empty()) return;
+    ++deadlocks_;
+    count_protocol_abort();
+    const db::TxnId victim = pick_victim(cycle, requester.id);
+    if (victim == requester.id) {
+      // Cleanup (dequeue, edges, block accounting) runs in the awaiter's
+      // RAII guard as the exception unwinds acquire().
+      throw TxnAborted{AbortReason::kDeadlockVictim};
+    }
+    assert(hooks_.abort_txn != nullptr);
+    hooks_.abort_txn(victim, AbortReason::kDeadlockVictim);
+    // The abort released the victim's locks synchronously; loop to check
+    // for further cycles (or discover we were granted).
+  }
+}
+
+db::TxnId TwoPhaseLocking::pick_victim(const std::vector<db::TxnId>& cycle,
+                                       db::TxnId requester) const {
+  assert(!cycle.empty());
+  switch (options_.victim_policy) {
+    case VictimPolicy::kRequester:
+      if (std::find(cycle.begin(), cycle.end(), requester) != cycle.end()) {
+        return requester;
+      }
+      [[fallthrough]];  // requester not on the cycle: fall back
+    case VictimPolicy::kLowestPriority: {
+      db::TxnId worst = cycle.front();
+      for (db::TxnId id : cycle) {
+        const CcTxn* a = active_.at(id);
+        const CcTxn* b = active_.at(worst);
+        if (b->effective_priority().higher_than(a->effective_priority())) {
+          worst = id;
+        }
+      }
+      return worst;
+    }
+    case VictimPolicy::kYoungest: {
+      db::TxnId youngest = cycle.front();
+      for (db::TxnId id : cycle) {
+        if (youngest < id) youngest = id;
+      }
+      return youngest;
+    }
+  }
+  return cycle.front();
+}
+
+void TwoPhaseLocking::update_inheritance() {
+  if (!options_.priority_inheritance) return;
+  // Fixpoint: a blocker inherits the strongest effective priority among the
+  // waiters it blocks; effective priorities feed back through chains
+  // (T1 waits on T2 which waits on T3: T3 inherits T1's priority).
+  std::unordered_map<const CcTxn*, Priority> inherited;
+  inherited.reserve(active_.size());
+  for (const auto& [id, txn] : active_) {
+    (void)id;
+    inherited.emplace(txn, Priority::lowest());
+  }
+  auto effective = [&](const CcTxn* txn) {
+    return Priority::stronger(txn->base_priority, inherited.at(txn));
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [id, request] : waiting_) {
+      (void)id;
+      const Priority urgency = effective(request->txn);
+      for (CcTxn* blocker : table_.blockers_of(*request)) {
+        auto it = inherited.find(blocker);
+        assert(it != inherited.end());
+        if (urgency.higher_than(it->second)) {
+          it->second = urgency;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (const auto& [txn, priority] : inherited) {
+    set_inherited(*active_.at(txn->id), priority);
+  }
+}
+
+}  // namespace rtdb::cc

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cc/access_set.hpp"
+#include "cc/types.hpp"
+#include "db/types.hpp"
+#include "sim/priority.hpp"
+#include "sim/time.hpp"
+
+namespace rtdb::cc {
+
+// The concurrency-control view of one transaction attempt. Owned by the
+// transaction layer; protocols read the identity/priority/declared-set
+// fields and maintain the dynamic blocking/inheritance fields.
+struct CcTxn {
+  db::TxnId id{};
+  // Assigned once at arrival (earliest deadline = highest priority); fixed
+  // for the transaction's lifetime as the ceiling protocol requires.
+  sim::Priority base_priority{};
+  AccessSet access;
+
+  // ---- maintained by the controller ----
+  // Strongest priority currently inherited from transactions this one
+  // blocks; lowest() when none.
+  sim::Priority inherited = sim::Priority::lowest();
+  // Whether the transaction is currently blocked inside acquire().
+  bool blocked = false;
+  sim::TimePoint blocked_since{};
+
+  // ---- statistics (read by the performance monitor) ----
+  sim::Duration blocked_total{};
+  std::uint32_t block_count = 0;
+  // PCP only: times the transaction was denied although the requested
+  // object itself was unlocked (the "insurance premium" of total ordering).
+  std::uint32_t ceiling_blocks = 0;
+
+  // The priority the scheduler and protocols observe.
+  sim::Priority effective_priority() const {
+    return sim::Priority::stronger(base_priority, inherited);
+  }
+};
+
+}  // namespace rtdb::cc

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cc/two_phase.hpp"
+#include "sched/disk.hpp"
+#include "sim/time.hpp"
+#include "workload/config.hpp"
+
+namespace rtdb::core {
+
+// The synchronization protocol of a single-site system — the UI menu's
+// "concurrency control: locking, timestamp ordering, and priority-based".
+enum class Protocol : std::uint8_t {
+  kTwoPhase,                  // plain 2PL, FIFO queues          (curve L)
+  kTwoPhasePriority,          // 2PL, priority queues            (curve P)
+  kPriorityCeiling,           // the ceiling protocol            (curve C)
+  kPriorityCeilingExclusive,  // ablation: exclusive-only locks
+  kPriorityInheritance,       // basic inheritance (§3.1)
+  kHighPriority,              // 2PL-HP wound-based ([Abb88] line of work)
+  kTimestampOrdering,         // basic TO
+  kWaitDie,                   // age-based wait-die 2PL
+  kWoundWait,                 // age-based wound-wait 2PL
+};
+
+const char* to_string(Protocol protocol);
+
+// Distribution scheme of §4.
+enum class DistScheme : std::uint8_t {
+  kSingleSite,
+  kGlobalCeiling,  // one global ceiling manager, locks across the network
+  kLocalCeiling,   // per-site ceiling managers over full replication
+};
+
+const char* to_string(DistScheme scheme);
+
+// Everything the User Interface of the prototyping environment lets an
+// experimenter set: system configuration (sites, relative CPU / I/O /
+// communication costs), database configuration, load characteristics, and
+// the concurrency-control choice.
+struct SystemConfig {
+  // ---- system configuration ----
+  std::uint32_t sites = 1;
+  int cpus_per_site = 1;
+  int disks_per_site = sched::IoSubsystem::kUnlimited;  // parallel I/O
+  sim::Duration cpu_per_object = sim::Duration::units(2);
+  sim::Duration io_per_object = sim::Duration::units(1);
+  sim::Duration comm_delay = sim::Duration::zero();
+
+  // ---- database configuration ----
+  std::uint32_t db_objects = 200;
+  // Objects per locking granule (the UI's granularity knob); > 1 trades
+  // lock-management work for false conflicts. Single-site schemes only.
+  std::uint32_t lock_granularity = 1;
+  bool keep_version_history = false;  // multi-version temporal reads (§4)
+
+  // ---- concurrency control ----
+  Protocol protocol = Protocol::kPriorityCeiling;
+  DistScheme scheme = DistScheme::kSingleSite;
+  // Data placement under kGlobalCeiling: false (default) = the paper's
+  // fully replicated database with synchronous updates at commit; true =
+  // partitioned single-copy data with remote reads (extension).
+  bool global_partitioned = false;
+  cc::TwoPhaseLocking::VictimPolicy victim_policy =
+      cc::TwoPhaseLocking::VictimPolicy::kLowestPriority;
+  sim::Duration restart_backoff = sim::Duration::units(1);
+  // PCP dynamic-arrival backstop (see cc/pcp.hpp). Off = rely on deadline
+  // aborts to dissolve the (rare) arrival-induced cycles, as the 1990
+  // study implicitly did.
+  bool pcp_deadlock_backstop = true;
+
+  // ---- load characteristics ----
+  workload::WorkloadConfig workload;
+
+  // ---- experiment control ----
+  std::uint64_t seed = 1;
+  bool record_history = false;  // conflict-serializability oracle
+};
+
+}  // namespace rtdb::core

@@ -1,0 +1,52 @@
+#include "core/experiment.hpp"
+
+namespace rtdb::core {
+
+RunResult ExperimentRunner::run_once(const SystemConfig& config) {
+  System system{config};
+  system.run_to_completion();
+  RunResult result;
+  result.metrics = system.metrics();
+  result.restarts = system.total_restarts();
+  result.deadline_kills = system.total_deadline_kills();
+  result.protocol_aborts = system.total_protocol_aborts();
+  result.ceiling_denials = system.total_ceiling_denials();
+  result.dynamic_deadlocks = system.total_dynamic_deadlocks();
+  result.elapsed = system.kernel().now() - sim::TimePoint::origin();
+  return result;
+}
+
+std::vector<RunResult> ExperimentRunner::run_many(SystemConfig config,
+                                                  int runs) {
+  std::vector<RunResult> results;
+  results.reserve(static_cast<std::size_t>(runs));
+  const std::uint64_t base_seed = config.seed;
+  for (int i = 0; i < runs; ++i) {
+    config.seed = base_seed + static_cast<std::uint64_t>(i);
+    results.push_back(run_once(config));
+  }
+  return results;
+}
+
+stats::RunAggregate ExperimentRunner::aggregate(
+    std::span<const RunResult> results, const Extractor& extract) {
+  std::vector<double> samples;
+  samples.reserve(results.size());
+  for (const RunResult& r : results) samples.push_back(extract(r));
+  return stats::RunAggregate::over(samples);
+}
+
+double ExperimentRunner::mean_throughput(std::span<const RunResult> results) {
+  return aggregate(results, [](const RunResult& r) {
+           return r.metrics.throughput_objects_per_sec;
+         })
+      .mean;
+}
+
+double ExperimentRunner::mean_pct_missed(std::span<const RunResult> results) {
+  return aggregate(results,
+                   [](const RunResult& r) { return r.metrics.pct_missed; })
+      .mean;
+}
+
+}  // namespace rtdb::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/system.hpp"
+#include "stats/metrics.hpp"
+
+namespace rtdb::core {
+
+// The results of one run: the monitor's aggregated metrics plus the
+// protocol counters the figures and ablations report.
+struct RunResult {
+  stats::Metrics metrics;
+  std::uint64_t restarts = 0;
+  std::uint64_t deadline_kills = 0;
+  std::uint64_t protocol_aborts = 0;
+  std::uint64_t ceiling_denials = 0;
+  std::uint64_t dynamic_deadlocks = 0;
+  sim::Duration elapsed{};
+};
+
+// Runs experiment cells: one cell = one SystemConfig executed with
+// several seeds (the paper averages 10 runs per point).
+class ExperimentRunner {
+ public:
+  static constexpr int kDefaultRuns = 10;
+
+  // Builds a System from the config, runs the batch to completion, and
+  // collects results.
+  static RunResult run_once(const SystemConfig& config);
+
+  // Runs with seeds config.seed, config.seed + 1, ... (one per run).
+  static std::vector<RunResult> run_many(SystemConfig config,
+                                         int runs = kDefaultRuns);
+
+  // Aggregate any per-run scalar across results.
+  using Extractor = std::function<double(const RunResult&)>;
+  static stats::RunAggregate aggregate(std::span<const RunResult> results,
+                                       const Extractor& extract);
+
+  // The two headline measures.
+  static double mean_throughput(std::span<const RunResult> results);
+  static double mean_pct_missed(std::span<const RunResult> results);
+};
+
+}  // namespace rtdb::core

@@ -1,0 +1,290 @@
+#include "core/system.hpp"
+
+#include <cassert>
+
+#include "cc/hp2pl.hpp"
+#include "cc/tso.hpp"
+#include "cc/wait_die.hpp"
+
+namespace rtdb::core {
+
+namespace {
+
+const char* kProtocolNames[] = {"2PL",     "2PL-P",  "PCP",    "PCP-X",
+                                "2PL-PIP", "2PL-HP", "TSO",    "2PL-WD",
+                                "2PL-WW"};
+
+db::Placement placement_for(const SystemConfig& config) {
+  switch (config.scheme) {
+    case DistScheme::kSingleSite:
+      return db::Placement::kSingleSite;
+    case DistScheme::kGlobalCeiling:
+      return config.global_partitioned ? db::Placement::kPartitioned
+                                       : db::Placement::kFullyReplicated;
+    case DistScheme::kLocalCeiling:
+      return db::Placement::kFullyReplicated;
+  }
+  return db::Placement::kSingleSite;
+}
+
+workload::Assignment assignment_for(const SystemConfig& config) {
+  switch (config.scheme) {
+    case DistScheme::kSingleSite:
+      return workload::Assignment::kSingleSite;
+    case DistScheme::kGlobalCeiling:
+      return workload::Assignment::kUniformSite;
+    case DistScheme::kLocalCeiling:
+      return workload::Assignment::kHomeByWriteSet;
+  }
+  return workload::Assignment::kSingleSite;
+}
+
+}  // namespace
+
+const char* to_string(Protocol protocol) {
+  return kProtocolNames[static_cast<int>(protocol)];
+}
+
+const char* to_string(DistScheme scheme) {
+  switch (scheme) {
+    case DistScheme::kSingleSite:
+      return "single-site";
+    case DistScheme::kGlobalCeiling:
+      return "global-ceiling";
+    case DistScheme::kLocalCeiling:
+      return "local-ceiling";
+  }
+  return "?";
+}
+
+System::System(SystemConfig config)
+    : config_(config),
+      schema_(db::DatabaseConfig{
+          config.db_objects,
+          config.scheme == DistScheme::kSingleSite ? 1 : config.sites,
+          placement_for(config)}) {
+  assert(config_.scheme == DistScheme::kSingleSite || config_.sites >= 2);
+  assert(config_.lock_granularity >= 1);
+  assert((config_.scheme == DistScheme::kSingleSite ||
+          config_.lock_granularity == 1) &&
+         "coarse locking granules are a single-site feature");
+  config_.workload.assignment = assignment_for(config_);
+
+  switch (config_.scheme) {
+    case DistScheme::kSingleSite:
+      build_single_site();
+      break;
+    case DistScheme::kGlobalCeiling:
+      build_global_ceiling();
+      break;
+    case DistScheme::kLocalCeiling:
+      build_local_ceiling();
+      break;
+  }
+
+  generator_ = std::make_unique<workload::TransactionGenerator>(
+      kernel_, schema_, config_.workload, sim::RandomStream{config_.seed},
+      [this](txn::TransactionSpec spec) { submit(std::move(spec)); });
+}
+
+System::~System() = default;
+
+System::Site System::make_site_base(net::SiteId id, db::Placement placement) {
+  (void)placement;
+  Site site;
+  site.cpu = std::make_unique<sched::PreemptiveCpu>(
+      kernel_, config_.cpus_per_site, "cpu-" + std::to_string(id));
+  site.io = std::make_unique<sched::IoSubsystem>(
+      kernel_, config_.disks_per_site, "io-" + std::to_string(id));
+  site.rm = std::make_unique<db::ResourceManager>(
+      kernel_, schema_, id, *site.io, config_.io_per_object,
+      config_.keep_version_history);
+  return site;
+}
+
+std::unique_ptr<cc::ConcurrencyController> System::make_controller() {
+  switch (config_.protocol) {
+    case Protocol::kTwoPhase:
+      return std::make_unique<cc::TwoPhaseLocking>(
+          kernel_,
+          cc::TwoPhaseLocking::Options{cc::LockTable::QueuePolicy::kFifo,
+                                       false, config_.victim_policy});
+    case Protocol::kTwoPhasePriority:
+      return std::make_unique<cc::TwoPhaseLocking>(
+          kernel_,
+          cc::TwoPhaseLocking::Options{cc::LockTable::QueuePolicy::kPriority,
+                                       false, config_.victim_policy});
+    case Protocol::kPriorityCeiling:
+      return std::make_unique<cc::PriorityCeiling>(
+          kernel_, config_.db_objects,
+          cc::PriorityCeiling::Options{false, config_.pcp_deadlock_backstop});
+    case Protocol::kPriorityCeilingExclusive:
+      return std::make_unique<cc::PriorityCeiling>(
+          kernel_, config_.db_objects,
+          cc::PriorityCeiling::Options{true, config_.pcp_deadlock_backstop});
+    case Protocol::kPriorityInheritance:
+      return std::make_unique<cc::PriorityInheritance2PL>(
+          kernel_, config_.victim_policy);
+    case Protocol::kHighPriority:
+      return std::make_unique<cc::HighPriority2PL>(kernel_);
+    case Protocol::kTimestampOrdering:
+      return std::make_unique<cc::TimestampOrdering>(kernel_);
+    case Protocol::kWaitDie:
+      return std::make_unique<cc::WaitDie2PL>(kernel_);
+    case Protocol::kWoundWait:
+      return std::make_unique<cc::WoundWait2PL>(kernel_);
+  }
+  return nullptr;
+}
+
+void System::build_single_site() {
+  Site site = make_site_base(0, db::Placement::kSingleSite);
+  site.cc = make_controller();
+  site.executor = std::make_unique<txn::LocalExecutor>(
+      txn::LocalExecutor::Services{
+          &kernel_, site.cpu.get(), site.rm.get(), site.cc.get(),
+          config_.record_history ? &history_ : nullptr},
+      txn::LocalExecutor::Costs{config_.cpu_per_object,
+                                use_priority_scheduling(),
+                                config_.lock_granularity});
+  site.tm = std::make_unique<txn::TransactionManager>(
+      kernel_, *site.cc, *site.executor, monitor_,
+      txn::TransactionManager::Options{config_.restart_backoff});
+  site.tm->connect_cpu(*site.cpu);
+  sites_.push_back(std::move(site));
+}
+
+void System::build_global_ceiling() {
+  network_ = std::make_unique<net::Network>(kernel_, config_.sites,
+                                            config_.comm_delay);
+  constexpr net::SiteId kManagerSite = 0;
+  for (net::SiteId id = 0; id < config_.sites; ++id) {
+    Site site = make_site_base(id, schema_.placement());
+    site.server = std::make_unique<net::MessageServer>(kernel_, *network_, id);
+    site.rpc_client = std::make_unique<net::RpcClient>(*site.server);
+    site.rpc_dispatcher = std::make_unique<net::RpcDispatcher>(*site.server);
+    site.data_server = std::make_unique<dist::DataServer>(
+        *site.server, *site.rpc_dispatcher, *site.rm);
+    site.coordinator = std::make_unique<txn::CommitCoordinator>(*site.server);
+    auto client = std::make_unique<dist::GlobalCeilingClient>(
+        kernel_, *site.server, *site.rpc_client, kManagerSite);
+    site.executor = std::make_unique<dist::GlobalExecutor>(
+        dist::GlobalExecutor::Services{
+            &kernel_, site.cpu.get(), site.rm.get(), &schema_, client.get(),
+            site.server.get(), site.rpc_client.get(), site.coordinator.get(),
+            config_.record_history ? &history_ : nullptr},
+        dist::GlobalExecutor::Costs{config_.cpu_per_object,
+                                    use_priority_scheduling(),
+                                    sim::Duration::units(10000)});
+    site.cc = std::move(client);
+    site.tm = std::make_unique<txn::TransactionManager>(
+        kernel_, *site.cc, *site.executor, monitor_,
+        txn::TransactionManager::Options{config_.restart_backoff});
+    site.tm->connect_cpu(*site.cpu);
+    site.server->start();
+    sites_.push_back(std::move(site));
+  }
+  global_manager_ = std::make_unique<dist::GlobalCeilingManager>(
+      *sites_[kManagerSite].server, *sites_[kManagerSite].rpc_dispatcher,
+      config_.db_objects);
+}
+
+void System::build_local_ceiling() {
+  network_ = std::make_unique<net::Network>(kernel_, config_.sites,
+                                            config_.comm_delay);
+  for (net::SiteId id = 0; id < config_.sites; ++id) {
+    Site site = make_site_base(id, db::Placement::kFullyReplicated);
+    site.server = std::make_unique<net::MessageServer>(kernel_, *network_, id);
+    site.replication =
+        std::make_unique<dist::ReplicationManager>(*site.server, *site.rm);
+    site.recovery =
+        std::make_unique<dist::RecoveryManager>(*site.server, *site.rm);
+    site.cc = std::make_unique<cc::PriorityCeiling>(
+        kernel_, config_.db_objects,
+        cc::PriorityCeiling::Options{false, config_.pcp_deadlock_backstop});
+    site.executor = std::make_unique<dist::ReplicatedExecutor>(
+        dist::ReplicatedExecutor::Services{
+            &kernel_, site.cpu.get(), site.rm.get(), site.cc.get(),
+            site.replication.get(), nullptr},
+        dist::ReplicatedExecutor::Costs{config_.cpu_per_object,
+                                        use_priority_scheduling()});
+    site.tm = std::make_unique<txn::TransactionManager>(
+        kernel_, *site.cc, *site.executor, monitor_,
+        txn::TransactionManager::Options{config_.restart_backoff});
+    site.tm->connect_cpu(*site.cpu);
+    site.server->start();
+    sites_.push_back(std::move(site));
+  }
+}
+
+void System::submit(txn::TransactionSpec spec) {
+  assert(spec.home_site < sites_.size());
+  sites_[spec.home_site].tm->submit(std::move(spec));
+}
+
+void System::start() {
+  if (started_) return;
+  started_ = true;
+  generator_->start();
+}
+
+void System::run_to_completion() {
+  assert(config_.workload.periodic.empty() &&
+         "periodic sources never drain; drive the kernel with run_until");
+  start();
+  kernel_.run();
+}
+
+stats::Metrics System::metrics() const {
+  return stats::Metrics::compute(monitor_.records(),
+                                 kernel_.now() - sim::TimePoint::origin());
+}
+
+std::uint64_t System::total_restarts() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) n += site.tm->restarts();
+  return n;
+}
+
+std::uint64_t System::total_deadline_kills() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) n += site.tm->deadline_kills();
+  return n;
+}
+
+std::uint64_t System::total_protocol_aborts() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) n += site.cc->protocol_aborts();
+  if (global_manager_ != nullptr) {
+    n += global_manager_->protocol().protocol_aborts();
+  }
+  return n;
+}
+
+std::uint64_t System::total_ceiling_denials() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (const auto* pcp = dynamic_cast<const cc::PriorityCeiling*>(site.cc.get())) {
+      n += pcp->ceiling_denials();
+    }
+  }
+  if (global_manager_ != nullptr) {
+    n += global_manager_->protocol().ceiling_denials();
+  }
+  return n;
+}
+
+std::uint64_t System::total_dynamic_deadlocks() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (const auto* pcp = dynamic_cast<const cc::PriorityCeiling*>(site.cc.get())) {
+      n += pcp->dynamic_deadlocks();
+    }
+  }
+  if (global_manager_ != nullptr) {
+    n += global_manager_->protocol().dynamic_deadlocks();
+  }
+  return n;
+}
+
+}  // namespace rtdb::core

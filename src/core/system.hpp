@@ -1,0 +1,123 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cc/controller.hpp"
+#include "cc/pcp.hpp"
+#include "cc/serializability.hpp"
+#include "core/config.hpp"
+#include "db/database.hpp"
+#include "db/resource_manager.hpp"
+#include "dist/global_ceiling.hpp"
+#include "dist/local_ceiling.hpp"
+#include "dist/recovery.hpp"
+#include "dist/replication.hpp"
+#include "net/message_server.hpp"
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "sched/cpu.hpp"
+#include "sched/disk.hpp"
+#include "sim/kernel.hpp"
+#include "stats/metrics.hpp"
+#include "stats/monitor.hpp"
+#include "txn/manager.hpp"
+#include "txn/two_phase_commit.hpp"
+#include "workload/generator.hpp"
+
+namespace rtdb::core {
+
+// One fully wired instance of the prototyping environment: the kernel, the
+// per-site server stacks (CPU, I/O, resource manager, concurrency
+// controller, transaction manager, message server), the distribution
+// scheme's machinery, the transaction generator, and the performance
+// monitor. This is the programmatic equivalent of the paper's
+// Configuration Manager acting on the User Interface's settings.
+class System {
+ public:
+  explicit System(SystemConfig config);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // Starts the transaction generator without running the clock — for
+  // callers that drive the kernel themselves (e.g. run_until with periodic
+  // sources, which never drain). Idempotent.
+  void start();
+
+  // Generates the configured batch of transactions and runs until every
+  // one has committed or missed its deadline. Only valid without periodic
+  // sources (their streams never end).
+  void run_to_completion();
+
+  sim::Kernel& kernel() { return kernel_; }
+  const SystemConfig& config() const { return config_; }
+  const db::Database& schema() const { return schema_; }
+  stats::PerformanceMonitor& monitor() { return monitor_; }
+  const cc::HistoryRecorder* history() const {
+    return config_.record_history ? &history_ : nullptr;
+  }
+
+  stats::Metrics metrics() const;
+
+  // ---- per-site access (tests, examples) ----
+  struct Site {
+    std::unique_ptr<net::MessageServer> server;
+    std::unique_ptr<net::RpcClient> rpc_client;
+    std::unique_ptr<net::RpcDispatcher> rpc_dispatcher;
+    std::unique_ptr<sched::PreemptiveCpu> cpu;
+    std::unique_ptr<sched::IoSubsystem> io;
+    std::unique_ptr<db::ResourceManager> rm;
+    std::unique_ptr<cc::ConcurrencyController> cc;
+    std::unique_ptr<dist::ReplicationManager> replication;
+    std::unique_ptr<dist::RecoveryManager> recovery;
+    std::unique_ptr<dist::DataServer> data_server;
+    std::unique_ptr<txn::CommitCoordinator> coordinator;
+    std::unique_ptr<txn::TxnExecutor> executor;
+    std::unique_ptr<txn::TransactionManager> tm;
+  };
+  Site& site(net::SiteId id) { return sites_[id]; }
+  std::uint32_t site_count() const {
+    return static_cast<std::uint32_t>(sites_.size());
+  }
+  net::Network* network() { return network_.get(); }
+  const dist::GlobalCeilingManager* global_manager() const {
+    return global_manager_.get();
+  }
+  const workload::TransactionGenerator& generator() const {
+    return *generator_;
+  }
+
+  // ---- aggregate protocol counters (summed over sites) ----
+  std::uint64_t total_restarts() const;
+  std::uint64_t total_deadline_kills() const;
+  std::uint64_t total_protocol_aborts() const;
+  // PCP-specific (0 for other protocols).
+  std::uint64_t total_ceiling_denials() const;
+  std::uint64_t total_dynamic_deadlocks() const;
+
+ private:
+  void build_single_site();
+  void build_global_ceiling();
+  void build_local_ceiling();
+  Site make_site_base(net::SiteId id, db::Placement placement);
+  std::unique_ptr<cc::ConcurrencyController> make_controller();
+  bool use_priority_scheduling() const {
+    return config_.protocol != Protocol::kTwoPhase;
+  }
+  void submit(txn::TransactionSpec spec);
+
+  SystemConfig config_;
+  sim::Kernel kernel_;
+  db::Database schema_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<Site> sites_;
+  std::unique_ptr<dist::GlobalCeilingManager> global_manager_;
+  cc::HistoryRecorder history_;
+  stats::PerformanceMonitor monitor_;
+  std::unique_ptr<workload::TransactionGenerator> generator_;
+  bool started_ = false;
+};
+
+}  // namespace rtdb::core

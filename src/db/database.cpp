@@ -1,0 +1,47 @@
+#include "db/database.hpp"
+
+#include <cassert>
+
+namespace rtdb::db {
+
+Database::Database(DatabaseConfig config) : config_(config) {
+  assert(config_.object_count > 0);
+  assert(config_.site_count >= 1);
+  if (config_.placement == Placement::kSingleSite) {
+    assert(config_.site_count == 1);
+  }
+}
+
+SiteId Database::primary_site(ObjectId object) const {
+  assert(object < config_.object_count);
+  switch (config_.placement) {
+    case Placement::kSingleSite:
+      return 0;
+    case Placement::kPartitioned:
+    case Placement::kFullyReplicated:
+      return object % config_.site_count;
+  }
+  return 0;
+}
+
+bool Database::has_copy(SiteId site, ObjectId object) const {
+  assert(site < config_.site_count);
+  switch (config_.placement) {
+    case Placement::kSingleSite:
+    case Placement::kPartitioned:
+      return primary_site(object) == site;
+    case Placement::kFullyReplicated:
+      return true;  // "every data object is fully replicated at each site"
+  }
+  return false;
+}
+
+std::vector<ObjectId> Database::primaries_at(SiteId site) const {
+  std::vector<ObjectId> result;
+  for (ObjectId o = 0; o < config_.object_count; ++o) {
+    if (primary_site(o) == site) result.push_back(o);
+  }
+  return result;
+}
+
+}  // namespace rtdb::db

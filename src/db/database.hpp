@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/types.hpp"
+#include "net/network.hpp"
+
+namespace rtdb::db {
+
+using net::SiteId;
+
+// How object copies are placed across sites.
+enum class Placement : std::uint8_t {
+  kSingleSite,       // everything at site 0 (the single-site experiments)
+  kPartitioned,      // each object has exactly one copy, round-robin homed
+                     // (the global ceiling manager experiments)
+  kFullyReplicated,  // primary copy round-robin homed + a secondary copy at
+                     // every other site (the local ceiling experiments)
+};
+
+struct DatabaseConfig {
+  std::uint32_t object_count = 0;
+  std::uint32_t site_count = 1;
+  Placement placement = Placement::kSingleSite;
+};
+
+// The logical schema: which sites hold which copies of which objects.
+// Pure metadata — values live in the per-site ResourceManagers.
+class Database {
+ public:
+  explicit Database(DatabaseConfig config);
+
+  const DatabaseConfig& config() const { return config_; }
+  std::uint32_t object_count() const { return config_.object_count; }
+  std::uint32_t site_count() const { return config_.site_count; }
+  Placement placement() const { return config_.placement; }
+
+  // The site holding the primary (writable) copy of `object`.
+  SiteId primary_site(ObjectId object) const;
+
+  // Whether `site` holds any copy (primary or secondary) of `object`.
+  bool has_copy(SiteId site, ObjectId object) const;
+
+  bool is_primary(SiteId site, ObjectId object) const {
+    return primary_site(object) == site;
+  }
+
+  // All objects whose primary copy lives at `site`.
+  std::vector<ObjectId> primaries_at(SiteId site) const;
+
+ private:
+  DatabaseConfig config_;
+};
+
+}  // namespace rtdb::db

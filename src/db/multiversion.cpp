@@ -1,0 +1,65 @@
+#include "db/multiversion.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtdb::db {
+
+MultiVersionStore::MultiVersionStore(std::uint32_t object_count)
+    : history_(object_count) {
+  for (auto& versions : history_) {
+    versions.push_back(Version{});  // initial version at the origin
+  }
+}
+
+void MultiVersionStore::install(ObjectId object, Version version) {
+  assert(object < history_.size());
+  auto& versions = history_[object];
+  assert(!versions.empty());
+  assert(version.written_at >= versions.back().written_at);
+  assert(version.sequence > versions.back().sequence);
+  versions.push_back(version);
+}
+
+const Version& MultiVersionStore::latest(ObjectId object) const {
+  assert(object < history_.size());
+  return history_[object].back();
+}
+
+const Version& MultiVersionStore::read_at(ObjectId object,
+                                          sim::TimePoint at) const {
+  assert(object < history_.size());
+  const auto& versions = history_[object];
+  // Last version with written_at <= at; the initial version is at the
+  // origin so a read at/after the origin always finds one.
+  auto it = std::upper_bound(
+      versions.begin(), versions.end(), at,
+      [](sim::TimePoint t, const Version& v) { return t < v.written_at; });
+  assert(it != versions.begin());
+  return *(it - 1);
+}
+
+std::size_t MultiVersionStore::version_count(ObjectId object) const {
+  assert(object < history_.size());
+  return history_[object].size();
+}
+
+std::span<const Version> MultiVersionStore::versions_of(
+    ObjectId object) const {
+  assert(object < history_.size());
+  return history_[object];
+}
+
+void MultiVersionStore::prune_before(sim::TimePoint horizon) {
+  for (auto& versions : history_) {
+    // Keep the newest version written at or before the horizon (still
+    // visible) and everything after it.
+    auto it = std::upper_bound(
+        versions.begin(), versions.end(), horizon,
+        [](sim::TimePoint t, const Version& v) { return t < v.written_at; });
+    assert(it != versions.begin());
+    versions.erase(versions.begin(), it - 1);
+  }
+}
+
+}  // namespace rtdb::db

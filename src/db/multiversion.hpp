@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "db/types.hpp"
+#include "sim/time.hpp"
+
+namespace rtdb::db {
+
+// Multi-version history of object copies, the mechanism the paper sketches
+// in §4 for temporally consistent reads in a replicated system: "if the
+// system provides multiple versions of data objects, ensuring a temporally
+// consistent view becomes a real-time scheduling problem in which the time
+// lags in the distributed versions need to be controlled".
+//
+// Versions of each object are kept in commit-time order; read_at(t) returns
+// the version visible at time t, so a read-only transaction can read all
+// its objects "as of" one instant even while newer updates stream in.
+class MultiVersionStore {
+ public:
+  explicit MultiVersionStore(std::uint32_t object_count);
+
+  std::uint32_t object_count() const {
+    return static_cast<std::uint32_t>(history_.size());
+  }
+
+  // Installs a committed version. Versions of one object must arrive in
+  // increasing (written_at, sequence) order — replication applies primary
+  // commits in order, so this holds by construction.
+  void install(ObjectId object, Version version);
+
+  // Latest version (every object starts with an initial sequence-0 version
+  // written at the origin).
+  const Version& latest(ObjectId object) const;
+
+  // The version visible at time `at`: the newest version with
+  // written_at <= at.
+  const Version& read_at(ObjectId object, sim::TimePoint at) const;
+
+  std::size_t version_count(ObjectId object) const;
+
+  // The full retained history of one object, oldest first.
+  std::span<const Version> versions_of(ObjectId object) const;
+
+  // Drops versions that are invisible to any read at or after `horizon`
+  // (all but the newest version written before the horizon).
+  void prune_before(sim::TimePoint horizon);
+
+  // The staleness of object's latest local version relative to `now` —
+  // the "time lag" of §4.
+  sim::Duration lag(ObjectId object, sim::TimePoint now) const {
+    return now - latest(object).written_at;
+  }
+
+ private:
+  std::vector<std::vector<Version>> history_;
+};
+
+}  // namespace rtdb::db

@@ -1,0 +1,86 @@
+#include "db/resource_manager.hpp"
+
+#include <cassert>
+
+namespace rtdb::db {
+
+ResourceManager::ResourceManager(sim::Kernel& kernel, const Database& schema,
+                                 SiteId site, sched::IoSubsystem& io,
+                                 sim::Duration io_per_access,
+                                 bool keep_version_history)
+    : kernel_(kernel),
+      schema_(schema),
+      site_(site),
+      io_(io),
+      io_per_access_(io_per_access),
+      latest_(schema.object_count()) {
+  assert(site_ < schema_.site_count());
+  assert(!io_per_access_.is_negative());
+  if (keep_version_history) {
+    versions_ = std::make_unique<MultiVersionStore>(schema.object_count());
+  }
+}
+
+sim::Task<Version> ResourceManager::read(ObjectId object,
+                                         sim::Priority priority) {
+  assert(schema_.has_copy(site_, object));
+  if (!io_per_access_.is_zero()) {
+    co_await io_.io(io_per_access_, priority);
+  }
+  ++reads_;
+  co_return latest_[object];
+}
+
+sim::Task<std::vector<Version>> ResourceManager::commit_writes(
+    TxnId writer, std::span<const ObjectId> objects, sim::Priority priority) {
+  std::vector<Version> installed;
+  installed.reserve(objects.size());
+  for (const ObjectId object : objects) {
+    assert(schema_.is_primary(site_, object) &&
+           "writes must target the local primary copy");
+    if (!io_per_access_.is_zero()) {
+      co_await io_.io(io_per_access_, priority);
+    }
+    Version next{latest_[object].sequence + 1, writer, kernel_.now()};
+    install(object, next);
+    ++writes_;
+    installed.push_back(next);
+  }
+  co_return installed;
+}
+
+bool ResourceManager::apply_replica_update(ObjectId object, Version version) {
+  assert(schema_.has_copy(site_, object));
+  assert(!schema_.is_primary(site_, object) &&
+         "replica updates only apply to secondary copies");
+  if (version.sequence <= latest_[object].sequence) {
+    ++stale_replica_updates_;
+    return false;
+  }
+  install(object, version);
+  ++replica_applies_;
+  return true;
+}
+
+bool ResourceManager::apply_update(ObjectId object, Version version) {
+  assert(schema_.has_copy(site_, object));
+  if (version.sequence <= latest_[object].sequence) {
+    ++stale_replica_updates_;
+    return false;
+  }
+  install(object, version);
+  ++writes_;
+  return true;
+}
+
+const Version& ResourceManager::current(ObjectId object) const {
+  assert(schema_.has_copy(site_, object));
+  return latest_[object];
+}
+
+void ResourceManager::install(ObjectId object, Version version) {
+  latest_[object] = version;
+  if (versions_ != nullptr) versions_->install(object, version);
+}
+
+}  // namespace rtdb::db

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/multiversion.hpp"
+#include "db/types.hpp"
+#include "sched/disk.hpp"
+#include "sim/kernel.hpp"
+#include "sim/priority.hpp"
+#include "sim/task.hpp"
+
+namespace rtdb::db {
+
+// The Resource Manager of one site: owns the local copies of data objects
+// and performs the physical accesses, charging I/O through the site's
+// IoSubsystem (io_per_access == 0 models the memory-resident database used
+// in the distributed experiments).
+//
+// Optionally keeps the full version history (MultiVersionStore) to support
+// temporally consistent reads.
+class ResourceManager {
+ public:
+  ResourceManager(sim::Kernel& kernel, const Database& schema, SiteId site,
+                  sched::IoSubsystem& io, sim::Duration io_per_access,
+                  bool keep_version_history = false);
+
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  SiteId site() const { return site_; }
+  const Database& schema() const { return schema_; }
+
+  // Reads the local copy of `object` (which must exist at this site);
+  // charges one I/O at `priority`.
+  sim::Task<Version> read(ObjectId object, sim::Priority priority);
+
+  // Applies the write set of a committing transaction to the local
+  // *primary* copies, charging one I/O per object. Returns the versions
+  // installed (for replication).
+  sim::Task<std::vector<Version>> commit_writes(TxnId writer,
+                                                std::span<const ObjectId> objects,
+                                                sim::Priority priority);
+
+  // Applies a version propagated from a remote primary to the local
+  // secondary copy. Stale or duplicate versions (possible after message
+  // loss/reordering across objects) are ignored.
+  // Returns true if the version was applied.
+  bool apply_replica_update(ObjectId object, Version version);
+
+  // Applies an externally computed version to the local copy regardless of
+  // primary/secondary role — the synchronous-update path of the global
+  // ceiling scheme, where the writing site computes the version under a
+  // global lock and every copy installs it. Monotonic like replica updates.
+  bool apply_update(ObjectId object, Version version);
+
+  // Current committed version of the local copy; no I/O.
+  const Version& current(ObjectId object) const;
+
+  // Version history; non-null only when keep_version_history was set.
+  MultiVersionStore* version_history() { return versions_.get(); }
+  const MultiVersionStore* version_history() const { return versions_.get(); }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t replica_applies() const { return replica_applies_; }
+  std::uint64_t stale_replica_updates() const { return stale_replica_updates_; }
+
+ private:
+  void install(ObjectId object, Version version);
+
+  sim::Kernel& kernel_;
+  const Database& schema_;
+  SiteId site_;
+  sched::IoSubsystem& io_;
+  sim::Duration io_per_access_;
+  std::vector<Version> latest_;
+  std::unique_ptr<MultiVersionStore> versions_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t replica_applies_ = 0;
+  std::uint64_t stale_replica_updates_ = 0;
+};
+
+}  // namespace rtdb::db

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.hpp"
+
+namespace rtdb::db {
+
+// A data object in the database; objects are the locking granules.
+using ObjectId = std::uint32_t;
+
+// Globally unique transaction identifier (never reused within a run).
+struct TxnId {
+  static constexpr std::uint64_t kInvalid = 0;
+  std::uint64_t value = kInvalid;
+
+  bool valid() const { return value != kInvalid; }
+  friend bool operator==(TxnId, TxnId) = default;
+  friend bool operator<(TxnId a, TxnId b) { return a.value < b.value; }
+};
+
+// One committed state of a data object copy.
+struct Version {
+  // Per-object sequence number: 0 = initial, incremented by each commit of
+  // a writer on the primary copy. Replicas apply primary versions in order.
+  std::uint64_t sequence = 0;
+  TxnId writer{};
+  sim::TimePoint written_at{};
+
+  friend bool operator==(const Version&, const Version&) = default;
+};
+
+}  // namespace rtdb::db
+
+template <>
+struct std::hash<rtdb::db::TxnId> {
+  std::size_t operator()(rtdb::db::TxnId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,371 @@
+#include "dist/global_ceiling.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtdb::dist {
+
+using net::SiteId;
+
+// ---- GlobalCeilingManager ----
+
+GlobalCeilingManager::GlobalCeilingManager(net::MessageServer& server,
+                                           net::RpcDispatcher& rpc,
+                                           std::uint32_t object_count)
+    : server_(server), pcp_(server.kernel(), object_count) {
+  pcp_.set_hooks(cc::ControllerHooks{
+      [this](db::TxnId victim, cc::AbortReason reason) {
+        abort_mirror(victim, reason);
+      },
+      // Inherited priorities are not propagated to remote CPUs (the
+      // grant/wake ordering at the manager still honours them).
+      [](const cc::CcTxn&) {}});
+  server_.on<RegisterTxnMsg>([this](SiteId /*from*/, RegisterTxnMsg message) {
+    handle_register(std::move(message));
+  });
+  server_.on<ReleaseAllMsg>([this](SiteId /*from*/, ReleaseAllMsg message) {
+    handle_release(message.txn);
+  });
+  server_.on<EndTxnMsg>([this](SiteId /*from*/, EndTxnMsg message) {
+    handle_end(message.txn);
+  });
+  rpc.on<AcquireReq>([this](SiteId /*from*/, AcquireReq request,
+                            net::RpcServer::Responder respond) {
+    handle_acquire(std::move(request), std::move(respond));
+  });
+}
+
+void GlobalCeilingManager::handle_register(RegisterTxnMsg message) {
+  assert(!mirrors_.contains(message.txn));
+  auto mirror = std::make_unique<Mirror>();
+  mirror->ctx.id = db::TxnId{message.txn};
+  mirror->ctx.base_priority =
+      sim::Priority{message.priority_key, message.priority_tie};
+  mirror->ctx.access = cc::AccessSet::from_operations(message.operations);
+  pcp_.on_begin(mirror->ctx);
+  mirrors_.emplace(message.txn, std::move(mirror));
+  ++registrations_;
+}
+
+void GlobalCeilingManager::handle_release(std::uint64_t txn) {
+  auto it = mirrors_.find(txn);
+  if (it == mirrors_.end()) return;
+  Mirror& mirror = *it->second;
+  // Cancel grants still waiting (e.g. the home site hit the deadline while
+  // the request was queued here); each replies "denied" on unwind, which
+  // the (dead) caller ignores.
+  auto pending = mirror.pending;
+  mirror.pending.clear();
+  for (const sim::ProcessId pid : pending) {
+    if (server_.kernel().alive(pid)) server_.kernel().kill(pid);
+  }
+  if (!mirror.aborted) pcp_.release_all(mirror.ctx);
+}
+
+void GlobalCeilingManager::handle_end(std::uint64_t txn) {
+  auto it = mirrors_.find(txn);
+  if (it == mirrors_.end()) return;
+  Mirror& mirror = *it->second;
+  assert(mirror.pending.empty());
+  if (!mirror.aborted) pcp_.on_end(mirror.ctx);
+  mirrors_.erase(it);
+}
+
+void GlobalCeilingManager::handle_acquire(AcquireReq request,
+                                          net::RpcServer::Responder respond) {
+  ++acquire_requests_;
+  auto it = mirrors_.find(request.txn);
+  if (it == mirrors_.end() || it->second->aborted) {
+    ++denials_;
+    respond(std::any{AcquireResp{false}});
+    return;
+  }
+  Mirror& mirror = *it->second;
+  const sim::ProcessId pid = server_.kernel().spawn(
+      "gcm-acquire-" + std::to_string(request.txn),
+      serve_acquire(mirror, request, std::move(respond)));
+  mirror.pending.push_back(pid);
+}
+
+sim::Task<void> GlobalCeilingManager::serve_acquire(
+    Mirror& mirror, AcquireReq request, net::RpcServer::Responder respond) {
+  // Reply on every exit path; a kill (release/abort racing in) replies
+  // "denied" from the destructor.
+  struct ReplyGuard {
+    net::RpcServer::Responder respond;
+    GlobalCeilingManager* self;
+    Mirror* mirror;
+    sim::ProcessId pid;
+    bool granted = false;
+    bool sent = false;
+    void send() {
+      if (sent) return;
+      sent = true;
+      std::erase(mirror->pending, pid);
+      if (!granted) ++self->denials_;
+      respond(std::any{AcquireResp{granted}});
+    }
+    ~ReplyGuard() { send(); }
+  } reply{std::move(respond), this, &mirror,
+          server_.kernel().current()->id()};
+
+  try {
+    co_await pcp_.acquire(mirror.ctx, request.object, request.mode);
+    reply.granted = true;
+  } catch (const cc::TxnAborted&) {
+    // This very request closed a (dynamic-arrival) cycle and the mirror
+    // was chosen as victim: finish the abort on its behalf.
+    finish_abort(mirror);
+  }
+  reply.send();
+}
+
+void GlobalCeilingManager::abort_mirror(db::TxnId victim,
+                                        cc::AbortReason reason) {
+  auto it = mirrors_.find(victim.value);
+  assert(it != mirrors_.end());
+  Mirror& mirror = *it->second;
+  assert(!mirror.aborted);
+  const sim::Process* current = server_.kernel().current();
+  if (current != nullptr &&
+      std::find(mirror.pending.begin(), mirror.pending.end(), current->id()) !=
+          mirror.pending.end()) {
+    // The victim's own waiting grant is the running process: unwind it; its
+    // catch block completes the abort.
+    throw cc::TxnAborted{reason};
+  }
+  auto pending = mirror.pending;
+  mirror.pending.clear();
+  for (const sim::ProcessId pid : pending) server_.kernel().kill(pid);
+  finish_abort(mirror);
+}
+
+void GlobalCeilingManager::finish_abort(Mirror& mirror) {
+  if (mirror.aborted) return;
+  mirror.aborted = true;
+  auto pending = mirror.pending;
+  mirror.pending.clear();
+  for (const sim::ProcessId pid : pending) {
+    const sim::Process* current = server_.kernel().current();
+    if (current != nullptr && current->id() == pid) continue;
+    server_.kernel().kill(pid);
+  }
+  pcp_.release_all(mirror.ctx);
+  pcp_.on_end(mirror.ctx);
+}
+
+// ---- GlobalCeilingClient ----
+
+GlobalCeilingClient::GlobalCeilingClient(sim::Kernel& kernel,
+                                         net::MessageServer& server,
+                                         net::RpcClient& rpc,
+                                         net::SiteId manager_site)
+    : cc::ConcurrencyController(kernel),
+      server_(server),
+      rpc_(rpc),
+      manager_site_(manager_site) {}
+
+void GlobalCeilingClient::on_begin(cc::CcTxn& txn) {
+  RegisterTxnMsg message;
+  message.txn = txn.id.value;
+  message.priority_key = txn.base_priority.key();
+  message.priority_tie = txn.base_priority.tie();
+  const auto ops = txn.access.operations();
+  message.operations.assign(ops.begin(), ops.end());
+  server_.send(manager_site_, std::move(message));
+}
+
+sim::Task<void> GlobalCeilingClient::acquire(cc::CcTxn& txn,
+                                             db::ObjectId object,
+                                             cc::LockMode mode) {
+  // The whole round trip — two communication delays plus any remote
+  // ceiling blocking — counts as blocked time; it is exactly the
+  // synchronization delay the paper attributes to this scheme.
+  begin_block(txn);
+  struct EndBlock {
+    GlobalCeilingClient* self;
+    cc::CcTxn* txn;
+    ~EndBlock() { self->end_block(*txn); }
+  } guard{this, &txn};
+  auto response = co_await rpc_.call(
+      manager_site_, std::any{AcquireReq{txn.id.value, object, mode}});
+  assert(response.has_value());  // no client-side timeout in use
+  if (!std::any_cast<AcquireResp>(*response).granted) {
+    count_protocol_abort();
+    throw cc::TxnAborted{cc::AbortReason::kDeadlockVictim};
+  }
+  count_grant();
+}
+
+void GlobalCeilingClient::release_all(cc::CcTxn& txn) {
+  server_.send(manager_site_, ReleaseAllMsg{txn.id.value});
+}
+
+void GlobalCeilingClient::on_end(cc::CcTxn& txn) {
+  server_.send(manager_site_, EndTxnMsg{txn.id.value});
+}
+
+// ---- DataServer ----
+
+DataServer::DataServer(net::MessageServer& server, net::RpcDispatcher& rpc,
+                       db::ResourceManager& rm)
+    : server_(server),
+      rm_(rm),
+      participant_(
+          server,
+          txn::CommitParticipant::Callbacks{
+              [this](db::TxnId txn) { return staged_.contains(txn.value); },
+              [this](db::TxnId txn, bool commit) {
+                auto it = staged_.find(txn.value);
+                if (it == staged_.end()) return;
+                WriteSetMsg staged = std::move(it->second);
+                staged_.erase(it);
+                if (!commit) return;
+                if (!staged.versions.empty()) {
+                  // Replicated-synchronous: install the shipped versions.
+                  assert(staged.versions.size() == staged.objects.size());
+                  for (std::size_t i = 0; i < staged.objects.size(); ++i) {
+                    rm_.apply_update(staged.objects[i], staged.versions[i]);
+                  }
+                  ++applied_commits_;
+                  return;
+                }
+                // Partitioned: this owner computes the versions itself.
+                // Memory-resident in the distributed experiments — the
+                // apply is instantaneous; run in a process so a nonzero
+                // I/O configuration would also work.
+                server_.kernel().spawn(
+                    "apply-" + std::to_string(txn.value),
+                    [](db::ResourceManager& rm, db::TxnId txn,
+                       std::vector<db::ObjectId> objects,
+                       std::uint64_t& counter) -> sim::Task<void> {
+                      co_await rm.commit_writes(txn, objects,
+                                                sim::Priority::highest());
+                      ++counter;
+                    }(rm_, txn, std::move(staged.objects), applied_commits_));
+              }}) {
+  server_.on<WriteSetMsg>([this](SiteId /*from*/, WriteSetMsg message) {
+    staged_[message.txn] = std::move(message);
+  });
+  rpc.on<DataReadReq>([this](SiteId /*from*/, DataReadReq request,
+                             net::RpcServer::Responder respond) {
+    ++remote_reads_;
+    respond(std::any{DataReadResp{rm_.current(request.object)}});
+  });
+}
+
+// ---- GlobalExecutor ----
+
+GlobalExecutor::GlobalExecutor(Services services, Costs costs)
+    : services_(services), costs_(costs) {
+  assert(services_.kernel != nullptr && services_.cpu != nullptr &&
+         services_.rm != nullptr && services_.schema != nullptr &&
+         services_.cc != nullptr && services_.server != nullptr &&
+         services_.rpc != nullptr && services_.coordinator != nullptr);
+}
+
+sim::Priority GlobalExecutor::sched_priority(const cc::CcTxn& ctx) const {
+  return costs_.use_priority_scheduling ? ctx.effective_priority()
+                                        : sim::Priority{0, 0};
+}
+
+sim::Task<void> GlobalExecutor::run(txn::AttemptContext& attempt,
+                                    const txn::TransactionSpec& spec) {
+  cc::CcTxn& ctx = attempt.ctx;
+  services_.cc->on_begin(ctx);
+  attempt.began = true;
+  const SiteId home = spec.home_site;
+
+  for (const cc::Operation& op : spec.access.operations()) {
+    co_await services_.cc->acquire(ctx, op.object, op.mode);
+    if (services_.history != nullptr) {
+      services_.history->record(spec.id, op.object, op.mode);
+    }
+    if (services_.schema->has_copy(home, op.object)) {
+      co_await services_.rm->read(op.object, sched_priority(ctx));
+    } else {
+      // Partitioned placement, remote primary copy: one round trip.
+      auto response = co_await services_.rpc->call(
+          services_.schema->primary_site(op.object),
+          std::any{DataReadReq{op.object}});
+      assert(response.has_value());
+      (void)response;
+    }
+    co_await services_.cpu->execute(costs_.cpu_per_object,
+                                    sched_priority(ctx), &attempt.cpu_job);
+    attempt.cpu_job = {};
+  }
+
+  const auto writes = spec.access.write_set();
+  if (writes.empty()) co_return;
+
+  if (services_.schema->placement() == db::Placement::kFullyReplicated) {
+    // Synchronous replicated commit: compute the new versions under the
+    // global locks and install them at every site before releasing, so all
+    // copies stay identical ("every data object maintains most up-to-date
+    // value").
+    std::vector<db::Version> versions;
+    versions.reserve(writes.size());
+    for (const db::ObjectId object : writes) {
+      versions.push_back(db::Version{
+          services_.rm->current(object).sequence + 1, spec.id,
+          services_.kernel->now()});
+    }
+    std::vector<SiteId> participants;
+    for (SiteId site = 0; site < services_.schema->site_count(); ++site) {
+      if (site == home) continue;
+      services_.server->send(site,
+                             WriteSetMsg{spec.id.value, writes, versions});
+      participants.push_back(site);
+    }
+    const bool ok = co_await services_.coordinator->commit(
+        spec.id, participants, costs_.vote_timeout);
+    if (!ok) throw cc::TxnAborted{cc::AbortReason::kSystem};
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+      services_.rm->apply_update(writes[i], versions[i]);
+    }
+    co_return;
+  }
+
+  // Partitioned placement: 2PC across the owner sites of the write set.
+  std::vector<db::ObjectId> local_writes;
+  std::map<SiteId, std::vector<db::ObjectId>> remote_writes;
+  for (const db::ObjectId object : writes) {
+    const SiteId owner = services_.schema->primary_site(object);
+    if (owner == home) {
+      local_writes.push_back(object);
+    } else {
+      remote_writes[owner].push_back(object);
+    }
+  }
+  std::vector<SiteId> participants;
+  for (auto& [owner, objects] : remote_writes) {
+    services_.server->send(owner, WriteSetMsg{spec.id.value, objects, {}});
+    participants.push_back(owner);
+  }
+  const bool ok = co_await services_.coordinator->commit(
+      spec.id, participants, costs_.vote_timeout);
+  if (!ok) throw cc::TxnAborted{cc::AbortReason::kSystem};
+  if (!local_writes.empty()) {
+    co_await services_.rm->commit_writes(spec.id, local_writes,
+                                         sched_priority(ctx));
+  }
+}
+
+void GlobalExecutor::release(txn::AttemptContext& attempt,
+                             const txn::TransactionSpec& spec,
+                             bool committed) {
+  if (!attempt.began) return;
+  attempt.began = false;
+  services_.cc->release_all(attempt.ctx);
+  services_.cc->on_end(attempt.ctx);
+  if (services_.history != nullptr) {
+    if (committed) {
+      services_.history->commit(spec.id);
+    } else {
+      services_.history->abort(spec.id);
+    }
+  }
+}
+
+}  // namespace rtdb::dist

@@ -1,0 +1,45 @@
+#include "dist/recovery.hpp"
+
+namespace rtdb::dist {
+
+RecoveryManager::RecoveryManager(net::MessageServer& server,
+                                 db::ResourceManager& rm)
+    : server_(server), rm_(rm) {
+  server_.on<SyncRequestMsg>([this](net::SiteId from, SyncRequestMsg) {
+    serve_sync_request(from);
+  });
+  server_.on<SyncReplyMsg>([this](net::SiteId /*from*/, SyncReplyMsg reply) {
+    apply_sync_reply(std::move(reply));
+  });
+}
+
+void RecoveryManager::request_catch_up() {
+  ++catch_ups_;
+  const std::uint32_t sites = server_.network().site_count();
+  for (net::SiteId site = 0; site < sites; ++site) {
+    if (site == server_.site()) continue;
+    server_.send(site, SyncRequestMsg{});
+  }
+}
+
+void RecoveryManager::serve_sync_request(net::SiteId requester) {
+  ++served_;
+  SyncReplyMsg reply;
+  for (const db::ObjectId object : rm_.schema().primaries_at(server_.site())) {
+    reply.updates.push_back(ReplicaUpdateMsg{object, rm_.current(object)});
+  }
+  server_.send(requester, std::move(reply));
+}
+
+void RecoveryManager::apply_sync_reply(SyncReplyMsg reply) {
+  for (const ReplicaUpdateMsg& update : reply.updates) {
+    // Initial (sequence 0) versions carry no information; the monotonic
+    // apply would reject them anyway, but skip the call for clarity.
+    if (update.version.sequence == 0) continue;
+    if (rm_.apply_replica_update(update.object, update.version)) {
+      ++recovered_;
+    }
+  }
+}
+
+}  // namespace rtdb::dist

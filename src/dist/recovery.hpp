@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/resource_manager.hpp"
+#include "dist/replication.hpp"
+#include "net/message_server.hpp"
+
+namespace rtdb::dist {
+
+// Replica catch-up after an outage. The local-ceiling scheme's propagation
+// is fire-and-forget ("the time-out mechanism will unblock the sender" —
+// updates to a down site are simply lost), so a recovering site's
+// secondary copies can be arbitrarily stale until their objects happen to
+// be written again. The recovery manager closes that gap: on demand it
+// asks every other site for the current versions of that site's primary
+// copies and installs whatever is newer through the same monotonic apply
+// path replication uses.
+//
+// Wire messages:
+struct SyncRequestMsg {
+  // Empty: "send me the current versions of your primaries".
+};
+struct SyncReplyMsg {
+  std::vector<ReplicaUpdateMsg> updates;
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(net::MessageServer& server, db::ResourceManager& rm);
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  // Starts one catch-up round: a SyncRequest to every other site. Replies
+  // apply asynchronously as they arrive (one communication round trip per
+  // site). Call after the site rejoins the network.
+  void request_catch_up();
+
+  std::uint64_t catch_ups_started() const { return catch_ups_; }
+  std::uint64_t sync_requests_served() const { return served_; }
+  // Versions applied from sync replies that were newer than our copy.
+  std::uint64_t versions_recovered() const { return recovered_; }
+
+ private:
+  void serve_sync_request(net::SiteId requester);
+  void apply_sync_reply(SyncReplyMsg reply);
+
+  net::MessageServer& server_;
+  db::ResourceManager& rm_;
+  std::uint64_t catch_ups_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t recovered_ = 0;
+};
+
+}  // namespace rtdb::dist

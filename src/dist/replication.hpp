@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "db/resource_manager.hpp"
+#include "db/types.hpp"
+#include "net/message_server.hpp"
+
+namespace rtdb::dist {
+
+// One propagated primary-copy version.
+struct ReplicaUpdateMsg {
+  db::ObjectId object = 0;
+  db::Version version{};
+};
+
+// The replication side of the local-ceiling scheme (§4 restrictions 1-3):
+// the database is fully replicated; updates commit locally on the primary
+// copy and are then shipped asynchronously to the secondary copies at every
+// other site, which therefore hold (slightly) historical values.
+//
+// Secondary copies are applied without locking: the single-writer model
+// rules out write-write races on a copy, and readers of replicas explicitly
+// accept temporal inconsistency — the paper's trade for responsiveness.
+// The manager measures that staleness (the "time lag" of §4).
+class ReplicationManager {
+ public:
+  ReplicationManager(net::MessageServer& server, db::ResourceManager& rm);
+
+  ReplicationManager(const ReplicationManager&) = delete;
+  ReplicationManager& operator=(const ReplicationManager&) = delete;
+
+  // Ships the freshly committed versions of `objects` to every other site.
+  void propagate(std::span<const db::ObjectId> objects,
+                 std::span<const db::Version> versions);
+
+  std::uint64_t updates_sent() const { return sent_; }
+  std::uint64_t updates_applied() const { return applied_; }
+  std::uint64_t updates_stale() const { return stale_; }
+
+  // Observed replication lag (apply time minus primary commit time).
+  sim::Duration max_lag() const { return max_lag_; }
+  sim::Duration mean_lag() const {
+    return applied_ == 0
+               ? sim::Duration::zero()
+               : sim::Duration::ticks(total_lag_.as_ticks() /
+                                      static_cast<std::int64_t>(applied_));
+  }
+
+ private:
+  void apply(ReplicaUpdateMsg message);
+
+  net::MessageServer& server_;
+  db::ResourceManager& rm_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t applied_ = 0;
+  std::uint64_t stale_ = 0;
+  sim::Duration total_lag_{};
+  sim::Duration max_lag_{};
+};
+
+}  // namespace rtdb::dist

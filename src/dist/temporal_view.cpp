@@ -1,0 +1,66 @@
+#include "dist/temporal_view.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtdb::dist {
+
+TemporalView::TemporalView(sim::Kernel& kernel, const db::ResourceManager& rm,
+                           sim::Duration lag_bound)
+    : kernel_(kernel),
+      history_(*rm.version_history()),
+      lag_bound_(lag_bound) {
+  assert(rm.version_history() != nullptr &&
+         "TemporalView requires keep_version_history");
+  assert(!lag_bound_.is_negative());
+}
+
+const db::Version& TemporalView::read(db::ObjectId object) const {
+  sim::TimePoint at = safe_time();
+  if (at < sim::TimePoint::origin()) at = sim::TimePoint::origin();
+  return history_.read_at(object, at);
+}
+
+std::vector<db::Version> TemporalView::read_snapshot(
+    std::span<const db::ObjectId> objects) const {
+  std::vector<db::Version> result;
+  result.reserve(objects.size());
+  for (const db::ObjectId object : objects) result.push_back(read(object));
+  return result;
+}
+
+bool TemporalView::mutually_consistent(
+    const db::MultiVersionStore& history,
+    std::span<const db::ObjectId> objects,
+    std::span<const db::Version> versions) {
+  std::vector<const db::MultiVersionStore*> histories(objects.size(),
+                                                      &history);
+  return mutually_consistent(histories, objects, versions);
+}
+
+bool TemporalView::mutually_consistent(
+    std::span<const db::MultiVersionStore* const> histories,
+    std::span<const db::ObjectId> objects,
+    std::span<const db::Version> versions) {
+  assert(objects.size() == versions.size());
+  assert(histories.size() == objects.size());
+  // Version v of object o is current over [v.written_at, succ.written_at)
+  // where succ is o's next retained version (or forever for the newest).
+  // The set is consistent iff those windows share an instant:
+  // max(starts) < min(ends).
+  sim::TimePoint latest_start = sim::TimePoint::origin();
+  sim::TimePoint earliest_end = sim::TimePoint::max();
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const db::Version& v = versions[i];
+    const auto chain = histories[i]->versions_of(objects[i]);
+    const auto it = std::find(chain.begin(), chain.end(), v);
+    if (it == chain.end()) return false;  // not a retained version at all
+    latest_start = std::max(latest_start, v.written_at);
+    if (it + 1 != chain.end()) {
+      earliest_end = std::min(earliest_end, (it + 1)->written_at);
+    }
+  }
+  return latest_start < earliest_end;
+}
+
+}  // namespace rtdb::dist

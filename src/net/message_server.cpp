@@ -1,0 +1,43 @@
+#include "net/message_server.hpp"
+
+namespace rtdb::net {
+
+MessageServer::MessageServer(sim::Kernel& kernel, Network& network, SiteId site)
+    : kernel_(kernel), network_(network), site_(site) {}
+
+MessageServer::~MessageServer() {
+  // The kernel may already have drained; only kill a live dispatcher.
+  if (running_ && kernel_.alive(dispatcher_)) kernel_.kill(dispatcher_);
+}
+
+void MessageServer::start() {
+  if (running_) return;
+  running_ = true;
+  dispatcher_ = kernel_.spawn("msg-server-" + std::to_string(site_),
+                              dispatch_loop());
+}
+
+void MessageServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (kernel_.alive(dispatcher_)) kernel_.kill(dispatcher_);
+}
+
+sim::Task<void> MessageServer::dispatch_loop() {
+  auto& inbox = network_.inbox(site_);
+  for (;;) {
+    auto envelope = co_await inbox.receive();
+    // "When the MS retrieves a message, it wakes the sender process and
+    // forwards the message to the proper servers or TM."
+    if (envelope->on_retrieved) envelope->on_retrieved();
+    auto it = handlers_.find(std::type_index{envelope->body.type()});
+    if (it == handlers_.end()) {
+      ++unhandled_;
+      continue;
+    }
+    ++dispatched_;
+    it->second(std::move(*envelope));
+  }
+}
+
+}  // namespace rtdb::net

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <any>
+#include <cassert>
+#include <functional>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "sim/kernel.hpp"
+#include "sim/semaphore.hpp"
+#include "sim/task.hpp"
+
+namespace rtdb::net {
+
+// The per-site Message Server of the prototyping environment: a kernel
+// process that listens on the site's inbox and forwards each message to the
+// handler registered for its payload type (the paper's "forwards the
+// message to the proper servers or TM").
+//
+// Handlers run synchronously in the dispatcher; work that needs to block
+// must spawn its own process (the transaction manager does).
+class MessageServer {
+ public:
+  MessageServer(sim::Kernel& kernel, Network& network, SiteId site);
+  ~MessageServer();
+
+  MessageServer(const MessageServer&) = delete;
+  MessageServer& operator=(const MessageServer&) = delete;
+
+  SiteId site() const { return site_; }
+  sim::Kernel& kernel() { return kernel_; }
+  Network& network() { return network_; }
+
+  // Registers the handler for payloads of type T. One handler per type.
+  template <typename T>
+  void on(std::function<void(SiteId from, T message)> handler) {
+    const bool inserted =
+        handlers_
+            .emplace(std::type_index{typeid(T)},
+                     [handler = std::move(handler)](Envelope env) {
+                       handler(env.from, std::any_cast<T>(std::move(env.body)));
+                     })
+            .second;
+    assert(inserted && "handler for this message type already registered");
+    (void)inserted;
+  }
+
+  // Fire-and-forget send to `to`'s message server.
+  template <typename T>
+  void send(SiteId to, T message) {
+    network_.send(Envelope{site_, to, std::any{std::move(message)}, nullptr});
+  }
+
+  // Rendezvous send: completes with true once the destination Message
+  // Server retrieves the message, or false if `timeout` elapses first
+  // (e.g. the receiving site is down). This is the paper's synchronous
+  // Ada-style send with time-out unblocking.
+  template <typename T>
+  sim::Task<bool> send_sync(SiteId to, T message, sim::Duration timeout) {
+    auto ack = std::make_shared<sim::Semaphore>(kernel_, 0);
+    network_.send(Envelope{site_, to, std::any{std::move(message)},
+                           [ack] { ack->release(); }});
+    const sim::WakeStatus status = co_await ack->acquire_for(timeout);
+    co_return status == sim::WakeStatus::kOk;
+  }
+
+  // Starts the dispatcher process. Must be called before messages arrive;
+  // idempotent.
+  void start();
+  // Stops the dispatcher; pending inbox messages stay queued.
+  void stop();
+  bool running() const { return running_; }
+
+  std::uint64_t dispatched() const { return dispatched_; }
+  std::uint64_t unhandled() const { return unhandled_; }
+
+ private:
+  sim::Task<void> dispatch_loop();
+
+  sim::Kernel& kernel_;
+  Network& network_;
+  SiteId site_;
+  std::unordered_map<std::type_index, std::function<void(Envelope)>> handlers_;
+  sim::ProcessId dispatcher_{};
+  bool running_ = false;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t unhandled_ = 0;
+};
+
+}  // namespace rtdb::net

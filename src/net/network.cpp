@@ -1,0 +1,86 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+namespace rtdb::net {
+
+Network::Network(sim::Kernel& kernel, std::uint32_t site_count,
+                 sim::Duration default_delay)
+    : kernel_(kernel),
+      delays_(static_cast<std::size_t>(site_count) * site_count, default_delay),
+      up_(site_count, true) {
+  assert(site_count >= 1);
+  inboxes_.reserve(site_count);
+  for (std::uint32_t i = 0; i < site_count; ++i) {
+    inboxes_.push_back(std::make_unique<sim::Mailbox<Envelope>>(kernel));
+  }
+  // No delay from a site to itself.
+  for (std::uint32_t i = 0; i < site_count; ++i) {
+    delays_[static_cast<std::size_t>(i) * site_count + i] = sim::Duration::zero();
+  }
+}
+
+void Network::set_delay(SiteId from, SiteId to, sim::Duration delay) {
+  assert(from < site_count() && to < site_count());
+  assert(!delay.is_negative());
+  delays_[static_cast<std::size_t>(from) * site_count() + to] = delay;
+}
+
+void Network::set_all_delays(sim::Duration delay) {
+  for (SiteId a = 0; a < site_count(); ++a) {
+    for (SiteId b = 0; b < site_count(); ++b) {
+      if (a != b) set_delay(a, b, delay);
+    }
+  }
+}
+
+sim::Duration Network::delay(SiteId from, SiteId to) const {
+  assert(from < site_count() && to < site_count());
+  return delays_[static_cast<std::size_t>(from) * site_count() + to];
+}
+
+void Network::set_operational(SiteId site, bool up) {
+  assert(site < site_count());
+  up_[site] = up;
+}
+
+bool Network::operational(SiteId site) const {
+  assert(site < site_count());
+  return up_[site];
+}
+
+void Network::send(Envelope envelope) {
+  assert(envelope.from < site_count() && envelope.to < site_count());
+  ++sent_;
+  const sim::Duration d = delay(envelope.from, envelope.to);
+  if (envelope.from == envelope.to && d.is_zero()) {
+    deliver(std::move(envelope));
+    return;
+  }
+  kernel_.schedule_in(d, [this, env = std::move(envelope)]() mutable {
+    deliver(std::move(env));
+  });
+}
+
+void Network::broadcast(SiteId from, const std::any& body) {
+  for (SiteId to = 0; to < site_count(); ++to) {
+    if (to == from) continue;
+    send(Envelope{from, to, body, nullptr});
+  }
+}
+
+void Network::deliver(Envelope envelope) {
+  if (!up_[envelope.to]) {
+    ++dropped_;
+    return;
+  }
+  ++delivered_;
+  inboxes_[envelope.to]->send(std::move(envelope));
+}
+
+sim::Mailbox<Envelope>& Network::inbox(SiteId site) {
+  assert(site < site_count());
+  return *inboxes_[site];
+}
+
+}  // namespace rtdb::net

@@ -1,0 +1,53 @@
+#include "net/rpc.hpp"
+
+namespace rtdb::net {
+
+RpcClient::RpcClient(MessageServer& server) : server_(server) {
+  server_.on<RpcResponseMsg>([this](SiteId /*from*/, RpcResponseMsg message) {
+    on_response(std::move(message));
+  });
+}
+
+void RpcClient::on_response(RpcResponseMsg message) {
+  auto it = pending_.find(message.correlation);
+  if (it == pending_.end()) return;  // caller timed out or was killed
+  it->second->response = std::move(message.payload);
+  it->second->arrived.release();
+}
+
+sim::Task<std::optional<std::any>> RpcClient::call(
+    SiteId to, std::any request, std::optional<sim::Duration> timeout) {
+  const std::uint64_t correlation = next_correlation_++;
+  auto pending = std::make_shared<Pending>(server_.kernel());
+  pending_.emplace(correlation, pending);
+  // Deregister on every exit path (normal, timeout, caller killed).
+  struct Deregister {
+    RpcClient* client;
+    std::uint64_t correlation;
+    ~Deregister() { client->pending_.erase(correlation); }
+  } deregister{this, correlation};
+
+  server_.send(to, RpcRequestMsg{correlation, server_.site(), std::move(request)});
+  if (timeout.has_value()) {
+    const sim::WakeStatus status = co_await pending->arrived.acquire_for(*timeout);
+    if (status != sim::WakeStatus::kOk) co_return std::nullopt;
+  } else {
+    co_await pending->arrived.acquire();
+  }
+  co_return std::move(pending->response);
+}
+
+RpcServer::RpcServer(MessageServer& server, Handler handler)
+    : server_(server), handler_(std::move(handler)) {
+  server_.on<RpcRequestMsg>([this](SiteId from, RpcRequestMsg message) {
+    ++served_;
+    const std::uint64_t correlation = message.correlation;
+    const SiteId reply_to = message.reply_to;
+    Responder respond = [this, correlation, reply_to](std::any response) {
+      server_.send(reply_to, RpcResponseMsg{correlation, std::move(response)});
+    };
+    handler_(from, std::move(message.payload), std::move(respond));
+  });
+}
+
+}  // namespace rtdb::net

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <typeindex>
+#include <unordered_map>
+
+#include "net/message_server.hpp"
+#include "net/network.hpp"
+#include "sim/kernel.hpp"
+#include "sim/semaphore.hpp"
+#include "sim/task.hpp"
+
+namespace rtdb::net {
+
+// Correlated request/response on top of the message servers. Used by the
+// distributed ceiling protocols: a transaction manager calls the (possibly
+// remote) ceiling manager and blocks until the grant comes back.
+//
+// The server side hands each request a Responder that may be invoked
+// *later* — exactly what a lock manager needs to defer a grant until the
+// lock becomes available — and from any site-local context.
+
+struct RpcRequestMsg {
+  std::uint64_t correlation = 0;
+  SiteId reply_to = 0;
+  std::any payload;
+};
+
+struct RpcResponseMsg {
+  std::uint64_t correlation = 0;
+  std::any payload;
+};
+
+class RpcClient {
+ public:
+  // Registers the RpcResponseMsg handler on `server`; at most one RpcClient
+  // per MessageServer.
+  explicit RpcClient(MessageServer& server);
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // Sends `request` to `to` and suspends until the response arrives.
+  // Returns nullopt on timeout (when given). Kill-safe: a killed caller
+  // deregisters its pending call and a late response is dropped.
+  sim::Task<std::optional<std::any>> call(
+      SiteId to, std::any request,
+      std::optional<sim::Duration> timeout = std::nullopt);
+
+  std::size_t pending_calls() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    sim::Semaphore arrived;
+    std::optional<std::any> response;
+    explicit Pending(sim::Kernel& k) : arrived(k, 0) {}
+  };
+
+  void on_response(RpcResponseMsg message);
+
+  MessageServer& server_;
+  std::uint64_t next_correlation_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+};
+
+class RpcServer {
+ public:
+  // Invoke to answer the request; safe to call immediately or long after
+  // the handler returned (deferred grant).
+  using Responder = std::function<void(std::any response)>;
+  using Handler = std::function<void(SiteId from, std::any request, Responder respond)>;
+
+  RpcServer(MessageServer& server, Handler handler);
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  std::uint64_t requests_served() const { return served_; }
+
+ private:
+  MessageServer& server_;
+  Handler handler_;
+  std::uint64_t served_ = 0;
+};
+
+// Routes RPC requests by payload type, so several services (lock manager,
+// data server, ...) can share one site's RPC endpoint.
+class RpcDispatcher {
+ public:
+  explicit RpcDispatcher(MessageServer& server)
+      : server_{server, [this](SiteId from, std::any request,
+                               RpcServer::Responder respond) {
+                  dispatch(from, std::move(request), std::move(respond));
+                }} {}
+
+  template <typename T>
+  void on(std::function<void(SiteId from, T request, RpcServer::Responder respond)>
+              handler) {
+    handlers_.emplace(
+        std::type_index{typeid(T)},
+        [handler = std::move(handler)](SiteId from, std::any request,
+                                       RpcServer::Responder respond) {
+          handler(from, std::any_cast<T>(std::move(request)),
+                  std::move(respond));
+        });
+  }
+
+  std::uint64_t unhandled() const { return unhandled_; }
+
+ private:
+  void dispatch(SiteId from, std::any request, RpcServer::Responder respond) {
+    auto it = handlers_.find(std::type_index{request.type()});
+    if (it == handlers_.end()) {
+      ++unhandled_;
+      return;  // caller times out (or hangs by design without timeout)
+    }
+    it->second(from, std::move(request), std::move(respond));
+  }
+
+  RpcServer server_;
+  std::unordered_map<std::type_index,
+                     std::function<void(SiteId, std::any, RpcServer::Responder)>>
+      handlers_;
+  std::uint64_t unhandled_ = 0;
+};
+
+}  // namespace rtdb::net

@@ -1,0 +1,83 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtdb::sim {
+
+EventId EventQueue::schedule(TimePoint when, EventCallback callback) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.live = true;
+  s.callback = std::move(callback);
+  heap_push(HeapEntry{when.as_ticks(), next_seq_++, slot});
+  ++live_;
+  return EventId{slot, s.generation};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!pending(id)) return false;
+  Slot& s = slots_[id.slot];
+  s.live = false;
+  s.callback = nullptr;
+  // The heap entry stays; pop() discards it. The slot is recycled there too
+  // (not here) so the heap never refers to a reused slot.
+  --live_;
+  return true;
+}
+
+bool EventQueue::pending(EventId id) const {
+  return id.valid() && id.slot < slots_.size() &&
+         slots_[id.slot].generation == id.generation && slots_[id.slot].live;
+}
+
+std::optional<TimePoint> EventQueue::next_time() {
+  drop_dead_top();
+  if (heap_.empty()) return std::nullopt;
+  return TimePoint::at_ticks(heap_.front().time_ticks);
+}
+
+std::optional<EventQueue::ReadyEvent> EventQueue::pop() {
+  drop_dead_top();
+  if (heap_.empty()) return std::nullopt;
+  HeapEntry top = heap_pop();
+  Slot& s = slots_[top.slot];
+  assert(s.live);
+  ReadyEvent ready{TimePoint::at_ticks(top.time_ticks), std::move(s.callback)};
+  s.live = false;
+  s.callback = nullptr;
+  ++s.generation;
+  free_slots_.push_back(top.slot);
+  --live_;
+  return ready;
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
+    HeapEntry dead = heap_pop();
+    ++slots_[dead.slot].generation;
+    free_slots_.push_back(dead.slot);
+  }
+}
+
+void EventQueue::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+EventQueue::HeapEntry EventQueue::heap_pop() {
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  HeapEntry entry = heap_.back();
+  heap_.pop_back();
+  return entry;
+}
+
+}  // namespace rtdb::sim

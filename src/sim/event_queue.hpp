@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rtdb::sim {
+
+using EventCallback = std::function<void()>;
+
+// Handle to a scheduled event; generation-checked so a stale id (event
+// already fired or cancelled, slot reused) is detected and ignored.
+struct EventId {
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t generation = 0;
+
+  bool valid() const { return slot != kInvalidSlot; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+// Cancellable time-ordered event queue.
+//
+// Events at equal times fire in schedule order (FIFO), which together with
+// the integer clock makes every simulation run fully deterministic.
+// Cancellation is O(1): the slot is marked dead and the heap entry is
+// discarded lazily when popped.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventId schedule(TimePoint when, EventCallback callback);
+
+  // Returns true if the event was still pending and is now cancelled.
+  bool cancel(EventId id);
+
+  bool pending(EventId id) const;
+
+  // Number of live (non-cancelled) events.
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  // Earliest live event time; nullopt when empty.
+  std::optional<TimePoint> next_time();
+
+  struct ReadyEvent {
+    TimePoint time;
+    EventCallback callback;
+  };
+  // Removes and returns the earliest live event; nullopt when empty.
+  std::optional<ReadyEvent> pop();
+
+ private:
+  struct HeapEntry {
+    std::int64_t time_ticks;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool live = false;
+    EventCallback callback{};
+  };
+
+  static bool later(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time_ticks != b.time_ticks) return a.time_ticks > b.time_ticks;
+    return a.seq > b.seq;
+  }
+
+  void heap_push(HeapEntry entry);
+  HeapEntry heap_pop();
+  void drop_dead_top();
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace rtdb::sim

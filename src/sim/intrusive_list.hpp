@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace rtdb::sim {
+
+// Minimal intrusive doubly-linked list.
+//
+// T must expose public members `T* prev_` and `T* next_` (both initialised
+// to nullptr). Nodes are owned elsewhere; the list never allocates. Removal
+// of a known node is O(1), which is what wait-queue cancellation needs.
+template <typename T>
+class IntrusiveList {
+ public:
+  IntrusiveList() = default;
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_ == nullptr; }
+  std::size_t size() const { return size_; }
+  T* front() const { return head_; }
+  T* back() const { return tail_; }
+
+  void push_back(T& node) {
+    assert(!contains(node));
+    node.prev_ = tail_;
+    node.next_ = nullptr;
+    if (tail_ != nullptr) {
+      tail_->next_ = &node;
+    } else {
+      head_ = &node;
+    }
+    tail_ = &node;
+    ++size_;
+  }
+
+  void push_front(T& node) {
+    assert(!contains(node));
+    node.next_ = head_;
+    node.prev_ = nullptr;
+    if (head_ != nullptr) {
+      head_->prev_ = &node;
+    } else {
+      tail_ = &node;
+    }
+    head_ = &node;
+    ++size_;
+  }
+
+  // Inserts `node` immediately before `pos` (which must be linked).
+  void insert_before(T& pos, T& node) {
+    assert(contains(pos));
+    if (pos.prev_ == nullptr) {
+      push_front(node);
+      return;
+    }
+    node.prev_ = pos.prev_;
+    node.next_ = &pos;
+    pos.prev_->next_ = &node;
+    pos.prev_ = &node;
+    ++size_;
+  }
+
+  T* pop_front() {
+    T* node = head_;
+    if (node != nullptr) {
+      remove(*node);
+    }
+    return node;
+  }
+
+  void remove(T& node) {
+    assert(contains(node));
+    if (node.prev_ != nullptr) {
+      node.prev_->next_ = node.next_;
+    } else {
+      head_ = node.next_;
+    }
+    if (node.next_ != nullptr) {
+      node.next_->prev_ = node.prev_;
+    } else {
+      tail_ = node.prev_;
+    }
+    node.prev_ = nullptr;
+    node.next_ = nullptr;
+    --size_;
+  }
+
+  // Linear scan; intended for assertions and low-frequency membership tests.
+  bool contains(const T& node) const {
+    for (const T* it = head_; it != nullptr; it = it->next_) {
+      if (it == &node) return true;
+    }
+    return false;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (T* it = head_; it != nullptr;) {
+      T* next = it->next_;  // allow fn to unlink it
+      fn(*it);
+      it = next;
+    }
+  }
+
+ private:
+  T* head_ = nullptr;
+  T* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rtdb::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace rtdb::sim {
+
+// Transaction/task priority.
+//
+// Convention throughout the library: a *smaller* key means a *higher*
+// priority. Priorities are assigned from deadlines (earliest deadline =
+// highest priority = smallest key), so the key is naturally the deadline in
+// ticks; `tie` breaks equal deadlines deterministically (transaction id).
+//
+// All comparisons go through the named helpers below — never compare keys
+// with raw operators in protocol code, so "higher" is unambiguous.
+class Priority {
+ public:
+  constexpr Priority() = default;
+  constexpr Priority(std::int64_t key, std::uint32_t tie) : key_(key), tie_(tie) {}
+
+  // The weakest possible priority; also the identity for ceiling maxima.
+  static constexpr Priority lowest() {
+    return Priority{std::numeric_limits<std::int64_t>::max(),
+                    std::numeric_limits<std::uint32_t>::max()};
+  }
+  // The strongest possible priority.
+  static constexpr Priority highest() {
+    return Priority{std::numeric_limits<std::int64_t>::min(), 0};
+  }
+
+  constexpr std::int64_t key() const { return key_; }
+  constexpr std::uint32_t tie() const { return tie_; }
+
+  constexpr bool higher_than(Priority other) const {
+    return rank() < other.rank();
+  }
+  constexpr bool lower_than(Priority other) const {
+    return rank() > other.rank();
+  }
+  constexpr bool at_least(Priority other) const { return !lower_than(other); }
+
+  // Returns the higher (stronger) of two priorities; used when computing
+  // priority ceilings and inherited priorities.
+  static constexpr Priority stronger(Priority a, Priority b) {
+    return a.higher_than(b) ? a : b;
+  }
+
+  friend constexpr bool operator==(Priority, Priority) = default;
+
+  // Heap/sort comparator ordering by descending strength (highest first).
+  struct HigherFirst {
+    constexpr bool operator()(Priority a, Priority b) const {
+      return a.higher_than(b);
+    }
+  };
+
+ private:
+  constexpr std::pair<std::int64_t, std::uint32_t> rank() const {
+    return {key_, tie_};
+  }
+  std::int64_t key_ = std::numeric_limits<std::int64_t>::max();
+  std::uint32_t tie_ = std::numeric_limits<std::uint32_t>::max();
+};
+
+}  // namespace rtdb::sim

@@ -1,0 +1,19 @@
+#include "sim/process.hpp"
+
+namespace rtdb::sim {
+
+const char* to_string(ProcessState state) {
+  switch (state) {
+    case ProcessState::kCreated:
+      return "created";
+    case ProcessState::kRunning:
+      return "running";
+    case ProcessState::kWaiting:
+      return "waiting";
+    case ProcessState::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+}  // namespace rtdb::sim

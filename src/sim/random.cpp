@@ -1,0 +1,110 @@
+#include "sim/random.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace rtdb::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) {
+  return (v << k) | (v >> (64 - k));
+}
+
+}  // namespace
+
+RandomStream::RandomStream(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t RandomStream::next_u64() {
+  // xoshiro256**
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double RandomStream::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t RandomStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling for an unbiased draw.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double RandomStream::uniform_real(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+double RandomStream::exponential(double mean) {
+  assert(mean > 0);
+  // Inverse transform; 1 - u is in (0, 1] so the log is finite.
+  return -mean * std::log(1.0 - next_double());
+}
+
+Duration RandomStream::exponential_duration(Duration mean) {
+  assert(mean > Duration::zero());
+  return Duration::from_units(exponential(mean.as_units()));
+}
+
+bool RandomStream::bernoulli(double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  return next_double() < p;
+}
+
+std::vector<std::uint32_t> RandomStream::sample_without_replacement(
+    std::uint32_t n, std::uint32_t k) {
+  assert(k <= n);
+  // Partial Fisher-Yates over a sparse view of {0..n-1}: O(k) time/space.
+  std::unordered_map<std::uint32_t, std::uint32_t> displaced;
+  displaced.reserve(k * 2);
+  std::vector<std::uint32_t> result;
+  result.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::uint32_t>(
+        uniform_int(i, static_cast<std::int64_t>(n) - 1));
+    auto value_at = [&](std::uint32_t idx) {
+      auto it = displaced.find(idx);
+      return it == displaced.end() ? idx : it->second;
+    };
+    const std::uint32_t picked = value_at(j);
+    displaced[j] = value_at(i);
+    result.push_back(picked);
+  }
+  return result;
+}
+
+RandomStream RandomStream::fork(std::uint64_t stream_id) const {
+  std::uint64_t mix = seed_ ^ (stream_id * 0x9e3779b97f4a7c15ull + 0x1234567);
+  return RandomStream{splitmix64(mix)};
+}
+
+}  // namespace rtdb::sim

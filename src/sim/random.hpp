@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rtdb::sim {
+
+// Deterministic pseudo-random stream (xoshiro256** seeded via splitmix64).
+//
+// Implemented from scratch rather than with <random> distributions because
+// the standard distributions are implementation-defined: results would not
+// reproduce across standard libraries. Every experiment in this repository
+// is exactly reproducible from its seed on any platform.
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1) with 53 random bits.
+  double next_double();
+
+  // Uniform integer in [lo, hi], inclusive, unbiased.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  double uniform_real(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+  Duration exponential_duration(Duration mean);
+
+  bool bernoulli(double p);
+
+  // k distinct values drawn uniformly from {0, 1, ..., n-1}, in random
+  // order. Used to pick a transaction's data objects from the database.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+  // Derives an independent child stream. Based on the original seed and the
+  // stream id only, so forks are stable regardless of how many values have
+  // been drawn from the parent.
+  RandomStream fork(std::uint64_t stream_id) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t state_[4];
+};
+
+}  // namespace rtdb::sim

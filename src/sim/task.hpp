@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace rtdb::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromise;
+
+// Shared machinery for Task<T> and Task<void> promises: lazy start,
+// continuation chaining via symmetric transfer, and exception capture.
+template <typename Derived>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase<TaskPromise<T>> {
+  std::optional<T> value{};
+
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+
+  T take_result() {
+    if (this->exception) std::rethrow_exception(this->exception);
+    assert(value.has_value());
+    return std::move(*value);
+  }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase<TaskPromise<void>> {
+  Task<void> get_return_object();
+  void return_void() noexcept {}
+
+  void take_result() {
+    if (exception) std::rethrow_exception(exception);
+  }
+};
+
+}  // namespace detail
+
+// A lazily-started coroutine used both for top-level kernel processes and
+// for composable sub-operations (`co_await some_task()`). The Task object
+// owns the coroutine frame; awaiting does not transfer ownership, so the
+// usual pattern of awaiting a temporary keeps the frame alive for the whole
+// co_await expression.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() noexcept = default;
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  // Starts or resumes the coroutine; used by the kernel for top-level
+  // processes. Composed tasks are started by awaiting them instead.
+  void resume() {
+    assert(handle_ && !handle_.done());
+    handle_.resume();
+  }
+
+  // Exception that escaped the coroutine body, if any (valid once done()).
+  std::exception_ptr exception() const noexcept {
+    return handle_ ? handle_.promise().exception : nullptr;
+  }
+
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return !handle || handle.done(); }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> continuation) noexcept {
+      handle.promise().continuation = continuation;
+      return handle;  // symmetric transfer: run the child task now
+    }
+    T await_resume() { return handle.promise().take_result(); }
+  };
+
+  Awaiter operator co_await() const& noexcept { return Awaiter{handle_}; }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>{std::coroutine_handle<TaskPromise<T>>::from_promise(*this)};
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>{
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+}  // namespace rtdb::sim

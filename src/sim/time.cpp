@@ -1,0 +1,29 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace rtdb::sim {
+
+namespace {
+
+std::string format_ticks(std::int64_t ticks) {
+  const std::int64_t whole = ticks / kTicksPerUnit;
+  const std::int64_t frac = ticks % kTicksPerUnit;
+  char buf[48];
+  if (frac == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldtu", static_cast<long long>(whole));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld.%03lldtu",
+                  static_cast<long long>(whole),
+                  static_cast<long long>(frac < 0 ? -frac : frac));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return format_ticks(ticks_); }
+
+std::string TimePoint::to_string() const { return format_ticks(ticks_); }
+
+}  // namespace rtdb::sim

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rtdb::sim {
+
+// Virtual time for the discrete-event kernel.
+//
+// The paper reports costs and communication delays in abstract "time units".
+// One time unit is kTicksPerUnit ticks so fractional unit costs (e.g. a
+// communication delay of 0.5 units) remain exactly representable. For
+// throughput reporting we follow the convention that one time unit is one
+// millisecond, i.e. kUnitsPerSecond time units make a "second".
+inline constexpr std::int64_t kTicksPerUnit = 1000;
+inline constexpr std::int64_t kUnitsPerSecond = 1000;
+
+// A signed span of virtual time.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration ticks(std::int64_t t) { return Duration{t}; }
+  static constexpr Duration units(std::int64_t u) {
+    return Duration{u * kTicksPerUnit};
+  }
+  // Rounds to the nearest tick; useful for costs derived from real-valued
+  // distributions.
+  static Duration from_units(double u) {
+    return Duration{static_cast<std::int64_t>(std::llround(u * kTicksPerUnit))};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t as_ticks() const { return ticks_; }
+  constexpr double as_units() const {
+    return static_cast<double>(ticks_) / kTicksPerUnit;
+  }
+  constexpr double as_seconds() const {
+    return as_units() / kUnitsPerSecond;
+  }
+
+  constexpr bool is_zero() const { return ticks_ == 0; }
+  constexpr bool is_negative() const { return ticks_ < 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.ticks_ + b.ticks_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.ticks_ - b.ticks_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.ticks_ * k};
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) {
+    return a * k;
+  }
+  // Scaling by a real factor (kept as a named function so integer literals
+  // never face an int64/double overload ambiguity).
+  Duration scaled(double k) const {
+    return Duration{static_cast<std::int64_t>(
+        std::llround(static_cast<double>(ticks_) * k))};
+  }
+  constexpr Duration& operator+=(Duration b) {
+    ticks_ += b.ticks_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration b) {
+    ticks_ -= b.ticks_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t t) : ticks_(t) {}
+  std::int64_t ticks_ = 0;
+};
+
+// An absolute instant of virtual time. The kernel starts at TimePoint{0}.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint at_ticks(std::int64_t t) { return TimePoint{t}; }
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t as_ticks() const { return ticks_; }
+  constexpr double as_units() const {
+    return static_cast<double>(ticks_) / kTicksPerUnit;
+  }
+  constexpr double as_seconds() const {
+    return as_units() / kUnitsPerSecond;
+  }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.ticks_ + d.as_ticks()};
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint{t.ticks_ - d.as_ticks()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::ticks(a.ticks_ - b.ticks_);
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t t) : ticks_(t) {}
+  std::int64_t ticks_ = 0;
+};
+
+}  // namespace rtdb::sim

@@ -1,0 +1,15 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace rtdb::sim {
+
+void Tracer::print_to_stdout() {
+  set_sink([](TimePoint at, std::string_view source, std::string_view message) {
+    std::printf("t=%-12s [%.*s] %.*s\n", at.to_string().c_str(),
+                static_cast<int>(source.size()), source.data(),
+                static_cast<int>(message.size()), message.data());
+  });
+}
+
+}  // namespace rtdb::sim

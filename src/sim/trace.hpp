@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace rtdb::sim {
+
+// Lightweight debug/trace hook. Disabled by default; when enabled, every
+// emit() is forwarded to the sink (tests install a recording sink, the
+// examples install a printf sink). Callers must guard expensive message
+// construction with enabled().
+class Tracer {
+ public:
+  using Sink =
+      std::function<void(TimePoint, std::string_view source, std::string_view message)>;
+
+  bool enabled() const { return static_cast<bool>(sink_); }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void clear() { sink_ = nullptr; }
+
+  void emit(TimePoint at, std::string_view source, std::string_view message) const {
+    if (sink_) sink_(at, source, message);
+  }
+
+  // Installs a sink that prints "t=<time> [<source>] <message>" to stdout.
+  void print_to_stdout();
+
+ private:
+  Sink sink_{};
+};
+
+}  // namespace rtdb::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+
+namespace rtdb::sim {
+
+class Process;
+
+// Outcome a blocked process observes when it is woken.
+enum class WakeStatus : std::uint8_t {
+  kOk,         // the awaited condition was satisfied
+  kCancelled,  // the process was killed while blocked
+  kTimeout,    // a timed wait expired
+};
+
+// Thrown inside a process when it is killed while blocked (deadline miss,
+// deadlock-victim abort, explicit kill). Process code lets it propagate —
+// RAII cleanup along the unwind path releases any held resources — or
+// catches it at a well-defined boundary (the transaction wrapper does).
+class ProcessCancelled : public std::runtime_error {
+ public:
+  ProcessCancelled() : std::runtime_error("process cancelled") {}
+};
+
+class Waitable;
+
+// One blocked wait. Lives inside an awaiter object in the blocked
+// coroutine's frame; linked into the owning primitive's wait queue and
+// registered with the process so kill() can find and cancel it.
+struct WaitNode {
+  Process* proc = nullptr;
+  std::coroutine_handle<> handle{};
+  // Primitive currently queueing this node; null once the node has been
+  // dequeued (e.g. a wake is already scheduled).
+  Waitable* owner = nullptr;
+  WakeStatus status = WakeStatus::kOk;
+  // Set while a deferred wake (Kernel::wake_later) is scheduled, so kill()
+  // can cancel it and unwind the process immediately instead.
+  EventId pending_wake{};
+  // Scratch fields for the owner: which internal queue the node is in, and
+  // a back-pointer to the awaiter holding per-wait extras (timeout timer,
+  // grant flag, delivered item).
+  int tag = 0;
+  void* ctx = nullptr;
+  WaitNode* prev_ = nullptr;
+  WaitNode* next_ = nullptr;
+};
+
+// Interface every blocking primitive implements so the kernel can revoke a
+// pending wait when the blocked process is killed. cancel_wait() must
+// unlink the node from the primitive's queues and undo any grant already
+// attributed to it; it must not resume the process (the kernel does that).
+class Waitable {
+ public:
+  virtual void cancel_wait(WaitNode& node) noexcept = 0;
+
+ protected:
+  ~Waitable() = default;
+};
+
+}  // namespace rtdb::sim

@@ -1,0 +1,59 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtdb::stats {
+
+Metrics Metrics::compute(std::span<const TxnRecord> records,
+                         sim::Duration elapsed) {
+  Metrics m;
+  m.arrived = records.size();
+  std::uint64_t committed_objects = 0;
+  double response_sum = 0.0;
+  double blocked_sum = 0.0;
+  for (const TxnRecord& r : records) {
+    if (!r.processed) continue;  // still in flight at measurement end
+    ++m.processed;
+    m.total_restarts += r.aborts;
+    m.total_ceiling_blocks += r.ceiling_blocks;
+    blocked_sum += r.blocked.as_units();
+    if (r.committed) {
+      ++m.committed;
+      committed_objects += r.size;
+      response_sum += r.response().as_units();
+    }
+    if (r.missed_deadline) ++m.missed;
+  }
+  if (m.processed > 0) {
+    m.pct_missed = 100.0 * static_cast<double>(m.missed) /
+                   static_cast<double>(m.processed);
+    m.avg_blocked_units = blocked_sum / static_cast<double>(m.processed);
+  }
+  if (m.committed > 0) {
+    m.avg_response_units = response_sum / static_cast<double>(m.committed);
+  }
+  const double seconds = elapsed.as_seconds();
+  if (seconds > 0) {
+    m.throughput_objects_per_sec =
+        static_cast<double>(committed_objects) / seconds;
+  }
+  return m;
+}
+
+RunAggregate RunAggregate::over(std::span<const double> samples) {
+  RunAggregate a;
+  a.n = samples.size();
+  if (samples.empty()) return a;
+  a.min = *std::min_element(samples.begin(), samples.end());
+  a.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  a.mean = sum / static_cast<double>(a.n);
+  double sq = 0.0;
+  for (double s : samples) sq += (s - a.mean) * (s - a.mean);
+  a.stddev = a.n > 1 ? std::sqrt(sq / static_cast<double>(a.n - 1)) : 0.0;
+  return a;
+}
+
+}  // namespace rtdb::stats

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/monitor.hpp"
+
+namespace rtdb::stats {
+
+// Aggregated results of one run — the paper's two headline measures plus
+// supporting statistics.
+struct Metrics {
+  std::uint64_t arrived = 0;
+  std::uint64_t processed = 0;  // committed or aborted at the deadline
+  std::uint64_t committed = 0;
+  std::uint64_t missed = 0;
+
+  // "%missed = 100 x (deadline-missing) / (transactions processed)".
+  double pct_missed = 0.0;
+  // Normalized throughput: data objects accessed per second by *successful*
+  // transactions ("completion rate x transaction size").
+  double throughput_objects_per_sec = 0.0;
+  double avg_response_units = 0.0;  // committed transactions only
+  double avg_blocked_units = 0.0;   // per processed transaction
+  std::uint64_t total_restarts = 0;
+  std::uint64_t total_ceiling_blocks = 0;
+
+  static Metrics compute(std::span<const TxnRecord> records,
+                         sim::Duration elapsed);
+};
+
+// Mean / standard deviation / extrema over the runs of one experiment cell
+// (the paper averages 10 runs per point).
+struct RunAggregate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+
+  static RunAggregate over(std::span<const double> samples);
+};
+
+}  // namespace rtdb::stats

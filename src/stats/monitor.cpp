@@ -1,0 +1,60 @@
+#include "stats/monitor.hpp"
+
+#include <cassert>
+
+namespace rtdb::stats {
+
+TxnRecord& PerformanceMonitor::on_arrival(TxnRecord base) {
+  assert(base.id.valid());
+  assert(!index_.contains(base.id));
+  index_.emplace(base.id, records_.size());
+  records_.push_back(base);
+  return records_.back();
+}
+
+TxnRecord& PerformanceMonitor::record(db::TxnId id) {
+  auto it = index_.find(id);
+  assert(it != index_.end());
+  return records_[it->second];
+}
+
+const TxnRecord* PerformanceMonitor::find(db::TxnId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+void PerformanceMonitor::on_start(db::TxnId id, sim::TimePoint at) {
+  TxnRecord& r = record(id);
+  if (r.first_start == sim::TimePoint{} && r.aborts == 0) r.first_start = at;
+}
+
+void PerformanceMonitor::on_restart(db::TxnId id) { ++record(id).aborts; }
+
+void PerformanceMonitor::on_attempt_stats(db::TxnId id, sim::Duration blocked,
+                                          std::uint32_t ceiling_blocks) {
+  TxnRecord& r = record(id);
+  r.blocked += blocked;
+  r.ceiling_blocks += ceiling_blocks;
+}
+
+void PerformanceMonitor::on_commit(db::TxnId id, sim::TimePoint at) {
+  TxnRecord& r = record(id);
+  assert(!r.processed);
+  r.processed = true;
+  r.committed = true;
+  r.finish = at;
+  ++processed_;
+  ++committed_;
+}
+
+void PerformanceMonitor::on_deadline_miss(db::TxnId id, sim::TimePoint at) {
+  TxnRecord& r = record(id);
+  assert(!r.processed);
+  r.processed = true;
+  r.missed_deadline = true;
+  r.finish = at;
+  ++processed_;
+  ++missed_;
+}
+
+}  // namespace rtdb::stats

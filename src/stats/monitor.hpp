@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "db/types.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace rtdb::stats {
+
+// Everything the Performance Monitor records about one transaction — the
+// paper's list: arrival time, start time, total processing time, blocked
+// interval, whether the deadline was missed, and the number of aborts.
+struct TxnRecord {
+  db::TxnId id{};
+  net::SiteId site = 0;
+  bool read_only = false;
+  std::uint32_t size = 0;  // data objects accessed
+  sim::TimePoint arrival{};
+  sim::TimePoint deadline{};
+
+  sim::TimePoint first_start{};
+  sim::TimePoint finish{};
+  bool processed = false;   // committed or aborted at its deadline
+  bool committed = false;
+  bool missed_deadline = false;
+  std::uint32_t aborts = 0;  // protocol-initiated restarts
+  sim::Duration blocked{};   // summed over attempts
+  std::uint32_t ceiling_blocks = 0;
+
+  sim::Duration response() const { return finish - arrival; }
+};
+
+// The Performance Monitor: transaction managers report lifecycle events
+// here; experiments read the records and aggregate them into Metrics.
+class PerformanceMonitor {
+ public:
+  PerformanceMonitor() = default;
+  PerformanceMonitor(const PerformanceMonitor&) = delete;
+  PerformanceMonitor& operator=(const PerformanceMonitor&) = delete;
+
+  // Registers a transaction on arrival. Id must be new.
+  TxnRecord& on_arrival(TxnRecord base);
+
+  TxnRecord& record(db::TxnId id);
+  const TxnRecord* find(db::TxnId id) const;
+
+  void on_start(db::TxnId id, sim::TimePoint at);
+  void on_restart(db::TxnId id);
+  // Adds one attempt's blocking statistics (called as each attempt ends).
+  void on_attempt_stats(db::TxnId id, sim::Duration blocked,
+                        std::uint32_t ceiling_blocks);
+  void on_commit(db::TxnId id, sim::TimePoint at);
+  void on_deadline_miss(db::TxnId id, sim::TimePoint at);
+
+  const std::vector<TxnRecord>& records() const { return records_; }
+  std::size_t arrived() const { return records_.size(); }
+  std::size_t processed() const { return processed_; }
+  std::size_t committed() const { return committed_; }
+  std::size_t missed() const { return missed_; }
+
+ private:
+  std::vector<TxnRecord> records_;
+  std::unordered_map<db::TxnId, std::size_t> index_;
+  std::size_t processed_ = 0;
+  std::size_t committed_ = 0;
+  std::size_t missed_ = 0;
+};
+
+}  // namespace rtdb::stats

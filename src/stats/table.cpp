@@ -1,0 +1,77 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace rtdb::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+std::string Table::to_text(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  if (!title.empty()) {
+    out += "== " + title + " ==\n";
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += "  ";
+      // Right-align numbers-ish content by padding on the left.
+      out += std::string(widths[c] - cells[c].size(), ' ') + cells[c];
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out += std::string(rule, '-') + '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += ',';
+      out += cells[c];
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void Table::print(const std::string& title, std::ostream& out) const {
+  out << to_text(title) << '\n';
+}
+
+}  // namespace rtdb::stats

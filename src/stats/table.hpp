@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rtdb::stats {
+
+// Column-aligned text tables for the bench harness output (one table per
+// paper figure) with optional CSV emission for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Cell helpers; each add_row call must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  static std::string num(double value, int precision = 2);
+  static std::string num(std::uint64_t value);
+
+  // Renders with a title line, aligned columns, and a separator rule.
+  std::string to_text(const std::string& title) const;
+  std::string to_csv() const;
+
+  void print(const std::string& title, std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtdb::stats

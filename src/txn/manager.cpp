@@ -1,0 +1,193 @@
+#include "txn/manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtdb::txn {
+
+TransactionManager::TransactionManager(sim::Kernel& kernel,
+                                       cc::ConcurrencyController& cc,
+                                       TxnExecutor& executor,
+                                       stats::PerformanceMonitor& monitor,
+                                       Options options)
+    : kernel_(kernel),
+      cc_(cc),
+      executor_(executor),
+      monitor_(monitor),
+      options_(options) {
+  install_hooks();
+}
+
+TransactionManager::~TransactionManager() {
+  // Live transactions reference this manager from their coroutine frames;
+  // tear them down first.
+  abort_all();
+}
+
+void TransactionManager::install_hooks() {
+  cc_.set_hooks(cc::ControllerHooks{
+      [this](db::TxnId victim, cc::AbortReason reason) {
+        abort_attempt(victim, reason);
+      },
+      [this](const cc::CcTxn& ctx) {
+        if (cpu_ == nullptr) return;
+        auto it = live_.find(ctx.id);
+        if (it == live_.end()) return;
+        cpu_->set_priority(it->second->attempt.cpu_job,
+                           ctx.effective_priority());
+      }});
+}
+
+void TransactionManager::submit(TransactionSpec spec) {
+  assert(spec.id.valid());
+  assert(!live_.contains(spec.id));
+  assert(spec.deadline > kernel_.now());
+
+  stats::TxnRecord record;
+  record.id = spec.id;
+  record.site = spec.home_site;
+  record.read_only = spec.read_only;
+  record.size = spec.size();
+  record.arrival = spec.arrival;
+  record.deadline = spec.deadline;
+  monitor_.on_arrival(record);
+
+  auto live = std::make_unique<Live>();
+  live->spec = std::move(spec);
+  Live& ref = *live;
+  live_.emplace(ref.spec.id, std::move(live));
+
+  ref.watchdog = kernel_.schedule_at(
+      ref.spec.deadline, [this, id = ref.spec.id] { deadline_expired(id); });
+  start_attempt(ref);
+}
+
+void TransactionManager::start_attempt(Live& live) {
+  live.phase = Phase::kRunning;
+  live.restart_event = {};
+  // Fresh cc view per attempt; identity and priority are stable.
+  live.attempt = AttemptContext{};
+  live.attempt.ctx.id = live.spec.id;
+  live.attempt.ctx.base_priority = live.spec.priority;
+  live.attempt.ctx.access = live.spec.access;
+  live.pid = kernel_.spawn("txn-" + std::to_string(live.spec.id.value),
+                           attempt_body(live));
+  monitor_.on_start(live.spec.id, kernel_.now());
+}
+
+sim::Task<void> TransactionManager::attempt_body(Live& live) {
+  bool committed = false;
+  bool restart = false;
+  cc::AbortReason reason = cc::AbortReason::kSystem;
+  try {
+    co_await executor_.run(live.attempt, live.spec);
+    committed = true;
+  } catch (const cc::TxnAborted& aborted) {
+    restart = true;
+    reason = aborted.reason();
+  }
+  // Kill paths (deadline, hook abort) unwind past this point with
+  // ProcessCancelled; their cleanup runs in deadline_expired /
+  // abort_attempt instead.
+  collect_attempt_stats(live);
+  executor_.release(live.attempt, live.spec, committed);
+  if (committed) {
+    finish(live, true);
+  } else {
+    assert(restart);
+    (void)restart;
+    monitor_.on_restart(live.spec.id);
+    ++restarts_;
+    schedule_restart(live, reason);
+  }
+}
+
+void TransactionManager::abort_attempt(db::TxnId victim,
+                                       cc::AbortReason reason) {
+  auto it = live_.find(victim);
+  assert(it != live_.end() && "abort hook for unknown transaction");
+  Live& live = *it->second;
+  assert(live.phase == Phase::kRunning);
+  if (kernel_.current() != nullptr && kernel_.current()->id() == live.pid) {
+    // The victim is the currently running attempt (it closed the cycle
+    // itself): deliver the abort as an exception so its own body restarts.
+    throw cc::TxnAborted{reason};
+  }
+  kernel_.kill(live.pid);
+  collect_attempt_stats(live);
+  executor_.release(live.attempt, live.spec, /*committed=*/false);
+  monitor_.on_restart(live.spec.id);
+  ++restarts_;
+  schedule_restart(live, reason);
+}
+
+void TransactionManager::schedule_restart(Live& live, cc::AbortReason reason) {
+  live.phase = Phase::kAwaitingRestart;
+  live.restart_event = {};
+  ++live.attempts;
+  // Age-based dies (wait-die) re-collide with the same older holder if
+  // retried immediately — a restart livelock; back off exponentially with
+  // the attempt count. Other abort reasons (deadlock victim, wound, TSO)
+  // change the state that caused them, so the flat backoff suffices.
+  sim::Duration backoff = options_.restart_backoff;
+  if (reason == cc::AbortReason::kAgeBased) {
+    const std::uint32_t shift = std::min<std::uint32_t>(live.attempts, 6);
+    backoff = backoff * static_cast<std::int64_t>(1u << shift);
+  }
+  const sim::TimePoint at = kernel_.now() + backoff;
+  if (at >= live.spec.deadline) {
+    // The watchdog will fire first and record the miss; nothing to do.
+    return;
+  }
+  live.restart_event = kernel_.schedule_at(at, [this, id = live.spec.id] {
+    auto it = live_.find(id);
+    if (it == live_.end()) return;
+    start_attempt(*it->second);
+  });
+}
+
+void TransactionManager::deadline_expired(db::TxnId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;  // committed at this very instant
+  Live& live = *it->second;
+  ++deadline_kills_;
+  if (live.phase == Phase::kRunning) {
+    kernel_.kill(live.pid);
+    collect_attempt_stats(live);
+    executor_.release(live.attempt, live.spec, /*committed=*/false);
+  } else if (live.restart_event.valid()) {
+    kernel_.cancel_event(live.restart_event);
+  }
+  monitor_.on_deadline_miss(id, kernel_.now());
+  live_.erase(it);
+}
+
+void TransactionManager::finish(Live& live, bool committed) {
+  assert(committed);
+  (void)committed;
+  kernel_.cancel_event(live.watchdog);
+  monitor_.on_commit(live.spec.id, kernel_.now());
+  live_.erase(live.spec.id);
+}
+
+void TransactionManager::collect_attempt_stats(Live& live) {
+  monitor_.on_attempt_stats(live.spec.id, live.attempt.ctx.blocked_total,
+                            live.attempt.ctx.ceiling_blocks);
+}
+
+void TransactionManager::abort_all() {
+  while (!live_.empty()) {
+    auto it = live_.begin();
+    Live& live = *it->second;
+    kernel_.cancel_event(live.watchdog);
+    if (live.phase == Phase::kRunning) {
+      if (kernel_.alive(live.pid)) kernel_.kill(live.pid);
+      executor_.release(live.attempt, live.spec, /*committed=*/false);
+    } else if (live.restart_event.valid()) {
+      kernel_.cancel_event(live.restart_event);
+    }
+    live_.erase(it);
+  }
+}
+
+}  // namespace rtdb::txn

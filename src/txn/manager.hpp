@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "cc/controller.hpp"
+#include "sched/cpu.hpp"
+#include "sim/kernel.hpp"
+#include "stats/monitor.hpp"
+#include "txn/transaction.hpp"
+
+namespace rtdb::txn {
+
+// The Transaction Manager of one site: spawns one kernel process per
+// transaction attempt ("a separate process for each transaction is created
+// for concurrent execution"), arms the hard-deadline watchdog, restarts
+// protocol-aborted attempts, and reports every lifecycle event to the
+// Performance Monitor.
+//
+// Hard-deadline semantics (§3.2): "transactions that miss the deadline are
+// aborted, and disappear from the system" — the watchdog kills the attempt
+// at the deadline, releases everything it held, and records the miss.
+class TransactionManager {
+ public:
+  struct Options {
+    // Delay before a protocol-aborted attempt (deadlock victim, wound,
+    // timestamp rejection) is restarted.
+    sim::Duration restart_backoff = sim::Duration::units(1);
+  };
+
+  TransactionManager(sim::Kernel& kernel, cc::ConcurrencyController& cc,
+                     TxnExecutor& executor, stats::PerformanceMonitor& monitor)
+      : TransactionManager(kernel, cc, executor, monitor, Options{}) {}
+  TransactionManager(sim::Kernel& kernel, cc::ConcurrencyController& cc,
+                     TxnExecutor& executor, stats::PerformanceMonitor& monitor,
+                     Options options);
+  ~TransactionManager();
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  // Propagate inherited priorities to this CPU (optional but recommended:
+  // without it, inheritance affects lock decisions but not execution).
+  void connect_cpu(sched::PreemptiveCpu& cpu) { cpu_ = &cpu; }
+
+  // Accepts a transaction: records its arrival, starts the first attempt,
+  // and arms the watchdog. The spec's arrival/deadline must be >= now.
+  void submit(TransactionSpec spec);
+
+  std::size_t live_count() const { return live_.size(); }
+  std::uint64_t restarts() const { return restarts_; }
+  std::uint64_t deadline_kills() const { return deadline_kills_; }
+
+  // Kills every live transaction (teardown between experiment runs).
+  void abort_all();
+
+ private:
+  enum class Phase : std::uint8_t { kRunning, kAwaitingRestart };
+
+  struct Live {
+    TransactionSpec spec;
+    AttemptContext attempt;
+    Phase phase = Phase::kRunning;
+    std::uint32_t attempts = 0;
+    sim::ProcessId pid{};
+    sim::EventId watchdog{};
+    sim::EventId restart_event{};
+  };
+
+  void install_hooks();
+  void start_attempt(Live& live);
+  sim::Task<void> attempt_body(Live& live);
+  // Controller hook: abort (and restart) another transaction's attempt.
+  void abort_attempt(db::TxnId victim, cc::AbortReason reason);
+  void schedule_restart(Live& live, cc::AbortReason reason);
+  void deadline_expired(db::TxnId id);
+  void finish(Live& live, bool committed);
+  void collect_attempt_stats(Live& live);
+
+  sim::Kernel& kernel_;
+  cc::ConcurrencyController& cc_;
+  TxnExecutor& executor_;
+  stats::PerformanceMonitor& monitor_;
+  Options options_;
+  sched::PreemptiveCpu* cpu_ = nullptr;
+  std::unordered_map<db::TxnId, std::unique_ptr<Live>> live_;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t deadline_kills_ = 0;
+};
+
+}  // namespace rtdb::txn

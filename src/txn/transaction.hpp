@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cc/access_set.hpp"
+#include "cc/controller.hpp"
+#include "cc/serializability.hpp"
+#include "cc/txn_ctx.hpp"
+#include "db/resource_manager.hpp"
+#include "db/types.hpp"
+#include "net/network.hpp"
+#include "sched/cpu.hpp"
+#include "sim/kernel.hpp"
+#include "sim/priority.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace rtdb::txn {
+
+// Immutable description of one transaction, fixed at arrival.
+struct TransactionSpec {
+  db::TxnId id{};
+  net::SiteId home_site = 0;
+  bool read_only = false;
+  cc::AccessSet access;
+  sim::TimePoint arrival{};
+  sim::TimePoint deadline{};
+  // Assigned at arrival: earliest deadline = highest priority, fixed for
+  // the transaction's lifetime.
+  sim::Priority priority{};
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(access.size());
+  }
+};
+
+// Per-attempt mutable state shared between the TransactionManager and the
+// executor.
+struct AttemptContext {
+  cc::CcTxn ctx;
+  // The attempt's current CPU job, published by the executor so priority
+  // inheritance can be propagated to the scheduler mid-computation.
+  sched::JobId cpu_job{};
+  // Set by the executor once the controller saw on_begin; release() is a
+  // no-op before that (an attempt can be killed before it ever ran).
+  bool began = false;
+};
+
+// Executes transaction attempts against a site's services. The manager
+// owns the lifecycle (watchdog, restarts, statistics); the executor owns
+// the body (which differs between the single-site system and the two
+// distributed ceiling schemes).
+//
+// Contract per attempt:
+//   run()      returns normally => the transaction committed;
+//              throws cc::TxnAborted => protocol restart;
+//              unwinds with ProcessCancelled => the attempt was killed.
+//   release()  called exactly once after run() ended by any path (by the
+//              body on normal/self-abort paths, by the manager after a
+//              kill); must synchronously free everything the attempt held.
+class TxnExecutor {
+ public:
+  virtual ~TxnExecutor() = default;
+  virtual sim::Task<void> run(AttemptContext& attempt,
+                              const TransactionSpec& spec) = 0;
+  virtual void release(AttemptContext& attempt, const TransactionSpec& spec,
+                       bool committed) = 0;
+};
+
+// The standard single-site body from §3: for each declared operation,
+// acquire the lock, read the object (one I/O), compute (cpu_per_object);
+// at commit, write the write set (one I/O per object) and release — a
+// strict two-phase schedule.
+class LocalExecutor : public TxnExecutor {
+ public:
+  struct Services {
+    sim::Kernel* kernel = nullptr;
+    sched::PreemptiveCpu* cpu = nullptr;
+    db::ResourceManager* rm = nullptr;
+    cc::ConcurrencyController* cc = nullptr;
+    cc::HistoryRecorder* history = nullptr;  // optional oracle
+  };
+  struct Costs {
+    sim::Duration cpu_per_object{};
+    // When false (the paper's plain-2PL configuration "L"), transactions
+    // compete for CPU and disk without priorities.
+    bool use_priority_scheduling = true;
+    // Locking granularity (the UI's "database ... granularity" knob):
+    // objects per locking granule. Locks and declared sets operate on
+    // granule ids (object / granularity); physical reads and writes stay
+    // per-object. 1 = object-level locking.
+    std::uint32_t lock_granularity = 1;
+  };
+
+  LocalExecutor(Services services, Costs costs);
+
+  sim::Task<void> run(AttemptContext& attempt,
+                      const TransactionSpec& spec) override;
+  void release(AttemptContext& attempt, const TransactionSpec& spec,
+               bool committed) override;
+
+  // The priority the CPU/disk schedulers see for this attempt.
+  sim::Priority sched_priority(const cc::CcTxn& ctx) const;
+
+ private:
+  Services services_;
+  Costs costs_;
+};
+
+}  // namespace rtdb::txn

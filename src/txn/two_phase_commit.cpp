@@ -1,0 +1,72 @@
+#include "txn/two_phase_commit.hpp"
+
+#include <cassert>
+
+namespace rtdb::txn {
+
+CommitParticipant::CommitParticipant(net::MessageServer& server,
+                                     Callbacks callbacks)
+    : server_(server), callbacks_(std::move(callbacks)) {
+  server_.on<PrepareMsg>([this](net::SiteId /*from*/, PrepareMsg msg) {
+    ++prepares_;
+    const bool yes = callbacks_.vote_yes
+                         ? callbacks_.vote_yes(db::TxnId{msg.txn})
+                         : true;
+    server_.send(msg.coordinator, VoteMsg{msg.txn, server_.site(), yes});
+  });
+  server_.on<DecisionMsg>([this](net::SiteId /*from*/, DecisionMsg msg) {
+    if (callbacks_.decide) callbacks_.decide(db::TxnId{msg.txn}, msg.commit);
+  });
+}
+
+CommitCoordinator::CommitCoordinator(net::MessageServer& server)
+    : server_(server) {
+  server_.on<VoteMsg>([this](net::SiteId /*from*/, VoteMsg msg) {
+    auto it = pending_.find(msg.txn);
+    if (it == pending_.end()) return;  // vote after timeout: ignored
+    if (msg.yes) ++it->second->yes;
+    it->second->arrived.release();
+  });
+}
+
+sim::Task<bool> CommitCoordinator::commit(db::TxnId txn,
+                                          std::vector<net::SiteId> participants,
+                                          sim::Duration vote_timeout) {
+  ++rounds_;
+  if (participants.empty()) co_return true;  // purely local commit
+
+  auto votes = std::make_shared<PendingVotes>(server_.kernel());
+  votes->total = static_cast<int>(participants.size());
+  pending_.emplace(txn.value, votes);
+  struct Deregister {
+    CommitCoordinator* self;
+    std::uint64_t txn;
+    ~Deregister() { self->pending_.erase(txn); }
+  } deregister{this, txn.value};
+
+  for (const net::SiteId site : participants) {
+    assert(site != server_.site());
+    server_.send(site, PrepareMsg{txn.value, server_.site()});
+  }
+
+  // Gather all votes or give up at the timeout (missing vote == NO).
+  bool all_yes = true;
+  int received = 0;
+  const sim::TimePoint give_up = server_.kernel().now() + vote_timeout;
+  while (received < votes->total) {
+    const sim::Duration left = give_up - server_.kernel().now();
+    if (left <= sim::Duration::zero()) break;
+    const sim::WakeStatus status = co_await votes->arrived.acquire_for(left);
+    if (status == sim::WakeStatus::kTimeout) break;
+    ++received;
+  }
+  if (received < votes->total || votes->yes < votes->total) all_yes = false;
+
+  if (!all_yes) ++aborts_;
+  for (const net::SiteId site : participants) {
+    server_.send(site, DecisionMsg{txn.value, all_yes});
+  }
+  co_return all_yes;
+}
+
+}  // namespace rtdb::txn

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "db/types.hpp"
+#include "net/message_server.hpp"
+#include "net/network.hpp"
+#include "sim/kernel.hpp"
+#include "sim/semaphore.hpp"
+#include "sim/task.hpp"
+
+namespace rtdb::txn {
+
+// Two-phase commit over the message servers ("TM executes the two-phase
+// commit protocol to ensure that a transaction commits or aborts
+// globally"). Used by the global-ceiling distributed scheme, whose update
+// transactions write primary copies at several sites.
+//
+// Wire messages (sent through the per-site MessageServer):
+struct PrepareMsg {
+  std::uint64_t txn = 0;
+  net::SiteId coordinator = 0;
+};
+struct VoteMsg {
+  std::uint64_t txn = 0;
+  net::SiteId from = 0;
+  bool yes = false;
+};
+struct DecisionMsg {
+  std::uint64_t txn = 0;
+  bool commit = false;
+};
+
+// Participant side: the application registers callbacks deciding the vote
+// and applying the decision for a given transaction.
+class CommitParticipant {
+ public:
+  struct Callbacks {
+    // Whether this site can commit the transaction (it holds the writes).
+    std::function<bool(db::TxnId)> vote_yes;
+    // Apply the global decision locally.
+    std::function<void(db::TxnId, bool commit)> decide;
+  };
+
+  CommitParticipant(net::MessageServer& server, Callbacks callbacks);
+
+  std::uint64_t prepares_handled() const { return prepares_; }
+
+ private:
+  net::MessageServer& server_;
+  Callbacks callbacks_;
+  std::uint64_t prepares_ = 0;
+};
+
+// Coordinator side: drives prepare/vote/decision for one transaction at a
+// time per call. Votes are gathered in parallel (one round trip), with a
+// timeout treated as a NO vote (a down participant must not block the
+// coordinator forever).
+class CommitCoordinator {
+ public:
+  explicit CommitCoordinator(net::MessageServer& server);
+
+  // Runs 2PC across `participants` (remote sites; the coordinator's own
+  // site must not be listed — its vote is implicit). Returns the decision.
+  sim::Task<bool> commit(db::TxnId txn, std::vector<net::SiteId> participants,
+                         sim::Duration vote_timeout);
+
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t aborts() const { return aborts_; }
+
+ private:
+  struct PendingVotes {
+    sim::Semaphore arrived;
+    int yes = 0;
+    int total = 0;
+    explicit PendingVotes(sim::Kernel& k) : arrived(k, 0) {}
+  };
+
+  net::MessageServer& server_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingVotes>> pending_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t aborts_ = 0;
+};
+
+}  // namespace rtdb::txn

@@ -1,0 +1,6 @@
+#include "workload/config.hpp"
+
+// WorkloadConfig is a plain configuration aggregate; this translation unit
+// anchors the library target.
+
+namespace rtdb::workload {}  // namespace rtdb::workload

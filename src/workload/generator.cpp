@@ -1,0 +1,127 @@
+#include "workload/generator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rtdb::workload {
+
+using cc::LockMode;
+using cc::Operation;
+
+TransactionGenerator::TransactionGenerator(sim::Kernel& kernel,
+                                           const db::Database& schema,
+                                           WorkloadConfig config,
+                                           sim::RandomStream rng,
+                                           SubmitFn submit)
+    : kernel_(kernel),
+      schema_(schema),
+      config_(config),
+      rng_(rng),
+      submit_(std::move(submit)) {
+  assert(config_.size_min >= 1 && config_.size_min <= config_.size_max);
+  assert(config_.size_max <= schema_.object_count());
+  assert(config_.read_only_fraction >= 0.0 &&
+         config_.read_only_fraction <= 1.0);
+  assert(config_.slack_min > 0 && config_.slack_min <= config_.slack_max);
+}
+
+void TransactionGenerator::start() {
+  assert(!started_);
+  started_ = true;
+  kernel_.spawn("txn-generator", aperiodic_stream());
+  std::uint64_t index = 0;
+  for (const PeriodicSource& source : config_.periodic) {
+    kernel_.spawn("periodic-source-" + std::to_string(index),
+                  periodic_stream(source, index));
+    ++index;
+  }
+}
+
+sim::Task<void> TransactionGenerator::aperiodic_stream() {
+  for (std::uint64_t i = 0; i < config_.transaction_count; ++i) {
+    co_await kernel_.delay(
+        rng_.exponential_duration(config_.mean_interarrival));
+    const bool read_only = rng_.bernoulli(config_.read_only_fraction);
+    const auto size = static_cast<std::uint32_t>(
+        rng_.uniform_int(config_.size_min, config_.size_max));
+    txn::TransactionSpec spec = make_transaction(read_only, size);
+    ++generated_;
+    submit_(std::move(spec));
+  }
+}
+
+sim::Task<void> TransactionGenerator::periodic_stream(
+    PeriodicSource source, std::uint64_t stream_index) {
+  (void)stream_index;
+  co_await kernel_.delay(source.phase);
+  for (;;) {
+    txn::TransactionSpec spec =
+        make_transaction(source.read_only, source.size, source.home_site);
+    // Periodic deadline: the next release, scaled by the source's slack.
+    spec.deadline = kernel_.now() + source.period.scaled(source.deadline_slack);
+    spec.priority = sim::Priority{spec.deadline.as_ticks(),
+                                  static_cast<std::uint32_t>(spec.id.value)};
+    ++generated_;
+    submit_(std::move(spec));
+    co_await kernel_.delay(source.period);
+  }
+}
+
+txn::TransactionSpec TransactionGenerator::make_transaction(
+    bool read_only, std::uint32_t size,
+    std::optional<net::SiteId> forced_home) {
+  assert(size >= 1 && size <= schema_.object_count());
+  txn::TransactionSpec spec;
+  spec.id = db::TxnId{next_id()};
+  spec.read_only = read_only;
+
+  std::vector<db::ObjectId> objects;
+  switch (config_.assignment) {
+    case Assignment::kSingleSite:
+      spec.home_site = 0;
+      objects = rng_.sample_without_replacement(schema_.object_count(), size);
+      break;
+    case Assignment::kUniformSite:
+      spec.home_site = forced_home.value_or(static_cast<net::SiteId>(
+          rng_.uniform_int(0, schema_.site_count() - 1)));
+      objects = rng_.sample_without_replacement(schema_.object_count(), size);
+      break;
+    case Assignment::kHomeByWriteSet: {
+      spec.home_site = forced_home.value_or(static_cast<net::SiteId>(
+          rng_.uniform_int(0, schema_.site_count() - 1)));
+      if (read_only) {
+        // Read-only transactions read local (replica) copies of uniformly
+        // chosen objects.
+        objects =
+            rng_.sample_without_replacement(schema_.object_count(), size);
+      } else {
+        // Updates must write primary copies co-located with them.
+        const auto primaries = schema_.primaries_at(spec.home_site);
+        assert(size <= primaries.size());
+        const auto picks = rng_.sample_without_replacement(
+            static_cast<std::uint32_t>(primaries.size()), size);
+        for (const std::uint32_t p : picks) objects.push_back(primaries[p]);
+      }
+      break;
+    }
+  }
+
+  std::vector<Operation> ops;
+  ops.reserve(objects.size());
+  for (const db::ObjectId object : objects) {
+    ops.push_back(
+        Operation{object, read_only ? LockMode::kRead : LockMode::kWrite});
+  }
+  spec.access = cc::AccessSet::from_operations(std::move(ops));
+
+  spec.arrival = kernel_.now();
+  const double slack = rng_.uniform_real(config_.slack_min, config_.slack_max);
+  const sim::Duration estimate =
+      (config_.est_time_per_object * static_cast<std::int64_t>(size));
+  spec.deadline = spec.arrival + estimate.scaled(slack);
+  spec.priority = sim::Priority{spec.deadline.as_ticks(),
+                                static_cast<std::uint32_t>(spec.id.value)};
+  return spec;
+}
+
+}  // namespace rtdb::workload

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "db/database.hpp"
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+#include "txn/transaction.hpp"
+#include "workload/config.hpp"
+
+namespace rtdb::workload {
+
+// The Transaction Generator of the prototyping environment: one process
+// per stream (the aperiodic Poisson stream plus one per periodic source)
+// produces TransactionSpecs and hands them to the submit callback, which
+// routes them to the home site's transaction manager.
+class TransactionGenerator {
+ public:
+  using SubmitFn = std::function<void(txn::TransactionSpec)>;
+
+  TransactionGenerator(sim::Kernel& kernel, const db::Database& schema,
+                       WorkloadConfig config, sim::RandomStream rng,
+                       SubmitFn submit);
+
+  TransactionGenerator(const TransactionGenerator&) = delete;
+  TransactionGenerator& operator=(const TransactionGenerator&) = delete;
+
+  // Spawns the generation processes. Call once.
+  void start();
+
+  std::uint64_t generated() const { return generated_; }
+  bool finished() const {
+    return generated_ >= config_.transaction_count && config_.periodic.empty();
+  }
+
+  // Builds one transaction according to the assignment policy (or pinned
+  // to `forced_home`); exposed so tests and examples can craft individual
+  // transactions the same way the generator does.
+  txn::TransactionSpec make_transaction(
+      bool read_only, std::uint32_t size,
+      std::optional<net::SiteId> forced_home = std::nullopt);
+
+ private:
+  sim::Task<void> aperiodic_stream();
+  sim::Task<void> periodic_stream(PeriodicSource source,
+                                  std::uint64_t stream_index);
+  std::uint64_t next_id() { return next_id_++; }
+
+  sim::Kernel& kernel_;
+  const db::Database& schema_;
+  WorkloadConfig config_;
+  sim::RandomStream rng_;
+  SubmitFn submit_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t generated_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace rtdb::workload

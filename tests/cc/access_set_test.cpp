@@ -1,0 +1,71 @@
+#include "cc/access_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::cc {
+namespace {
+
+TEST(AccessSetTest, FromOperationsKeepsOrder) {
+  auto set = AccessSet::from_operations({{5, LockMode::kRead},
+                                         {2, LockMode::kWrite},
+                                         {9, LockMode::kRead}});
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.operations()[0], (Operation{5, LockMode::kRead}));
+  EXPECT_EQ(set.operations()[1], (Operation{2, LockMode::kWrite}));
+  EXPECT_EQ(set.operations()[2], (Operation{9, LockMode::kRead}));
+}
+
+TEST(AccessSetTest, DuplicateCoalescesWriteWins) {
+  auto set = AccessSet::from_operations({{1, LockMode::kRead},
+                                         {2, LockMode::kRead},
+                                         {1, LockMode::kWrite}});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.writes(1));
+  EXPECT_TRUE(set.reads(2));
+  EXPECT_EQ(set.operations()[0].object, 1u);  // keeps first position
+  EXPECT_EQ(set.write_count(), 1u);
+}
+
+TEST(AccessSetTest, WriteThenReadStaysWrite) {
+  auto set = AccessSet::from_operations({{3, LockMode::kWrite},
+                                         {3, LockMode::kRead}});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.writes(3));
+}
+
+TEST(AccessSetTest, Predicates) {
+  auto set = AccessSet::reads_then_writes({1, 2}, {3});
+  EXPECT_TRUE(set.touches(1));
+  EXPECT_TRUE(set.touches(3));
+  EXPECT_FALSE(set.touches(4));
+  EXPECT_TRUE(set.reads(1));
+  EXPECT_FALSE(set.reads(3));
+  EXPECT_TRUE(set.writes(3));
+  EXPECT_FALSE(set.writes(1));
+  EXPECT_FALSE(set.read_only());
+  EXPECT_EQ(set.read_set(), (std::vector<db::ObjectId>{1, 2}));
+  EXPECT_EQ(set.write_set(), (std::vector<db::ObjectId>{3}));
+}
+
+TEST(AccessSetTest, ReadOnly) {
+  auto set = AccessSet::reads_then_writes({4, 5}, {});
+  EXPECT_TRUE(set.read_only());
+  EXPECT_EQ(set.write_count(), 0u);
+}
+
+TEST(AccessSetTest, EmptySet) {
+  AccessSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.read_only());
+  EXPECT_FALSE(set.touches(0));
+}
+
+TEST(LockModeTest, Compatibility) {
+  EXPECT_TRUE(compatible(LockMode::kRead, LockMode::kRead));
+  EXPECT_FALSE(compatible(LockMode::kRead, LockMode::kWrite));
+  EXPECT_FALSE(compatible(LockMode::kWrite, LockMode::kRead));
+  EXPECT_FALSE(compatible(LockMode::kWrite, LockMode::kWrite));
+}
+
+}  // namespace
+}  // namespace rtdb::cc

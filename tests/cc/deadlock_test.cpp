@@ -1,0 +1,96 @@
+#include "cc/deadlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rtdb::cc {
+namespace {
+
+db::TxnId T(std::uint64_t v) { return db::TxnId{v}; }
+
+TEST(WaitForGraphTest, NoCycleInChain) {
+  WaitForGraph g;
+  g.add_edge(T(1), T(2));
+  g.add_edge(T(2), T(3));
+  EXPECT_TRUE(g.find_cycle_from(T(1)).empty());
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(WaitForGraphTest, DetectsTwoCycle) {
+  WaitForGraph g;
+  g.add_edge(T(1), T(2));
+  g.add_edge(T(2), T(1));
+  auto cycle = g.find_cycle_from(T(1));
+  ASSERT_EQ(cycle.size(), 2u);
+  EXPECT_TRUE(std::find(cycle.begin(), cycle.end(), T(1)) != cycle.end());
+  EXPECT_TRUE(std::find(cycle.begin(), cycle.end(), T(2)) != cycle.end());
+}
+
+TEST(WaitForGraphTest, DetectsLongCycleReachableFromStart) {
+  WaitForGraph g;
+  g.add_edge(T(1), T(2));
+  g.add_edge(T(2), T(3));
+  g.add_edge(T(3), T(4));
+  g.add_edge(T(4), T(2));  // cycle 2-3-4, reachable from 1 but excluding it
+  auto cycle = g.find_cycle_from(T(1));
+  ASSERT_EQ(cycle.size(), 3u);
+  EXPECT_TRUE(std::find(cycle.begin(), cycle.end(), T(1)) == cycle.end());
+}
+
+TEST(WaitForGraphTest, SelfEdgeIgnored) {
+  WaitForGraph g;
+  g.add_edge(T(1), T(1));
+  EXPECT_TRUE(g.empty());
+  EXPECT_TRUE(g.find_cycle_from(T(1)).empty());
+}
+
+TEST(WaitForGraphTest, ClearWaitsBreaksCycle) {
+  WaitForGraph g;
+  g.add_edge(T(1), T(2));
+  g.add_edge(T(2), T(1));
+  g.clear_waits_of(T(2));
+  EXPECT_TRUE(g.find_cycle_from(T(1)).empty());
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(WaitForGraphTest, RemoveDropsIncomingEdgesToo) {
+  WaitForGraph g;
+  g.add_edge(T(1), T(2));
+  g.add_edge(T(3), T(2));
+  g.add_edge(T(2), T(3));
+  g.remove(T(2));
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(WaitForGraphTest, MultipleTargetsPerWaiter) {
+  WaitForGraph g;
+  g.add_edge(T(1), T(2));
+  g.add_edge(T(1), T(3));
+  EXPECT_EQ(g.waits_of(T(1)).size(), 2u);
+  g.add_edge(T(3), T(1));
+  auto cycle = g.find_cycle_from(T(1));
+  ASSERT_FALSE(cycle.empty());
+}
+
+TEST(WaitForGraphTest, DiamondWithoutCycle) {
+  WaitForGraph g;
+  g.add_edge(T(1), T(2));
+  g.add_edge(T(1), T(3));
+  g.add_edge(T(2), T(4));
+  g.add_edge(T(3), T(4));
+  EXPECT_TRUE(g.find_cycle_from(T(1)).empty());
+}
+
+TEST(WaitForGraphTest, CycleOrderStartsAtEntryPoint) {
+  WaitForGraph g;
+  g.add_edge(T(5), T(6));
+  g.add_edge(T(6), T(7));
+  g.add_edge(T(7), T(5));
+  auto cycle = g.find_cycle_from(T(5));
+  ASSERT_EQ(cycle.size(), 3u);
+  EXPECT_EQ(cycle.front(), T(5));  // path suffix starts at the repeat node
+}
+
+}  // namespace
+}  // namespace rtdb::cc

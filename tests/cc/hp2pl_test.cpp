@@ -1,0 +1,141 @@
+#include "cc/hp2pl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc_test_util.hpp"
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+
+namespace rtdb::cc {
+namespace {
+
+using sim::Duration;
+using sim::Kernel;
+using testutil::make_txn;
+using testutil::Rig;
+using testutil::ScriptResult;
+using testutil::spawn_scripted;
+
+Duration tu(std::int64_t n) { return Duration::units(n); }
+
+TEST(Hp2plTest, HighPriorityWoundsLowHolder) {
+  Kernel k;
+  HighPriority2PL cc{k};
+  Rig rig{k, cc};
+  CcTxn lo = make_txn(1, 9), hi = make_txn(2, 1);
+  ScriptResult rl, rh;
+  spawn_scripted(rig, lo, {{0, LockMode::kWrite}}, tu(0), tu(20), tu(0), rl);
+  spawn_scripted(rig, hi, {{0, LockMode::kWrite}}, tu(1), tu(5), tu(0), rh);
+  k.run();
+  EXPECT_EQ(cc.wounds(), 1u);
+  EXPECT_TRUE(rig.hook_aborted(lo));
+  EXPECT_FALSE(rl.committed);
+  EXPECT_TRUE(rh.committed);
+  EXPECT_EQ(rh.committed_at, 6.0);  // no waiting: wound at 1, done at 6
+}
+
+TEST(Hp2plTest, LowPriorityWaitsForHighHolder) {
+  Kernel k;
+  HighPriority2PL cc{k};
+  Rig rig{k, cc};
+  CcTxn hi = make_txn(1, 1), lo = make_txn(2, 9);
+  ScriptResult rh, rl;
+  spawn_scripted(rig, hi, {{0, LockMode::kWrite}}, tu(0), tu(10), tu(0), rh);
+  spawn_scripted(rig, lo, {{0, LockMode::kWrite}}, tu(1), tu(5), tu(0), rl);
+  k.run();
+  EXPECT_EQ(cc.wounds(), 0u);
+  EXPECT_TRUE(rh.committed);
+  EXPECT_TRUE(rl.committed);
+  EXPECT_EQ(rl.committed_at, 15.0);  // waited for hi's release at 10
+}
+
+TEST(Hp2plTest, MixedHoldersNoWound) {
+  Kernel k;
+  HighPriority2PL cc{k};
+  Rig rig{k, cc};
+  // Two readers hold the object: one higher, one lower than the writer.
+  CcTxn r_hi = make_txn(1, 1), r_lo = make_txn(2, 9), w = make_txn(3, 5);
+  ScriptResult rr1, rr2, rw;
+  spawn_scripted(rig, r_hi, {{0, LockMode::kRead}}, tu(0), tu(10), tu(0), rr1);
+  spawn_scripted(rig, r_lo, {{0, LockMode::kRead}}, tu(0), tu(10), tu(0), rr2);
+  spawn_scripted(rig, w, {{0, LockMode::kWrite}}, tu(1), tu(5), tu(0), rw);
+  k.run();
+  // One holder outranks the writer, so nobody is wounded; the writer waits.
+  EXPECT_EQ(cc.wounds(), 0u);
+  EXPECT_TRUE(rr1.committed);
+  EXPECT_TRUE(rr2.committed);
+  EXPECT_TRUE(rw.committed);
+  EXPECT_EQ(rw.committed_at, 15.0);
+}
+
+TEST(Hp2plTest, WoundsAllConflictingLowerReaders) {
+  Kernel k;
+  HighPriority2PL cc{k};
+  Rig rig{k, cc};
+  CcTxn r1 = make_txn(1, 8), r2 = make_txn(2, 9), w = make_txn(3, 1);
+  ScriptResult rr1, rr2, rw;
+  spawn_scripted(rig, r1, {{0, LockMode::kRead}}, tu(0), tu(20), tu(0), rr1);
+  spawn_scripted(rig, r2, {{0, LockMode::kRead}}, tu(0), tu(20), tu(0), rr2);
+  spawn_scripted(rig, w, {{0, LockMode::kWrite}}, tu(1), tu(5), tu(0), rw);
+  k.run();
+  EXPECT_EQ(cc.wounds(), 2u);
+  EXPECT_FALSE(rr1.committed);
+  EXPECT_FALSE(rr2.committed);
+  EXPECT_TRUE(rw.committed);
+  EXPECT_EQ(rw.committed_at, 6.0);
+}
+
+TEST(Hp2plTest, ReadersStillShare) {
+  Kernel k;
+  HighPriority2PL cc{k};
+  Rig rig{k, cc};
+  CcTxn a = make_txn(1, 1), b = make_txn(2, 2);
+  ScriptResult ra, rb;
+  spawn_scripted(rig, a, {{0, LockMode::kRead}}, tu(0), tu(10), tu(0), ra);
+  spawn_scripted(rig, b, {{0, LockMode::kRead}}, tu(1), tu(10), tu(0), rb);
+  k.run();
+  EXPECT_EQ(cc.wounds(), 0u);
+  EXPECT_EQ(ra.committed_at, 10.0);
+  EXPECT_EQ(rb.committed_at, 11.0);
+}
+
+// No deadlock is possible: a random stress mix must always run to
+// completion with every transaction either committed or wounded.
+class Hp2plPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Hp2plPropertyTest, DeadlockFreeUnderRandomMix) {
+  Kernel k;
+  constexpr std::uint32_t kObjects = 10;
+  HighPriority2PL cc{k};
+  Rig rig{k, cc};
+  sim::RandomStream rng{GetParam()};
+  constexpr int kTxns = 30;
+  std::vector<CcTxn> txns(kTxns);
+  std::vector<ScriptResult> results(kTxns);
+  for (int i = 0; i < kTxns; ++i) {
+    txns[i] = make_txn(static_cast<std::uint64_t>(i + 1),
+                       rng.uniform_int(0, 1000));
+    const auto size = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+    auto objects = rng.sample_without_replacement(kObjects, size);
+    std::vector<Operation> ops;
+    for (auto o : objects) {
+      ops.push_back(Operation{
+          o, rng.bernoulli(0.5) ? LockMode::kRead : LockMode::kWrite});
+    }
+    spawn_scripted(rig, txns[i], ops, Duration::units(rng.uniform_int(0, 60)),
+                   Duration::units(rng.uniform_int(1, 4)), Duration::zero(),
+                   results[i]);
+  }
+  k.run();  // termination proves deadlock freedom
+  for (int i = 0; i < kTxns; ++i) {
+    EXPECT_TRUE(results[i].committed || rig.hook_aborted(txns[i]))
+        << "txn " << i << " neither committed nor wounded";
+  }
+  EXPECT_EQ(cc.table().waiting_requests(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Hp2plPropertyTest,
+                         ::testing::Values(7, 21, 77, 2024));
+
+}  // namespace
+}  // namespace rtdb::cc

@@ -1,0 +1,152 @@
+// Randomized property sweep of the lock table: under arbitrary interleaved
+// grant / enqueue / cancel / release traffic, the holder set of every
+// object stays mutually compatible, waiters are never stranded (a
+// compatible head is always promoted), and the queue respects the policy.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cc/lock_table.hpp"
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+#include "sim/semaphore.hpp"
+
+namespace rtdb::cc {
+namespace {
+
+struct Actor {
+  CcTxn txn;
+  // One outstanding request at a time, heap-allocated so pointers stay
+  // stable in the queue.
+  std::unique_ptr<LockTable::Request> request;
+  std::unique_ptr<sim::Semaphore> wakeup;
+  std::vector<db::ObjectId> held;
+};
+
+class LockTablePropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<LockTable::QueuePolicy, std::uint64_t>> {};
+
+TEST_P(LockTablePropertyTest, InvariantsHoldUnderRandomTraffic) {
+  const auto [policy, seed] = GetParam();
+  sim::Kernel k;
+  LockTable table{policy};
+  sim::RandomStream rng{seed};
+  constexpr int kActors = 12;
+  constexpr std::uint32_t kObjects = 6;
+
+  std::vector<Actor> actors(kActors);
+  for (int i = 0; i < kActors; ++i) {
+    actors[i].txn.id = db::TxnId{static_cast<std::uint64_t>(i + 1)};
+    actors[i].txn.base_priority =
+        sim::Priority{rng.uniform_int(0, 100), static_cast<std::uint32_t>(i)};
+    actors[i].wakeup = std::make_unique<sim::Semaphore>(k, 0);
+  }
+
+  // Mode of each holder per object, mirrored outside the table to check
+  // compatibility independently.
+  std::map<db::ObjectId, std::vector<std::pair<int, LockMode>>> mirror;
+
+  auto check_invariants = [&] {
+    for (auto& [object, holders] : mirror) {
+      // All pairs of holders compatible.
+      for (std::size_t a = 0; a < holders.size(); ++a) {
+        for (std::size_t b = a + 1; b < holders.size(); ++b) {
+          ASSERT_TRUE(compatible(holders[a].second, holders[b].second))
+              << "incompatible holders coexist on object " << object;
+        }
+      }
+      // Mirror matches the table.
+      ASSERT_EQ(table.holders_of(object).size(), holders.size());
+      // Never strand a compatible head: if anything waits, it must
+      // genuinely conflict with the current holders or (FIFO) someone ahead.
+      for (LockTable::Request* queued : table.queued_requests(object)) {
+        ASSERT_FALSE(table.blockers_of(*queued).empty())
+            << "waiter with no blockers was not promoted on object " << object;
+      }
+    }
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    Actor& actor = actors[static_cast<std::size_t>(
+        rng.uniform_int(0, kActors - 1))];
+    const auto drain_grant = [&](Actor& a) {
+      // A release may have granted a queued request.
+      if (a.request != nullptr && a.request->granted) {
+        a.held.push_back(a.request->object);
+        mirror[a.request->object].emplace_back(
+            static_cast<int>(a.txn.id.value), a.request->mode);
+        a.request.reset();
+      }
+    };
+    for (auto& other : actors) drain_grant(other);
+
+    const int action = static_cast<int>(rng.uniform_int(0, 9));
+    if (action < 5 && actor.request == nullptr) {
+      // Try to lock a random object we do not hold yet.
+      const auto object =
+          static_cast<db::ObjectId>(rng.uniform_int(0, kObjects - 1));
+      if (std::find(actor.held.begin(), actor.held.end(), object) !=
+          actor.held.end()) {
+        continue;
+      }
+      const LockMode mode =
+          rng.bernoulli(0.5) ? LockMode::kRead : LockMode::kWrite;
+      if (table.try_grant(actor.txn, object, mode)) {
+        actor.held.push_back(object);
+        mirror[object].emplace_back(static_cast<int>(actor.txn.id.value), mode);
+      } else {
+        actor.request = std::make_unique<LockTable::Request>(
+            LockTable::Request{&actor.txn, object, mode, actor.wakeup.get(),
+                               false, 0});
+        table.enqueue(*actor.request);
+      }
+    } else if (action < 7 && actor.request != nullptr &&
+               !actor.request->granted) {
+      // Abandon the wait (the kill path).
+      table.cancel(*actor.request);
+      actor.request.reset();
+    } else if (action < 10 && !actor.held.empty()) {
+      // Commit: drop everything.
+      table.release_all(actor.txn);
+      auto& held = actor.held;
+      for (const db::ObjectId object : held) {
+        auto& holders = mirror[object];
+        std::erase_if(holders, [&](const auto& h) {
+          return h.first == static_cast<int>(actor.txn.id.value);
+        });
+      }
+      held.clear();
+    }
+    for (auto& other : actors) drain_grant(other);
+    check_invariants();
+  }
+
+  // Drain: release everything, cancel every wait; the table must empty.
+  for (auto& actor : actors) {
+    if (actor.request != nullptr && !actor.request->granted) {
+      table.cancel(*actor.request);
+      actor.request.reset();
+    }
+  }
+  for (auto& actor : actors) {
+    if (actor.request != nullptr && actor.request->granted) {
+      actor.held.push_back(actor.request->object);
+      actor.request.reset();
+    }
+    table.release_all(actor.txn);
+  }
+  EXPECT_EQ(table.waiting_requests(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LockTablePropertyTest,
+    ::testing::Combine(::testing::Values(LockTable::QueuePolicy::kFifo,
+                                         LockTable::QueuePolicy::kPriority),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+}  // namespace
+}  // namespace rtdb::cc

@@ -1,0 +1,167 @@
+#include "cc/lock_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/kernel.hpp"
+#include "sim/semaphore.hpp"
+
+namespace rtdb::cc {
+namespace {
+
+CcTxn make(std::uint64_t id, std::int64_t key) {
+  CcTxn t;
+  t.id = db::TxnId{id};
+  t.base_priority = sim::Priority{key, static_cast<std::uint32_t>(id)};
+  return t;
+}
+
+TEST(LockTableTest, ReadLocksShare) {
+  LockTable table{LockTable::QueuePolicy::kFifo};
+  CcTxn a = make(1, 1), b = make(2, 2);
+  EXPECT_TRUE(table.try_grant(a, 7, LockMode::kRead));
+  EXPECT_TRUE(table.try_grant(b, 7, LockMode::kRead));
+  EXPECT_EQ(table.holders_of(7).size(), 2u);
+  EXPECT_TRUE(table.holds(a, 7));
+  EXPECT_TRUE(table.holds(b, 7));
+}
+
+TEST(LockTableTest, WriteExcludesEverything) {
+  LockTable table{LockTable::QueuePolicy::kFifo};
+  CcTxn a = make(1, 1), b = make(2, 2);
+  EXPECT_TRUE(table.try_grant(a, 7, LockMode::kWrite));
+  EXPECT_FALSE(table.try_grant(b, 7, LockMode::kRead));
+  EXPECT_FALSE(table.try_grant(b, 7, LockMode::kWrite));
+  EXPECT_FALSE(table.try_grant(b, 7, LockMode::kRead));
+}
+
+TEST(LockTableTest, ReadBlocksWrite) {
+  LockTable table{LockTable::QueuePolicy::kFifo};
+  CcTxn a = make(1, 1), b = make(2, 2);
+  EXPECT_TRUE(table.try_grant(a, 3, LockMode::kRead));
+  EXPECT_FALSE(table.try_grant(b, 3, LockMode::kWrite));
+}
+
+TEST(LockTableTest, ReleaseAllGrantsFifoWaiters) {
+  sim::Kernel k;
+  LockTable table{LockTable::QueuePolicy::kFifo};
+  CcTxn a = make(1, 1), b = make(2, 2), c = make(3, 3);
+  ASSERT_TRUE(table.try_grant(a, 5, LockMode::kWrite));
+  sim::Semaphore sb{k, 0}, sc{k, 0};
+  LockTable::Request rb{&b, 5, LockMode::kWrite, &sb, false, 0};
+  LockTable::Request rc{&c, 5, LockMode::kWrite, &sc, false, 0};
+  table.enqueue(rb);
+  table.enqueue(rc);
+  EXPECT_EQ(table.waiting_requests(), 2u);
+  auto touched = table.release_all(a);
+  EXPECT_EQ(touched, (std::vector<db::ObjectId>{5}));
+  EXPECT_TRUE(rb.granted);   // FIFO: b first
+  EXPECT_FALSE(rc.granted);  // c conflicts with b
+  EXPECT_EQ(sb.available(), 1);
+  EXPECT_EQ(table.waiting_requests(), 1u);
+}
+
+TEST(LockTableTest, PriorityQueueOrdersByPriority) {
+  sim::Kernel k;
+  LockTable table{LockTable::QueuePolicy::kPriority};
+  CcTxn holder = make(1, 5), low = make(2, 9), high = make(3, 1);
+  ASSERT_TRUE(table.try_grant(holder, 4, LockMode::kWrite));
+  sim::Semaphore sl{k, 0}, sh{k, 0};
+  LockTable::Request rl{&low, 4, LockMode::kWrite, &sl, false, 0};
+  LockTable::Request rh{&high, 4, LockMode::kWrite, &sh, false, 0};
+  table.enqueue(rl);   // lower priority arrives first
+  table.enqueue(rh);   // higher priority jumps ahead
+  table.release_all(holder);
+  EXPECT_TRUE(rh.granted);
+  EXPECT_FALSE(rl.granted);
+}
+
+TEST(LockTableTest, NewcomerCannotBargeFifoQueue) {
+  sim::Kernel k;
+  LockTable table{LockTable::QueuePolicy::kFifo};
+  CcTxn holder = make(1, 1), waiter = make(2, 2), newcomer = make(3, 3);
+  ASSERT_TRUE(table.try_grant(holder, 9, LockMode::kRead));
+  sim::Semaphore sw{k, 0};
+  LockTable::Request rw{&waiter, 9, LockMode::kWrite, &sw, false, 0};
+  table.enqueue(rw);
+  // A read would be compatible with the holder, but the queued writer is
+  // ahead in FIFO order.
+  EXPECT_FALSE(table.try_grant(newcomer, 9, LockMode::kRead));
+}
+
+TEST(LockTableTest, HighPriorityNewcomerOvertakesInPriorityMode) {
+  sim::Kernel k;
+  LockTable table{LockTable::QueuePolicy::kPriority};
+  CcTxn holder = make(1, 5), waiter = make(2, 6), urgent = make(3, 1);
+  ASSERT_TRUE(table.try_grant(holder, 9, LockMode::kRead));
+  sim::Semaphore sw{k, 0};
+  LockTable::Request rw{&waiter, 9, LockMode::kWrite, &sw, false, 0};
+  table.enqueue(rw);
+  // The urgent read is compatible with holders and outranks the queued
+  // writer, so priority mode grants it immediately.
+  EXPECT_TRUE(table.try_grant(urgent, 9, LockMode::kRead));
+}
+
+TEST(LockTableTest, PromoteGrantsReadBatch) {
+  sim::Kernel k;
+  LockTable table{LockTable::QueuePolicy::kFifo};
+  CcTxn w = make(1, 1), r1 = make(2, 2), r2 = make(3, 3), w2 = make(4, 4);
+  ASSERT_TRUE(table.try_grant(w, 2, LockMode::kWrite));
+  sim::Semaphore s1{k, 0}, s2{k, 0}, s3{k, 0};
+  LockTable::Request q1{&r1, 2, LockMode::kRead, &s1, false, 0};
+  LockTable::Request q2{&r2, 2, LockMode::kRead, &s2, false, 0};
+  LockTable::Request q3{&w2, 2, LockMode::kWrite, &s3, false, 0};
+  table.enqueue(q1);
+  table.enqueue(q2);
+  table.enqueue(q3);
+  table.release_all(w);
+  EXPECT_TRUE(q1.granted);
+  EXPECT_TRUE(q2.granted);   // both readers granted together
+  EXPECT_FALSE(q3.granted);  // writer waits for the readers
+}
+
+TEST(LockTableTest, CancelRemovesWaiterAndPromotes) {
+  sim::Kernel k;
+  LockTable table{LockTable::QueuePolicy::kFifo};
+  CcTxn holder = make(1, 1), doomed = make(2, 2), next = make(3, 3);
+  ASSERT_TRUE(table.try_grant(holder, 6, LockMode::kRead));
+  sim::Semaphore sd{k, 0}, sn{k, 0};
+  LockTable::Request rd{&doomed, 6, LockMode::kWrite, &sd, false, 0};
+  LockTable::Request rn{&next, 6, LockMode::kRead, &sn, false, 0};
+  table.enqueue(rd);
+  table.enqueue(rn);
+  table.cancel(rd);
+  // With the writer gone the read shares with the holder.
+  EXPECT_TRUE(rn.granted);
+  EXPECT_EQ(table.waiting_requests(), 0u);
+}
+
+TEST(LockTableTest, BlockersIncludeHoldersAndQueueAhead) {
+  sim::Kernel k;
+  LockTable table{LockTable::QueuePolicy::kFifo};
+  CcTxn holder = make(1, 1), ahead = make(2, 2), behind = make(3, 3);
+  ASSERT_TRUE(table.try_grant(holder, 8, LockMode::kRead));
+  sim::Semaphore sa{k, 0}, sb{k, 0};
+  LockTable::Request ra{&ahead, 8, LockMode::kWrite, &sa, false, 0};
+  LockTable::Request rb{&behind, 8, LockMode::kRead, &sb, false, 0};
+  table.enqueue(ra);
+  table.enqueue(rb);
+  auto blockers_a = table.blockers_of(ra);
+  ASSERT_EQ(blockers_a.size(), 1u);
+  EXPECT_EQ(blockers_a[0]->id, holder.id);  // read holder conflicts with write
+  auto blockers_b = table.blockers_of(rb);
+  ASSERT_EQ(blockers_b.size(), 1u);
+  EXPECT_EQ(blockers_b[0]->id, ahead.id);  // read blocked by queued write ahead
+}
+
+TEST(LockTableTest, HeldObjectsCountsAcrossObjects) {
+  LockTable table{LockTable::QueuePolicy::kFifo};
+  CcTxn a = make(1, 1);
+  ASSERT_TRUE(table.try_grant(a, 1, LockMode::kRead));
+  ASSERT_TRUE(table.try_grant(a, 2, LockMode::kWrite));
+  EXPECT_EQ(table.held_objects(a), 2u);
+  table.release_all(a);
+  EXPECT_EQ(table.held_objects(a), 0u);
+}
+
+}  // namespace
+}  // namespace rtdb::cc

@@ -1,0 +1,114 @@
+#include "cc/serializability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::cc {
+namespace {
+
+db::TxnId T(std::uint64_t v) { return db::TxnId{v}; }
+
+TEST(SerializabilityTest, EmptyHistoryIsSerializable) {
+  HistoryRecorder rec;
+  EXPECT_TRUE(rec.conflict_serializable());
+  EXPECT_EQ(rec.committed_transactions(), 0u);
+}
+
+TEST(SerializabilityTest, SerialHistoryPasses) {
+  HistoryRecorder rec;
+  rec.record(T(1), 0, LockMode::kWrite);
+  rec.record(T(1), 1, LockMode::kWrite);
+  rec.commit(T(1));
+  rec.record(T(2), 0, LockMode::kWrite);
+  rec.record(T(2), 1, LockMode::kWrite);
+  rec.commit(T(2));
+  EXPECT_TRUE(rec.conflict_serializable());
+  EXPECT_EQ(rec.committed_operations(), 4u);
+}
+
+TEST(SerializabilityTest, InterleavedCompatibleReadsPass) {
+  HistoryRecorder rec;
+  rec.record(T(1), 0, LockMode::kRead);
+  rec.record(T(2), 0, LockMode::kRead);
+  rec.record(T(1), 1, LockMode::kRead);
+  rec.record(T(2), 1, LockMode::kRead);
+  rec.commit(T(1));
+  rec.commit(T(2));
+  EXPECT_TRUE(rec.conflict_serializable());
+}
+
+TEST(SerializabilityTest, WriteWriteCycleDetected) {
+  HistoryRecorder rec;
+  // w1(A) w2(A) w2(B) w1(B): T1->T2 on A, T2->T1 on B.
+  rec.record(T(1), 0, LockMode::kWrite);
+  rec.record(T(2), 0, LockMode::kWrite);
+  rec.record(T(2), 1, LockMode::kWrite);
+  rec.record(T(1), 1, LockMode::kWrite);
+  rec.commit(T(1));
+  rec.commit(T(2));
+  std::string why;
+  EXPECT_FALSE(rec.conflict_serializable(&why));
+  EXPECT_NE(why.find("cycle"), std::string::npos);
+}
+
+TEST(SerializabilityTest, ReadWriteCycleDetected) {
+  HistoryRecorder rec;
+  // r1(A) w2(A) r2(B) w1(B)
+  rec.record(T(1), 0, LockMode::kRead);
+  rec.record(T(2), 0, LockMode::kWrite);
+  rec.record(T(2), 1, LockMode::kRead);
+  rec.record(T(1), 1, LockMode::kWrite);
+  rec.commit(T(1));
+  rec.commit(T(2));
+  EXPECT_FALSE(rec.conflict_serializable());
+}
+
+TEST(SerializabilityTest, AbortedOperationsAreDiscarded) {
+  HistoryRecorder rec;
+  rec.record(T(1), 0, LockMode::kWrite);
+  rec.record(T(2), 0, LockMode::kWrite);
+  rec.record(T(2), 1, LockMode::kWrite);
+  rec.record(T(1), 1, LockMode::kWrite);
+  rec.abort(T(2));  // the cycle partner never committed
+  rec.commit(T(1));
+  EXPECT_TRUE(rec.conflict_serializable());
+  EXPECT_EQ(rec.committed_transactions(), 1u);
+}
+
+TEST(SerializabilityTest, RestartRecordsAfresh) {
+  HistoryRecorder rec;
+  rec.record(T(1), 0, LockMode::kWrite);
+  rec.abort(T(1));
+  rec.record(T(1), 2, LockMode::kWrite);  // second attempt, different object
+  rec.commit(T(1));
+  rec.record(T(2), 0, LockMode::kWrite);
+  rec.commit(T(2));
+  EXPECT_TRUE(rec.conflict_serializable());
+  EXPECT_EQ(rec.committed_operations(), 2u);
+}
+
+TEST(SerializabilityTest, ThreeWayCycleDetected) {
+  HistoryRecorder rec;
+  // T1->T2 on A, T2->T3 on B, T3->T1 on C.
+  rec.record(T(1), 0, LockMode::kWrite);
+  rec.record(T(2), 0, LockMode::kWrite);
+  rec.record(T(2), 1, LockMode::kWrite);
+  rec.record(T(3), 1, LockMode::kWrite);
+  rec.record(T(3), 2, LockMode::kWrite);
+  rec.record(T(1), 2, LockMode::kWrite);
+  rec.commit(T(1));
+  rec.commit(T(2));
+  rec.commit(T(3));
+  EXPECT_FALSE(rec.conflict_serializable());
+}
+
+TEST(SerializabilityTest, LongAcyclicChainPasses) {
+  HistoryRecorder rec;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    rec.record(T(i), 0, LockMode::kWrite);
+    rec.commit(T(i));
+  }
+  EXPECT_TRUE(rec.conflict_serializable());
+}
+
+}  // namespace
+}  // namespace rtdb::cc

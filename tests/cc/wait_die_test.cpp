@@ -1,0 +1,146 @@
+#include "cc/wait_die.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc_test_util.hpp"
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+
+namespace rtdb::cc {
+namespace {
+
+using sim::Duration;
+using sim::Kernel;
+using testutil::make_txn;
+using testutil::Rig;
+using testutil::ScriptResult;
+using testutil::spawn_scripted;
+
+Duration tu(std::int64_t n) { return Duration::units(n); }
+
+TEST(WaitDieTest, OlderRequesterWaits) {
+  Kernel k;
+  WaitDie2PL cc{k};
+  EXPECT_EQ(cc.name(), "2PL-WD");
+  Rig rig{k, cc};
+  // Younger (id 2) holds; older (id 1) requests late and waits.
+  CcTxn old_txn = make_txn(1, 5), young = make_txn(2, 5);
+  ScriptResult ro, ry;
+  spawn_scripted(rig, young, {{0, LockMode::kWrite}}, tu(0), tu(10), tu(0), ry);
+  spawn_scripted(rig, old_txn, {{0, LockMode::kWrite}}, tu(1), tu(5), tu(0), ro);
+  k.run();
+  EXPECT_TRUE(ry.committed);
+  EXPECT_TRUE(ro.committed);
+  EXPECT_EQ(ro.committed_at, 15.0);  // waited for the younger's release
+  EXPECT_EQ(cc.dies(), 0u);
+}
+
+TEST(WaitDieTest, YoungerRequesterDies) {
+  Kernel k;
+  WaitDie2PL cc{k};
+  Rig rig{k, cc};
+  CcTxn old_txn = make_txn(1, 5), young = make_txn(2, 5);
+  ScriptResult ro, ry;
+  spawn_scripted(rig, old_txn, {{0, LockMode::kWrite}}, tu(0), tu(10), tu(0), ro);
+  spawn_scripted(rig, young, {{0, LockMode::kWrite}}, tu(1), tu(5), tu(0), ry);
+  k.run();
+  EXPECT_TRUE(ro.committed);
+  EXPECT_FALSE(ry.committed);  // the rig does not restart self-aborts
+  EXPECT_TRUE(ry.self_aborted);
+  EXPECT_EQ(ry.self_abort_reason, AbortReason::kAgeBased);
+  EXPECT_EQ(cc.dies(), 1u);
+}
+
+TEST(WoundWaitTest, OlderRequesterWoundsYoungerHolder) {
+  Kernel k;
+  WoundWait2PL cc{k};
+  EXPECT_EQ(cc.name(), "2PL-WW");
+  Rig rig{k, cc};
+  CcTxn old_txn = make_txn(1, 5), young = make_txn(2, 5);
+  ScriptResult ro, ry;
+  spawn_scripted(rig, young, {{0, LockMode::kWrite}}, tu(0), tu(20), tu(0), ry);
+  spawn_scripted(rig, old_txn, {{0, LockMode::kWrite}}, tu(1), tu(5), tu(0), ro);
+  k.run();
+  EXPECT_TRUE(ro.committed);
+  EXPECT_EQ(ro.committed_at, 6.0);  // took the lock immediately after wounding
+  EXPECT_FALSE(ry.committed);
+  EXPECT_TRUE(rig.hook_aborted(young));
+  EXPECT_EQ(cc.wounds(), 1u);
+}
+
+TEST(WoundWaitTest, YoungerRequesterWaitsForOlderHolder) {
+  Kernel k;
+  WoundWait2PL cc{k};
+  Rig rig{k, cc};
+  CcTxn old_txn = make_txn(1, 5), young = make_txn(2, 5);
+  ScriptResult ro, ry;
+  spawn_scripted(rig, old_txn, {{0, LockMode::kWrite}}, tu(0), tu(10), tu(0), ro);
+  spawn_scripted(rig, young, {{0, LockMode::kWrite}}, tu(1), tu(5), tu(0), ry);
+  k.run();
+  EXPECT_TRUE(ro.committed);
+  EXPECT_TRUE(ry.committed);
+  EXPECT_EQ(ry.committed_at, 15.0);
+  EXPECT_EQ(cc.wounds(), 0u);
+}
+
+TEST(WaitDieTest, ReadersShare) {
+  Kernel k;
+  WaitDie2PL cc{k};
+  Rig rig{k, cc};
+  CcTxn a = make_txn(1, 5), b = make_txn(2, 5);
+  ScriptResult ra, rb;
+  spawn_scripted(rig, a, {{0, LockMode::kRead}}, tu(0), tu(10), tu(0), ra);
+  spawn_scripted(rig, b, {{0, LockMode::kRead}}, tu(1), tu(10), tu(0), rb);
+  k.run();
+  EXPECT_EQ(ra.committed_at, 10.0);
+  EXPECT_EQ(rb.committed_at, 11.0);  // no blocking, no dying
+  EXPECT_EQ(cc.dies(), 0u);
+}
+
+// Deadlock freedom: the classic crossing pattern terminates under both
+// flavours without any detector.
+class AgeBasedPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<AgeBased2PL::Flavour, std::uint64_t>> {};
+
+TEST_P(AgeBasedPropertyTest, RandomTrafficTerminatesDeadlockFree) {
+  const auto [flavour, seed] = GetParam();
+  Kernel k;
+  AgeBased2PL cc{k, flavour};
+  Rig rig{k, cc};
+  sim::RandomStream rng{seed};
+  constexpr int kTxns = 30;
+  constexpr std::uint32_t kObjects = 8;
+  std::vector<CcTxn> txns(kTxns);
+  std::vector<ScriptResult> results(kTxns);
+  for (int i = 0; i < kTxns; ++i) {
+    txns[i] = make_txn(static_cast<std::uint64_t>(i + 1),
+                       rng.uniform_int(0, 100));
+    const auto size = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+    auto objects = rng.sample_without_replacement(kObjects, size);
+    std::vector<Operation> ops;
+    for (auto o : objects) {
+      ops.push_back(Operation{
+          o, rng.bernoulli(0.5) ? LockMode::kRead : LockMode::kWrite});
+    }
+    spawn_scripted(rig, txns[i], ops, Duration::units(rng.uniform_int(0, 60)),
+                   Duration::units(rng.uniform_int(1, 4)), Duration::zero(),
+                   results[i]);
+  }
+  k.run();  // termination proves deadlock freedom
+  for (int i = 0; i < kTxns; ++i) {
+    const bool resolved = results[i].committed || results[i].self_aborted ||
+                          rig.hook_aborted(txns[i]);
+    EXPECT_TRUE(resolved) << "txn " << i << " unresolved";
+  }
+  EXPECT_EQ(cc.table().waiting_requests(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AgeBasedPropertyTest,
+    ::testing::Combine(::testing::Values(AgeBased2PL::Flavour::kWaitDie,
+                                         AgeBased2PL::Flavour::kWoundWait),
+                       ::testing::Values(1u, 7u, 42u)));
+
+}  // namespace
+}  // namespace rtdb::cc

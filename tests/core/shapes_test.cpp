@@ -1,0 +1,122 @@
+// Shape regressions — reduced versions of the figure benches asserting the
+// paper's qualitative claims, so a refactor cannot silently lose the
+// headline results. Bounds are deliberately loose (these are shapes, not
+// absolute numbers); the full sweeps live in bench/.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace rtdb::core {
+namespace {
+
+using sim::Duration;
+
+// The Figure 2/3 cell at a given protocol and size, 3 seeds.
+std::vector<RunResult> fig23_cell(Protocol protocol, std::uint32_t size) {
+  SystemConfig cfg;
+  cfg.protocol = protocol;
+  cfg.db_objects = 200;
+  cfg.cpu_per_object = Duration::units(2);
+  cfg.io_per_object = Duration::units(1);
+  cfg.victim_policy = protocol == Protocol::kTwoPhase
+                          ? cc::TwoPhaseLocking::VictimPolicy::kRequester
+                          : cc::TwoPhaseLocking::VictimPolicy::kLowestPriority;
+  cfg.workload.size_min = cfg.workload.size_max = size;
+  cfg.workload.mean_interarrival = Duration::units(50);
+  cfg.workload.transaction_count = 400;
+  cfg.workload.slack_min = 15;
+  cfg.workload.slack_max = 30;
+  cfg.workload.est_time_per_object = Duration::units(4);
+  cfg.seed = 1;
+  return ExperimentRunner::run_many(cfg, 3);
+}
+
+TEST(ShapeTest, Fig2CeilingIsStableWhileTwoPhaseCollapses) {
+  const double c8 = ExperimentRunner::mean_throughput(
+      fig23_cell(Protocol::kPriorityCeiling, 8));
+  const double c18 = ExperimentRunner::mean_throughput(
+      fig23_cell(Protocol::kPriorityCeiling, 18));
+  const double l8 = ExperimentRunner::mean_throughput(
+      fig23_cell(Protocol::kTwoPhase, 8));
+  const double l18 = ExperimentRunner::mean_throughput(
+      fig23_cell(Protocol::kTwoPhase, 18));
+  // "little impact on the throughput of the priority ceiling protocol":
+  // C at size 18 stays above its size-8 level (offered objects grew) and
+  // within sane bounds; the paper's claim is stability, not monotonicity.
+  EXPECT_GT(c18, c8);
+  // "the performance of the two-phase locking protocol ... degrades very
+  // rapidly": L collapses below half its size-8 throughput...
+  EXPECT_LT(l18, 0.5 * l8);
+  // ...and far below the ceiling protocol.
+  EXPECT_GT(c18, 3.0 * l18);
+}
+
+TEST(ShapeTest, Fig3MissOrderingAtTheHeavyEnd) {
+  const double c = ExperimentRunner::mean_pct_missed(
+      fig23_cell(Protocol::kPriorityCeiling, 18));
+  const double p = ExperimentRunner::mean_pct_missed(
+      fig23_cell(Protocol::kTwoPhasePriority, 18));
+  const double l = ExperimentRunner::mean_pct_missed(
+      fig23_cell(Protocol::kTwoPhase, 18));
+  // At the conflict-dominated end the paper's ordering holds: C < P < L,
+  // with L rising sharply.
+  EXPECT_LT(c, p);
+  EXPECT_LT(p, l);
+  EXPECT_GT(l, 75.0);
+  EXPECT_LT(c, 60.0);
+}
+
+std::vector<RunResult> dist_cell(DistScheme scheme, double delay_units) {
+  SystemConfig cfg;
+  cfg.scheme = scheme;
+  cfg.sites = 3;
+  cfg.db_objects = 60;
+  cfg.cpu_per_object = Duration::units(2);
+  cfg.io_per_object = Duration::zero();
+  cfg.comm_delay = Duration::from_units(delay_units);
+  cfg.workload.size_min = 4;
+  cfg.workload.size_max = 8;
+  cfg.workload.mean_interarrival = Duration::from_units(4.5);
+  cfg.workload.read_only_fraction = 0.5;
+  cfg.workload.transaction_count = 300;
+  cfg.workload.slack_min = 3.5;
+  cfg.workload.slack_max = 7;
+  cfg.workload.est_time_per_object = Duration::units(3);
+  cfg.seed = 1;
+  return ExperimentRunner::run_many(cfg, 3);
+}
+
+TEST(ShapeTest, Fig5MissRatioExceedsSixteenAndSaturates) {
+  const double g0 = ExperimentRunner::mean_pct_missed(
+      dist_cell(DistScheme::kGlobalCeiling, 0));
+  const double g2 = ExperimentRunner::mean_pct_missed(
+      dist_cell(DistScheme::kGlobalCeiling, 2));
+  const double g10 = ExperimentRunner::mean_pct_missed(
+      dist_cell(DistScheme::kGlobalCeiling, 10));
+  const double l = ExperimentRunner::mean_pct_missed(
+      dist_cell(DistScheme::kLocalCeiling, 2));
+  ASSERT_GT(l, 0.0);
+  // "the performance ratio increases beyond 16" ...
+  EXPECT_GT(g2 / l, 16.0);
+  // ... "increases rapidly (up to 2 time units), and then rather slowly":
+  EXPECT_GT(g2 - g0, g10 - g2);
+  // The local scheme is delay-independent (async propagation), so one
+  // local measurement serves as the denominator throughout.
+}
+
+TEST(ShapeTest, Fig4LocalWinsAndGapGrowsWithDelay) {
+  const double l0 = ExperimentRunner::mean_throughput(
+      dist_cell(DistScheme::kLocalCeiling, 0));
+  const double g0 = ExperimentRunner::mean_throughput(
+      dist_cell(DistScheme::kGlobalCeiling, 0));
+  const double l2 = ExperimentRunner::mean_throughput(
+      dist_cell(DistScheme::kLocalCeiling, 2));
+  const double g2 = ExperimentRunner::mean_throughput(
+      dist_cell(DistScheme::kGlobalCeiling, 2));
+  EXPECT_GT(l0 / g0, 1.5);            // local wins even at zero delay
+  EXPECT_GT(l2 / g2, l0 / g0);        // and the gap grows with the delay
+}
+
+}  // namespace
+}  // namespace rtdb::core

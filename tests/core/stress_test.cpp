@@ -1,0 +1,172 @@
+// Failure-injection and kill-storm stress: tight deadlines abort
+// transactions in every phase (waiting for locks, computing, doing I/O,
+// mid-RPC, mid-2PC), which is exactly where cleanup bugs hide. After every
+// run the protocol state must be fully drained and the committed history
+// serializable.
+
+#include <gtest/gtest.h>
+
+#include "cc/pcp.hpp"
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+
+namespace rtdb::core {
+namespace {
+
+using sim::Duration;
+
+SystemConfig tight_single_site(Protocol protocol, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.protocol = protocol;
+  cfg.db_objects = 30;  // small database: constant conflict
+  cfg.cpu_per_object = Duration::units(2);
+  cfg.io_per_object = Duration::units(1);
+  cfg.workload.size_min = 2;
+  cfg.workload.size_max = 8;
+  cfg.workload.mean_interarrival = Duration::units(6);  // overload
+  cfg.workload.transaction_count = 200;
+  cfg.workload.slack_min = 1.0;  // brutal deadlines: most transactions die
+  cfg.workload.slack_max = 3.0;
+  cfg.workload.est_time_per_object = Duration::units(3);
+  cfg.workload.read_only_fraction = 0.3;
+  cfg.seed = seed;
+  cfg.record_history = true;
+  return cfg;
+}
+
+class KillStormTest
+    : public ::testing::TestWithParam<std::tuple<Protocol, std::uint64_t>> {};
+
+TEST_P(KillStormTest, DrainsCleanAndSerializableUnderMassAborts) {
+  const auto [protocol, seed] = GetParam();
+  System system{tight_single_site(protocol, seed)};
+  system.run_to_completion();
+  const auto m = system.metrics();
+  EXPECT_EQ(m.processed, 200u);
+  EXPECT_GT(m.missed, 20u) << "the storm should actually kill transactions";
+  std::string why;
+  EXPECT_TRUE(system.history()->conflict_serializable(&why)) << why;
+  EXPECT_EQ(system.site(0).tm->live_count(), 0u);
+  EXPECT_EQ(system.kernel().live_process_count(), 0u);
+  if (const auto* pcp =
+          dynamic_cast<const cc::PriorityCeiling*>(system.site(0).cc.get())) {
+    EXPECT_EQ(pcp->active_transactions(), 0u);
+    EXPECT_EQ(pcp->waiter_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, KillStormTest,
+    ::testing::Combine(
+        ::testing::Values(Protocol::kTwoPhase, Protocol::kTwoPhasePriority,
+                          Protocol::kPriorityCeiling,
+                          Protocol::kPriorityInheritance,
+                          Protocol::kHighPriority,
+                          Protocol::kTimestampOrdering, Protocol::kWaitDie,
+                          Protocol::kWoundWait),
+        ::testing::Values(3u, 17u)));
+
+SystemConfig tight_distributed(DistScheme scheme, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.scheme = scheme;
+  cfg.sites = 3;
+  cfg.db_objects = 60;
+  cfg.cpu_per_object = Duration::units(2);
+  cfg.io_per_object = Duration::zero();
+  cfg.comm_delay = Duration::units(3);
+  cfg.workload.transaction_count = 200;
+  cfg.workload.read_only_fraction = 0.5;
+  cfg.workload.size_min = 4;
+  cfg.workload.size_max = 8;
+  cfg.workload.mean_interarrival = Duration::from_units(4.5);
+  cfg.workload.slack_min = 2;  // most global transactions will die mid-RPC
+  cfg.workload.slack_max = 4;
+  cfg.workload.est_time_per_object = Duration::units(3);
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Deadline kills land while transactions wait for remote grants, hold
+// global locks, and sit inside 2PC; the manager must still drain to zero.
+TEST(KillStormTest, GlobalManagerDrainsUnderMassAborts) {
+  System system{tight_distributed(DistScheme::kGlobalCeiling, 5)};
+  system.run_to_completion();
+  const auto m = system.metrics();
+  EXPECT_EQ(m.processed, 200u);
+  EXPECT_GT(m.missed, 50u);
+  ASSERT_NE(system.global_manager(), nullptr);
+  EXPECT_EQ(system.global_manager()->live_mirrors(), 0u);
+  EXPECT_EQ(system.global_manager()->protocol().active_transactions(), 0u);
+  EXPECT_EQ(system.global_manager()->protocol().waiter_count(), 0u);
+  for (net::SiteId s = 0; s < 3; ++s) {
+    EXPECT_EQ(system.site(s).tm->live_count(), 0u);
+  }
+}
+
+TEST(KillStormTest, LocalSchemeDrainsUnderMassAborts) {
+  System system{tight_distributed(DistScheme::kLocalCeiling, 5)};
+  system.run_to_completion();
+  EXPECT_EQ(system.metrics().processed, 200u);
+  for (net::SiteId s = 0; s < 3; ++s) {
+    EXPECT_EQ(system.site(s).tm->live_count(), 0u);
+    const auto* pcp =
+        dynamic_cast<const cc::PriorityCeiling*>(system.site(s).cc.get());
+    ASSERT_NE(pcp, nullptr);
+    EXPECT_EQ(pcp->active_transactions(), 0u);
+    EXPECT_EQ(pcp->waiter_count(), 0u);
+  }
+}
+
+// Asymmetric link speeds: replicas behind a slow inbound link lag more but
+// still converge once the run drains.
+TEST(FailureInjectionTest, SlowLinkDelaysButDoesNotDivergeReplicas) {
+  SystemConfig cfg = tight_distributed(DistScheme::kLocalCeiling, 8);
+  cfg.workload.slack_min = 10;  // relaxed: this test is about replication
+  cfg.workload.slack_max = 20;
+  System system{cfg};
+  system.network()->set_delay(0, 2, Duration::units(40));  // slow link 0->2
+  system.run_to_completion();
+  for (db::ObjectId o = 0; o < system.schema().object_count(); ++o) {
+    const net::SiteId primary = system.schema().primary_site(o);
+    for (net::SiteId s = 0; s < 3; ++s) {
+      EXPECT_EQ(system.site(s).rm->current(o),
+                system.site(primary).rm->current(o));
+    }
+  }
+  // Site 2 saw site 0's updates ~40tu late; its max lag reflects that.
+  EXPECT_GE(system.site(2).replication->max_lag(), Duration::units(40));
+}
+
+// A site that goes down mid-run loses propagated updates for good (fire-
+// and-forget replication) but the system keeps running; after recovery,
+// later updates land again and stale copies are superseded monotonically.
+TEST(FailureInjectionTest, SiteOutageLosesUpdatesButNeverRegresses) {
+  SystemConfig cfg = tight_distributed(DistScheme::kLocalCeiling, 9);
+  cfg.workload.slack_min = 10;
+  cfg.workload.slack_max = 20;
+  System system{cfg};
+  system.start();
+  system.kernel().run_until(sim::TimePoint::origin() + Duration::units(150));
+  system.network()->set_operational(2, false);
+  system.kernel().run_until(sim::TimePoint::origin() + Duration::units(400));
+  system.network()->set_operational(2, true);
+  system.kernel().run();
+  EXPECT_EQ(system.metrics().processed, 200u);
+  // Site 2's copies are at most as new as the primaries and sequences
+  // never regress; updates propagated after recovery were applied.
+  std::uint64_t behind = 0;
+  for (db::ObjectId o = 0; o < system.schema().object_count(); ++o) {
+    const net::SiteId primary = system.schema().primary_site(o);
+    if (primary == 2) continue;
+    const auto& at_primary = system.site(primary).rm->current(o);
+    const auto& at_site2 = system.site(2).rm->current(o);
+    EXPECT_LE(at_site2.sequence, at_primary.sequence);
+    if (at_site2.sequence < at_primary.sequence) ++behind;
+  }
+  EXPECT_GT(system.network()->messages_dropped(), 0u);
+  EXPECT_GT(system.site(2).replication->updates_applied(), 0u);
+  (void)behind;  // may be zero if the last writes happened after recovery
+}
+
+}  // namespace
+}  // namespace rtdb::core

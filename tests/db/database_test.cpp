@@ -1,0 +1,58 @@
+#include "db/database.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::db {
+namespace {
+
+TEST(DatabaseTest, SingleSiteHoldsEverything) {
+  Database db{DatabaseConfig{100, 1, Placement::kSingleSite}};
+  EXPECT_EQ(db.object_count(), 100u);
+  for (ObjectId o = 0; o < 100; ++o) {
+    EXPECT_EQ(db.primary_site(o), 0u);
+    EXPECT_TRUE(db.has_copy(0, o));
+    EXPECT_TRUE(db.is_primary(0, o));
+  }
+  EXPECT_EQ(db.primaries_at(0).size(), 100u);
+}
+
+TEST(DatabaseTest, PartitionedRoundRobinHoming) {
+  Database db{DatabaseConfig{9, 3, Placement::kPartitioned}};
+  for (ObjectId o = 0; o < 9; ++o) {
+    EXPECT_EQ(db.primary_site(o), o % 3);
+    for (SiteId s = 0; s < 3; ++s) {
+      EXPECT_EQ(db.has_copy(s, o), s == o % 3);
+    }
+  }
+  EXPECT_EQ(db.primaries_at(0).size(), 3u);
+  EXPECT_EQ(db.primaries_at(1).size(), 3u);
+  EXPECT_EQ(db.primaries_at(2).size(), 3u);
+}
+
+TEST(DatabaseTest, FullyReplicatedCopiesEverywhere) {
+  Database db{DatabaseConfig{10, 3, Placement::kFullyReplicated}};
+  for (ObjectId o = 0; o < 10; ++o) {
+    EXPECT_EQ(db.primary_site(o), o % 3);
+    for (SiteId s = 0; s < 3; ++s) {
+      EXPECT_TRUE(db.has_copy(s, o));
+      EXPECT_EQ(db.is_primary(s, o), s == o % 3);
+    }
+  }
+}
+
+TEST(DatabaseTest, PrimariesAtPartitionsTheObjectSpace) {
+  Database db{DatabaseConfig{10, 3, Placement::kFullyReplicated}};
+  std::size_t total = 0;
+  for (SiteId s = 0; s < 3; ++s) total += db.primaries_at(s).size();
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(TxnIdTest, ValidityAndOrdering) {
+  EXPECT_FALSE(TxnId{}.valid());
+  EXPECT_TRUE((TxnId{1}).valid());
+  EXPECT_TRUE(TxnId{1} < TxnId{2});
+  EXPECT_EQ(TxnId{3}, TxnId{3});
+}
+
+}  // namespace
+}  // namespace rtdb::db

@@ -1,0 +1,76 @@
+#include "db/multiversion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::db {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at(std::int64_t units) {
+  return TimePoint::origin() + Duration::units(units);
+}
+
+TEST(MultiVersionTest, InitialVersionAtOrigin) {
+  MultiVersionStore mv{3};
+  for (ObjectId o = 0; o < 3; ++o) {
+    EXPECT_EQ(mv.latest(o).sequence, 0u);
+    EXPECT_EQ(mv.version_count(o), 1u);
+    EXPECT_EQ(mv.read_at(o, at(100)).sequence, 0u);
+  }
+}
+
+TEST(MultiVersionTest, ReadAtSelectsVisibleVersion) {
+  MultiVersionStore mv{1};
+  mv.install(0, Version{1, TxnId{10}, at(5)});
+  mv.install(0, Version{2, TxnId{20}, at(15)});
+  EXPECT_EQ(mv.read_at(0, at(0)).sequence, 0u);
+  EXPECT_EQ(mv.read_at(0, at(4)).sequence, 0u);
+  EXPECT_EQ(mv.read_at(0, at(5)).sequence, 1u);   // inclusive
+  EXPECT_EQ(mv.read_at(0, at(14)).sequence, 1u);
+  EXPECT_EQ(mv.read_at(0, at(15)).sequence, 2u);
+  EXPECT_EQ(mv.read_at(0, at(999)).sequence, 2u);
+  EXPECT_EQ(mv.latest(0).writer, TxnId{20});
+}
+
+TEST(MultiVersionTest, TemporallyConsistentViewAcrossObjects) {
+  // The §4 scenario: two radar tracks updated at different instants; a
+  // reader at t=12 must see the state as of 12 for both.
+  MultiVersionStore mv{2};
+  mv.install(0, Version{1, TxnId{1}, at(10)});
+  mv.install(1, Version{1, TxnId{2}, at(11)});
+  mv.install(0, Version{2, TxnId{3}, at(14)});
+  const TimePoint view = at(12);
+  EXPECT_EQ(mv.read_at(0, view).sequence, 1u);
+  EXPECT_EQ(mv.read_at(1, view).sequence, 1u);
+}
+
+TEST(MultiVersionTest, SequenceGapsFromLostPropagationAreAccepted) {
+  MultiVersionStore mv{1};
+  mv.install(0, Version{3, TxnId{1}, at(5)});  // versions 1-2 never arrived
+  EXPECT_EQ(mv.latest(0).sequence, 3u);
+}
+
+TEST(MultiVersionTest, LagMeasuresStaleness) {
+  MultiVersionStore mv{1};
+  mv.install(0, Version{1, TxnId{1}, at(10)});
+  EXPECT_EQ(mv.lag(0, at(17)), Duration::units(7));
+}
+
+TEST(MultiVersionTest, PruneKeepsVisibleVersions) {
+  MultiVersionStore mv{1};
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    mv.install(0, Version{i, TxnId{i}, at(static_cast<std::int64_t>(i * 10))});
+  }
+  EXPECT_EQ(mv.version_count(0), 6u);
+  mv.prune_before(at(35));
+  // Versions at 10 and 20 dropped; version at 30 is still visible at 35.
+  EXPECT_EQ(mv.version_count(0), 3u);
+  EXPECT_EQ(mv.read_at(0, at(35)).sequence, 3u);
+  EXPECT_EQ(mv.read_at(0, at(40)).sequence, 4u);
+  EXPECT_EQ(mv.latest(0).sequence, 5u);
+}
+
+}  // namespace
+}  // namespace rtdb::db

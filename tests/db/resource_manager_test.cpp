@@ -1,0 +1,143 @@
+#include "db/resource_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/kernel.hpp"
+
+namespace rtdb::db {
+namespace {
+
+using sim::Duration;
+using sim::Kernel;
+using sim::Priority;
+using sim::Task;
+
+Duration tu(std::int64_t n) { return Duration::units(n); }
+
+struct SingleSite {
+  Kernel k;
+  Database schema{DatabaseConfig{10, 1, Placement::kSingleSite}};
+  sched::IoSubsystem io{k, sched::IoSubsystem::kUnlimited};
+  ResourceManager rm{k, schema, 0, io, tu(2)};
+};
+
+TEST(ResourceManagerTest, ReadChargesIo) {
+  SingleSite s;
+  double done_at = -1;
+  s.k.spawn("p", [](SingleSite& s, double& done_at) -> Task<void> {
+    Version v = co_await s.rm.read(3, Priority{1, 0});
+    EXPECT_EQ(v.sequence, 0u);
+    done_at = s.k.now().as_units();
+  }(s, done_at));
+  s.k.run();
+  EXPECT_EQ(done_at, 2.0);
+  EXPECT_EQ(s.rm.reads(), 1u);
+}
+
+TEST(ResourceManagerTest, CommitWritesInstallsVersionsWithIo) {
+  SingleSite s;
+  s.k.spawn("p", [](SingleSite& s) -> Task<void> {
+    const std::array<ObjectId, 3> objs{1, 4, 7};
+    auto versions = co_await s.rm.commit_writes(TxnId{42}, objs, Priority{1, 0});
+    EXPECT_EQ(versions.size(), 3u);
+    EXPECT_EQ(s.k.now().as_units(), 6.0);  // 3 writes x 2tu
+    for (ObjectId o : objs) {
+      EXPECT_EQ(s.rm.current(o).sequence, 1u);
+      EXPECT_EQ(s.rm.current(o).writer, TxnId{42});
+    }
+    EXPECT_EQ(s.rm.current(0).sequence, 0u);  // untouched object
+  }(s));
+  s.k.run();
+  EXPECT_EQ(s.rm.writes(), 3u);
+}
+
+TEST(ResourceManagerTest, ZeroIoCostIsMemoryResident) {
+  Kernel k;
+  Database schema{DatabaseConfig{5, 1, Placement::kSingleSite}};
+  sched::IoSubsystem io{k, sched::IoSubsystem::kUnlimited};
+  ResourceManager rm{k, schema, 0, io, Duration::zero()};
+  k.spawn("p", [](Kernel& k, ResourceManager& rm) -> Task<void> {
+    co_await rm.read(0, Priority{1, 0});
+    const std::array<ObjectId, 1> objs{0};
+    co_await rm.commit_writes(TxnId{1}, objs, Priority{1, 0});
+    EXPECT_EQ(k.now().as_units(), 0.0);  // no I/O charged
+  }(k, rm));
+  k.run();
+  EXPECT_EQ(io.completed(), 0u);
+}
+
+TEST(ResourceManagerTest, SequencesIncrementPerCommit) {
+  SingleSite s;
+  s.k.spawn("p", [](SingleSite& s) -> Task<void> {
+    const std::array<ObjectId, 1> objs{2};
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+      co_await s.rm.commit_writes(TxnId{i}, objs, Priority{1, 0});
+      EXPECT_EQ(s.rm.current(2).sequence, i);
+    }
+  }(s));
+  s.k.run();
+}
+
+struct Replicated {
+  Kernel k;
+  Database schema{DatabaseConfig{6, 3, Placement::kFullyReplicated}};
+  sched::IoSubsystem io0{k, sched::IoSubsystem::kUnlimited};
+  sched::IoSubsystem io1{k, sched::IoSubsystem::kUnlimited};
+  // Object 0 is primary at site 0; site 1 holds a secondary copy.
+  ResourceManager primary{k, schema, 0, io0, Duration::zero()};
+  ResourceManager secondary{k, schema, 1, io1, Duration::zero()};
+};
+
+TEST(ResourceManagerTest, ReplicaUpdatesApplyInOrder) {
+  Replicated r;
+  r.k.spawn("p", [](Replicated& r) -> Task<void> {
+    const std::array<ObjectId, 1> objs{0};
+    auto v1 = co_await r.primary.commit_writes(TxnId{1}, objs, Priority{1, 0});
+    auto v2 = co_await r.primary.commit_writes(TxnId{2}, objs, Priority{1, 0});
+    EXPECT_TRUE(r.secondary.apply_replica_update(0, v1[0]));
+    EXPECT_TRUE(r.secondary.apply_replica_update(0, v2[0]));
+    EXPECT_EQ(r.secondary.current(0).sequence, 2u);
+    EXPECT_EQ(r.secondary.current(0).writer, TxnId{2});
+  }(r));
+  r.k.run();
+  EXPECT_EQ(r.secondary.replica_applies(), 2u);
+}
+
+TEST(ResourceManagerTest, StaleReplicaUpdateIgnored) {
+  Replicated r;
+  r.k.spawn("p", [](Replicated& r) -> Task<void> {
+    const std::array<ObjectId, 1> objs{0};
+    auto v1 = co_await r.primary.commit_writes(TxnId{1}, objs, Priority{1, 0});
+    auto v2 = co_await r.primary.commit_writes(TxnId{2}, objs, Priority{1, 0});
+    EXPECT_TRUE(r.secondary.apply_replica_update(0, v2[0]));
+    EXPECT_FALSE(r.secondary.apply_replica_update(0, v1[0]));  // out of date
+    EXPECT_EQ(r.secondary.current(0).sequence, 2u);
+  }(r));
+  r.k.run();
+  EXPECT_EQ(r.secondary.stale_replica_updates(), 1u);
+}
+
+TEST(ResourceManagerTest, VersionHistoryEnablesTemporalReads) {
+  Kernel k;
+  Database schema{DatabaseConfig{2, 1, Placement::kSingleSite}};
+  sched::IoSubsystem io{k, sched::IoSubsystem::kUnlimited};
+  ResourceManager rm{k, schema, 0, io, Duration::zero(),
+                     /*keep_version_history=*/true};
+  k.spawn("p", [](Kernel& k, ResourceManager& rm) -> Task<void> {
+    const std::array<ObjectId, 1> objs{0};
+    co_await k.delay(Duration::units(10));
+    co_await rm.commit_writes(TxnId{1}, objs, Priority{1, 0});
+    co_await k.delay(Duration::units(10));
+    co_await rm.commit_writes(TxnId{2}, objs, Priority{1, 0});
+  }(k, rm));
+  k.run();
+  const auto* mv = rm.version_history();
+  EXPECT_NE(mv, nullptr);
+  EXPECT_EQ(mv->read_at(0, sim::TimePoint::origin() + tu(15)).writer, TxnId{1});
+  EXPECT_EQ(mv->latest(0).writer, TxnId{2});
+}
+
+}  // namespace
+}  // namespace rtdb::db

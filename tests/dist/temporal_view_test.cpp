@@ -1,0 +1,208 @@
+#include "dist/temporal_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/system.hpp"
+#include "dist/replication.hpp"
+#include "sim/kernel.hpp"
+
+namespace rtdb::dist {
+namespace {
+
+using sim::Duration;
+using sim::Kernel;
+using sim::Task;
+using sim::TimePoint;
+
+Duration tu(std::int64_t n) { return Duration::units(n); }
+TimePoint at(std::int64_t n) { return TimePoint::origin() + tu(n); }
+
+db::Version v(std::uint64_t seq, std::uint64_t writer, std::int64_t when) {
+  return db::Version{seq, db::TxnId{writer}, at(when)};
+}
+
+TEST(TemporalConsistencyOracleTest, SingletonAlwaysConsistent) {
+  db::MultiVersionStore mv{2};
+  mv.install(0, v(1, 1, 10));
+  const std::array<db::ObjectId, 1> objs{0};
+  const std::array<db::Version, 1> vs{mv.latest(0)};
+  EXPECT_TRUE(TemporalView::mutually_consistent(mv, objs, vs));
+}
+
+TEST(TemporalConsistencyOracleTest, OverlappingWindowsConsistent) {
+  db::MultiVersionStore mv{2};
+  mv.install(0, v(1, 1, 10));  // current over [10, 30)
+  mv.install(0, v(2, 2, 30));
+  mv.install(1, v(1, 3, 20));  // current over [20, inf)
+  const std::array<db::ObjectId, 2> objs{0, 1};
+  // {0@seq1, 1@seq1} were both current during [20, 30): consistent.
+  const std::array<db::Version, 2> good{v(1, 1, 10), v(1, 3, 20)};
+  EXPECT_TRUE(TemporalView::mutually_consistent(mv, objs, good));
+}
+
+TEST(TemporalConsistencyOracleTest, DisjointWindowsInconsistent) {
+  db::MultiVersionStore mv{2};
+  mv.install(0, v(1, 1, 10));  // current over [10, 20)
+  mv.install(0, v(2, 2, 20));
+  mv.install(1, v(1, 3, 25));  // current over [25, inf)
+  const std::array<db::ObjectId, 2> objs{0, 1};
+  // 0@seq1 died at 20, 1@seq1 born at 25: never visible together.
+  const std::array<db::Version, 2> bad{v(1, 1, 10), v(1, 3, 25)};
+  EXPECT_FALSE(TemporalView::mutually_consistent(mv, objs, bad));
+}
+
+TEST(TemporalConsistencyOracleTest, UnknownVersionRejected) {
+  db::MultiVersionStore mv{1};
+  const std::array<db::ObjectId, 1> objs{0};
+  const std::array<db::Version, 1> phantom{v(9, 9, 5)};
+  EXPECT_FALSE(TemporalView::mutually_consistent(mv, objs, phantom));
+}
+
+// End-to-end: a replica site assembling views with the raw "latest" reads
+// can observe an inconsistent cut during the propagation window, while the
+// TemporalView (reading at now - lag bound) never does.
+TEST(TemporalViewTest, SafeTimeReadsAreAlwaysConsistent) {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{4, 2, db::Placement::kFullyReplicated}};
+  net::Network net{k, 2};
+  net.set_delay(0, 1, tu(4));
+  net.set_delay(1, 0, tu(4));
+  net::MessageServer ms0{k, net, 0};
+  net::MessageServer ms1{k, net, 1};
+  sched::IoSubsystem io0{k}, io1{k};
+  db::ResourceManager rm0{k, schema, 0, io0, Duration::zero(), true};
+  db::ResourceManager rm1{k, schema, 1, io1, Duration::zero(), true};
+  ReplicationManager rep0{ms0, rm0};
+  ReplicationManager rep1{ms1, rm1};
+  ms0.start();
+  ms1.start();
+
+  // Site 0 owns objects 0 and 2 (round-robin homing) and updates them
+  // together repeatedly: the pair is the "consistent unit".
+  k.spawn("writer", [](Kernel& k, db::ResourceManager& rm0,
+                       ReplicationManager& rep0) -> Task<void> {
+    const std::array<db::ObjectId, 2> objs{0, 2};
+    for (std::uint64_t i = 1; i <= 6; ++i) {
+      co_await k.delay(Duration::units(10));
+      auto versions = co_await rm0.commit_writes(db::TxnId{i}, objs,
+                                                 sim::Priority::highest());
+      rep0.propagate(objs, versions);
+    }
+  }(k, rm0, rep0));
+
+  // Site 1 probes both read styles at awkward instants (mid-propagation).
+  TemporalView view{k, rm1, tu(4)};
+  int naive_inconsistent = 0;
+  int temporal_inconsistent = 0;
+  const std::array<db::ObjectId, 2> objs{0, 2};
+  for (int t = 11; t <= 70; t += 2) {
+    k.schedule_in(tu(t), [&] {
+      // Ground truth for both objects is the primary's (site 0's) history.
+      const auto* truth = rm0.version_history();
+      const std::array<db::Version, 2> naive{rm1.current(0), rm1.current(2)};
+      if (!TemporalView::mutually_consistent(*truth, objs, naive)) {
+        ++naive_inconsistent;
+      }
+      const auto snapshot = view.read_snapshot(objs);
+      if (!TemporalView::mutually_consistent(*truth, objs, snapshot)) {
+        ++temporal_inconsistent;
+      }
+    });
+  }
+  k.run();
+  // The pair is written atomically at the primary and the link is FIFO,
+  // so even naive reads stay pairwise consistent here — but the temporal
+  // view must be consistent by construction, and its versions must lag.
+  EXPECT_EQ(temporal_inconsistent, 0);
+  EXPECT_GE(naive_inconsistent, 0);  // informational; see next test
+}
+
+// With the two objects of the view owned by *different* primaries, naive
+// "latest" reads mix fresh and stale values during the window; the
+// temporal view still never does.
+TEST(TemporalViewTest, CrossPrimaryViewsNeedTheSafeTime) {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{4, 2, db::Placement::kFullyReplicated}};
+  net::Network net{k, 2};
+  net.set_delay(0, 1, tu(6));
+  net.set_delay(1, 0, tu(6));
+  net::MessageServer ms0{k, net, 0};
+  net::MessageServer ms1{k, net, 1};
+  sched::IoSubsystem io0{k}, io1{k};
+  db::ResourceManager rm0{k, schema, 0, io0, Duration::zero(), true};
+  db::ResourceManager rm1{k, schema, 1, io1, Duration::zero(), true};
+  ReplicationManager rep0{ms0, rm0};
+  ReplicationManager rep1{ms1, rm1};
+  ms0.start();
+  ms1.start();
+
+  // Object 0 is primary at site 0, object 1 at site 1. Both are updated
+  // every 10tu "in step" (same virtual instants, as coupled sensor values).
+  k.spawn("w0", [](Kernel& k, db::ResourceManager& rm0,
+                   ReplicationManager& rep0) -> Task<void> {
+    const std::array<db::ObjectId, 1> objs{0};
+    for (std::uint64_t i = 1; i <= 6; ++i) {
+      co_await k.delay(Duration::units(10));
+      auto versions = co_await rm0.commit_writes(db::TxnId{i * 2}, objs,
+                                                 sim::Priority::highest());
+      rep0.propagate(objs, versions);
+    }
+  }(k, rm0, rep0));
+  k.spawn("w1", [](Kernel& k, db::ResourceManager& rm1,
+                   ReplicationManager& rep1) -> Task<void> {
+    const std::array<db::ObjectId, 1> objs{1};
+    for (std::uint64_t i = 1; i <= 6; ++i) {
+      co_await k.delay(Duration::units(10));
+      auto versions = co_await rm1.commit_writes(db::TxnId{i * 2 + 1}, objs,
+                                                 sim::Priority::highest());
+      rep1.propagate(objs, versions);
+    }
+  }(k, rm1, rep1));
+
+  // Observe from site 1: object 1 is always fresh locally, object 0 lags
+  // by 6tu. Consistency is judged against the *global* history; build it
+  // by merging both sites' (identical-per-object) version chains — site
+  // 1's own history suffices for objects 0 and 1 once converged, but
+  // mid-run its object-0 chain is shorter, so judge against site-0's
+  // history for 0 and site-1's for 1 via a combined store.
+  TemporalView view{k, rm1, tu(6)};
+  int naive_inconsistent = 0;
+  int temporal_inconsistent = 0;
+  for (int t = 12; t <= 70; t += 3) {
+    k.schedule_in(tu(t), [&] {
+      // Judge against ground truth: the primaries' version chains (object
+      // 0 at site 0, object 1 at site 1) — a lagging replica's own chain
+      // cannot see a missing successor.
+      const std::array<const db::MultiVersionStore*, 2> truth{
+          rm0.version_history(), rm1.version_history()};
+      const std::array<db::ObjectId, 2> objs{0, 1};
+      const std::array<db::Version, 2> naive{rm1.current(0), rm1.current(1)};
+      if (!TemporalView::mutually_consistent(truth, objs, naive)) {
+        ++naive_inconsistent;
+      }
+      const auto snapshot = view.read_snapshot(objs);
+      if (!TemporalView::mutually_consistent(truth, objs, snapshot)) {
+        ++temporal_inconsistent;
+      }
+    });
+  }
+  k.run();
+  EXPECT_GT(naive_inconsistent, 0)
+      << "naive latest-value reads should mix epochs during propagation";
+  EXPECT_EQ(temporal_inconsistent, 0);
+}
+
+TEST(TemporalViewTest, SafeTimeClampsToOrigin) {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{2, 1, db::Placement::kSingleSite}};
+  sched::IoSubsystem io{k};
+  db::ResourceManager rm{k, schema, 0, io, Duration::zero(), true};
+  TemporalView view{k, rm, tu(100)};
+  // now=0, lag bound 100: reads fall back to the initial versions.
+  EXPECT_EQ(view.read(0).sequence, 0u);
+}
+
+}  // namespace
+}  // namespace rtdb::dist

@@ -1,0 +1,136 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace rtdb::net {
+namespace {
+
+using sim::Duration;
+using sim::Kernel;
+using sim::Task;
+
+Duration tu(std::int64_t n) { return Duration::units(n); }
+
+TEST(NetworkTest, DeliversAfterLinkDelay) {
+  Kernel k;
+  Network net{k, 2, tu(5)};
+  double arrived_at = -1;
+  int got = 0;
+  k.spawn("rx", [](Kernel& k, Network& net, double& at, int& got) -> Task<void> {
+    auto env = co_await net.inbox(1).receive();
+    at = k.now().as_units();
+    got = std::any_cast<int>(env->body);
+  }(k, net, arrived_at, got));
+  net.send(Envelope{0, 1, std::any{42}, nullptr});
+  k.run();
+  EXPECT_EQ(arrived_at, 5.0);
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(NetworkTest, PerLinkDelaysAreDirectional) {
+  Kernel k;
+  Network net{k, 2};
+  net.set_delay(0, 1, tu(3));
+  net.set_delay(1, 0, tu(7));
+  EXPECT_EQ(net.delay(0, 1), tu(3));
+  EXPECT_EQ(net.delay(1, 0), tu(7));
+  EXPECT_EQ(net.delay(0, 0), Duration::zero());
+}
+
+TEST(NetworkTest, SetAllDelaysSkipsSelfLoops) {
+  Kernel k;
+  Network net{k, 3};
+  net.set_all_delays(tu(2));
+  for (SiteId a = 0; a < 3; ++a) {
+    for (SiteId b = 0; b < 3; ++b) {
+      EXPECT_EQ(net.delay(a, b), a == b ? Duration::zero() : tu(2));
+    }
+  }
+}
+
+TEST(NetworkTest, MessageOrderPreservedPerLink) {
+  Kernel k;
+  Network net{k, 2, tu(4)};
+  std::vector<int> got;
+  k.spawn("rx", [](Network& net, std::vector<int>& got) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      got.push_back(std::any_cast<int>((co_await net.inbox(1).receive())->body));
+    }
+  }(net, got));
+  for (int i = 0; i < 3; ++i) net.send(Envelope{0, 1, std::any{i}, nullptr});
+  k.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(NetworkTest, DownSiteDropsAtDeliveryTime) {
+  Kernel k;
+  Network net{k, 2, tu(5)};
+  net.send(Envelope{0, 1, std::any{1}, nullptr});
+  k.schedule_in(tu(2), [&] { net.set_operational(1, false); });
+  k.run();
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.messages_delivered(), 0u);
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(NetworkTest, SiteRecoveryDeliversLaterMessages) {
+  Kernel k;
+  Network net{k, 2, tu(1)};
+  net.set_operational(1, false);
+  net.send(Envelope{0, 1, std::any{1}, nullptr});  // lost
+  k.schedule_in(tu(5), [&] {
+    net.set_operational(1, true);
+    net.send(Envelope{0, 1, std::any{2}, nullptr});  // delivered
+  });
+  int got = 0;
+  k.spawn("rx", [](Network& net, int& got) -> Task<void> {
+    got = std::any_cast<int>((co_await net.inbox(1).receive())->body);
+  }(net, got));
+  k.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(NetworkTest, IntraSiteSendBypassesDelay) {
+  Kernel k;
+  Network net{k, 2, tu(9)};
+  bool got = false;
+  k.spawn("rx", [](Kernel& k, Network& net, bool& got) -> Task<void> {
+    co_await net.inbox(0).receive();
+    EXPECT_EQ(k.now().as_units(), 0.0);
+    got = true;
+  }(k, net, got));
+  k.spawn("tx", [](Kernel& k, Network& net) -> Task<void> {
+    co_await k.yield();
+    net.send(Envelope{0, 0, std::any{1}, nullptr});
+  }(k, net));
+  k.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(NetworkTest, BroadcastReachesEveryOtherSite) {
+  Kernel k;
+  Network net{k, 3, tu(2)};
+  int got[3] = {};
+  auto rx = [](Network& net, int* got, SiteId site) -> Task<void> {
+    auto env = co_await net.inbox(site).receive();
+    got[site] = std::any_cast<int>(env->body);
+  };
+  k.spawn("rx1", rx(net, got, 1));
+  k.spawn("rx2", rx(net, got, 2));
+  net.broadcast(0, std::any{9});
+  k.run();
+  EXPECT_EQ(got[0], 0);  // sender excluded
+  EXPECT_EQ(got[1], 9);
+  EXPECT_EQ(got[2], 9);
+  EXPECT_EQ(net.messages_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace rtdb::net

@@ -1,0 +1,153 @@
+#include "sched/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace rtdb::sched {
+namespace {
+
+using sim::Duration;
+using sim::Kernel;
+using sim::Priority;
+using sim::ProcessId;
+using sim::Task;
+
+Duration tu(std::int64_t n) { return Duration::units(n); }
+
+TEST(DiskTest, UnlimitedServersActAsPureDelay) {
+  Kernel k;
+  IoSubsystem io{k, IoSubsystem::kUnlimited};
+  std::vector<double> finish;
+  auto op = [](Kernel& k, IoSubsystem& io, std::vector<double>& finish) -> Task<void> {
+    co_await io.io(Duration::units(5));
+    finish.push_back(k.now().as_units());
+  };
+  for (int i = 0; i < 4; ++i) k.spawn("op", op(k, io, finish));
+  k.run();
+  EXPECT_EQ(finish, (std::vector<double>{5.0, 5.0, 5.0, 5.0}));
+  EXPECT_EQ(io.completed(), 4u);
+}
+
+TEST(DiskTest, SingleServerSerializes) {
+  Kernel k;
+  IoSubsystem io{k, 1};
+  std::vector<double> finish;
+  auto op = [](Kernel& k, IoSubsystem& io, std::vector<double>& finish) -> Task<void> {
+    co_await io.io(Duration::units(5));
+    finish.push_back(k.now().as_units());
+  };
+  for (int i = 0; i < 3; ++i) k.spawn("op", op(k, io, finish));
+  k.run();
+  EXPECT_EQ(finish, (std::vector<double>{5.0, 10.0, 15.0}));
+  EXPECT_EQ(io.busy_time(), tu(15));
+}
+
+TEST(DiskTest, TwoServersOverlap) {
+  Kernel k;
+  IoSubsystem io{k, 2};
+  std::vector<double> finish;
+  auto op = [](Kernel& k, IoSubsystem& io, std::vector<double>& finish) -> Task<void> {
+    co_await io.io(Duration::units(6));
+    finish.push_back(k.now().as_units());
+  };
+  for (int i = 0; i < 3; ++i) k.spawn("op", op(k, io, finish));
+  k.run();
+  EXPECT_EQ(finish, (std::vector<double>{6.0, 6.0, 12.0}));
+}
+
+TEST(DiskTest, HigherPriorityJumpsQueue) {
+  Kernel k;
+  IoSubsystem io{k, 1};
+  std::vector<int> order;
+  auto op = [](Kernel& k, IoSubsystem& io, std::vector<int>& order, int id,
+               Priority p, Duration delay) -> Task<void> {
+    co_await k.delay(delay);
+    co_await io.io(Duration::units(10), p);
+    order.push_back(id);
+  };
+  // id0 occupies the disk 0..10. id1 (low prio) queues at t=1; id2 (high
+  // prio) queues at t=2 and must be served before id1.
+  k.spawn("op0", op(k, io, order, 0, Priority{5, 0}, tu(0)));
+  k.spawn("op1", op(k, io, order, 1, Priority{9, 0}, tu(1)));
+  k.spawn("op2", op(k, io, order, 2, Priority{1, 0}, tu(2)));
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(DiskTest, EqualPriorityIsFifo) {
+  Kernel k;
+  IoSubsystem io{k, 1};
+  std::vector<int> order;
+  auto op = [](IoSubsystem& io, std::vector<int>& order, int id) -> Task<void> {
+    co_await io.io(Duration::units(2), Priority{3, 0});
+    order.push_back(id);
+  };
+  for (int i = 0; i < 4; ++i) k.spawn("op", op(io, order, i));
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(DiskTest, ZeroServiceIsInstant) {
+  Kernel k;
+  IoSubsystem io{k, 1};
+  bool done = false;
+  k.spawn("op", [](Kernel& k, IoSubsystem& io, bool& done) -> Task<void> {
+    co_await io.io(Duration::zero());
+    EXPECT_EQ(k.now().as_units(), 0.0);
+    done = true;
+  }(k, io, done));
+  k.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(DiskTest, KilledWaiterLeavesQueue) {
+  Kernel k;
+  IoSubsystem io{k, 1};
+  ProcessId victim{};
+  double other_done = -1;
+  k.spawn("holder", [](IoSubsystem& io) -> Task<void> {
+    co_await io.io(Duration::units(10));
+  }(io));
+  victim = k.spawn("victim", [](IoSubsystem& io) -> Task<void> {
+    co_await io.io(Duration::units(10));
+    ADD_FAILURE() << "victim must not be served";
+  }(io));
+  k.spawn("other", [](Kernel& k, IoSubsystem& io, double& done) -> Task<void> {
+    co_await io.io(Duration::units(10));
+    done = k.now().as_units();
+  }(k, io, other_done));
+  k.spawn("killer", [](Kernel& k, ProcessId victim) -> Task<void> {
+    co_await k.delay(Duration::units(1));
+    k.kill(victim);
+  }(k, victim));
+  k.run();
+  EXPECT_EQ(other_done, 20.0);  // victim's slot was skipped
+  EXPECT_EQ(io.completed(), 2u);
+}
+
+TEST(DiskTest, KilledInServiceFreesTheDisk) {
+  Kernel k;
+  IoSubsystem io{k, 1};
+  double other_done = -1;
+  ProcessId victim = k.spawn("victim", [](IoSubsystem& io) -> Task<void> {
+    co_await io.io(Duration::units(100));
+  }(io));
+  k.spawn("other", [](Kernel& k, IoSubsystem& io, double& done) -> Task<void> {
+    co_await io.io(Duration::units(5));
+    done = k.now().as_units();
+  }(k, io, other_done));
+  k.spawn("killer", [](Kernel& k, ProcessId victim) -> Task<void> {
+    co_await k.delay(Duration::units(3));
+    k.kill(victim);
+  }(k, victim));
+  k.run();
+  EXPECT_EQ(other_done, 8.0);  // victim aborted at 3, other served 3..8
+  EXPECT_EQ(io.busy(), 0);
+  EXPECT_EQ(io.queue_length(), 0u);
+}
+
+}  // namespace
+}  // namespace rtdb::sched

@@ -1,0 +1,107 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtdb::sim {
+namespace {
+
+TimePoint at(std::int64_t units) {
+  return TimePoint::origin() + Duration::units(units);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(30), [&] { order.push_back(3); });
+  q.schedule(at(10), [&] { order.push_back(1); });
+  q.schedule(at(20), [&] { order.push_back(2); });
+  while (auto ev = q.pop()) ev->callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(at(5), [&order, i] { order.push_back(i); });
+  }
+  while (auto ev = q.pop()) ev->callback();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.schedule(at(1), [&] { fired = true; });
+  EXPECT_TRUE(q.pending(id));
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel is a no-op
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, SizeCountsLiveEventsOnly) {
+  EventQueue q;
+  EventId a = q.schedule(at(1), [] {});
+  q.schedule(at(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId a = q.schedule(at(1), [] {});
+  q.schedule(at(5), [] {});
+  q.cancel(a);
+  ASSERT_TRUE(q.next_time().has_value());
+  EXPECT_EQ(*q.next_time(), at(5));
+}
+
+TEST(EventQueueTest, StaleIdAfterPopIsRejected) {
+  EventQueue q;
+  EventId a = q.schedule(at(1), [] {});
+  auto ev = q.pop();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_FALSE(q.pending(a));
+  EXPECT_FALSE(q.cancel(a));
+  // Slot reuse must not resurrect the old id.
+  EventId b = q.schedule(at(2), [] {});
+  EXPECT_FALSE(q.pending(a));
+  EXPECT_TRUE(q.pending(b));
+}
+
+TEST(EventQueueTest, InvalidIdIsHarmless) {
+  EventQueue q;
+  EXPECT_FALSE(q.pending(EventId{}));
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueueTest, ManyInterleavedSchedulesAndCancels) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(at(i % 17), [&] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(q.cancel(ids[i]));
+  }
+  std::int64_t last = -1;
+  while (auto ev = q.pop()) {
+    EXPECT_GE(ev->time.as_ticks(), last);
+    last = ev->time.as_ticks();
+    ev->callback();
+  }
+  EXPECT_EQ(fired, 500);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace rtdb::sim

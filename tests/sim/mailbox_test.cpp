@@ -1,0 +1,217 @@
+#include "sim/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace rtdb::sim {
+namespace {
+
+TEST(MailboxTest, AsyncSendThenReceive) {
+  Kernel k;
+  Mailbox<int> mb{k};
+  mb.send(7);
+  mb.send(8);
+  EXPECT_EQ(mb.queued(), 2u);
+  std::vector<int> got;
+  k.spawn("rx", [](Mailbox<int>& mb, std::vector<int>& got) -> Task<void> {
+    got.push_back(*co_await mb.receive());
+    got.push_back(*co_await mb.receive());
+  }(mb, got));
+  k.run();
+  EXPECT_EQ(got, (std::vector<int>{7, 8}));
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST(MailboxTest, ReceiverBlocksUntilSend) {
+  Kernel k;
+  Mailbox<std::string> mb{k};
+  double received_at = -1;
+  std::string msg;
+  k.spawn("rx", [](Kernel& k, Mailbox<std::string>& mb, double& at,
+                   std::string& msg) -> Task<void> {
+    msg = *co_await mb.receive();
+    at = k.now().as_units();
+  }(k, mb, received_at, msg));
+  k.spawn("tx", [](Kernel& k, Mailbox<std::string>& mb) -> Task<void> {
+    co_await k.delay(Duration::units(6));
+    mb.send("hello");
+  }(k, mb));
+  k.run();
+  EXPECT_EQ(msg, "hello");
+  EXPECT_EQ(received_at, 6.0);
+}
+
+TEST(MailboxTest, ReceiversServedFifo) {
+  Kernel k;
+  Mailbox<int> mb{k};
+  std::vector<std::pair<int, int>> got;  // (receiver, value)
+  auto rx = [](Mailbox<int>& mb, std::vector<std::pair<int, int>>& got,
+               int id) -> Task<void> {
+    got.emplace_back(id, *co_await mb.receive());
+  };
+  k.spawn("rx0", rx(mb, got, 0));
+  k.spawn("rx1", rx(mb, got, 1));
+  k.spawn("tx", [](Kernel& k, Mailbox<int>& mb) -> Task<void> {
+    co_await k.delay(Duration::units(1));
+    mb.send(100);
+    mb.send(200);
+  }(k, mb));
+  k.run();
+  EXPECT_EQ(got, (std::vector<std::pair<int, int>>{{0, 100}, {1, 200}}));
+}
+
+TEST(MailboxTest, ReceiveForTimesOut) {
+  Kernel k;
+  Mailbox<int> mb{k};
+  bool got_value = true;
+  double resumed_at = -1;
+  k.spawn("rx", [](Kernel& k, Mailbox<int>& mb, bool& got_value,
+                   double& at) -> Task<void> {
+    auto v = co_await mb.receive_for(Duration::units(5));
+    got_value = v.has_value();
+    at = k.now().as_units();
+  }(k, mb, got_value, resumed_at));
+  k.run();
+  EXPECT_FALSE(got_value);
+  EXPECT_EQ(resumed_at, 5.0);
+  EXPECT_EQ(mb.waiting_receivers(), 0u);
+}
+
+TEST(MailboxTest, ReceiveForSucceedsBeforeTimeout) {
+  Kernel k;
+  Mailbox<int> mb{k};
+  std::optional<int> got;
+  k.spawn("rx", [](Kernel& k, Mailbox<int>& mb,
+                   std::optional<int>& got) -> Task<void> {
+    got = co_await mb.receive_for(Duration::units(50));
+    EXPECT_EQ(k.now().as_units(), 3.0);
+  }(k, mb, got));
+  k.spawn("tx", [](Kernel& k, Mailbox<int>& mb) -> Task<void> {
+    co_await k.delay(Duration::units(3));
+    mb.send(1);
+  }(k, mb));
+  k.run();
+  EXPECT_EQ(got, std::optional<int>{1});
+  EXPECT_EQ(k.now().as_units(), 3.0);  // timeout timer was cancelled
+}
+
+TEST(MailboxTest, RendezvousSenderBlocksUntilRetrieved) {
+  Kernel k;
+  Mailbox<int> mb{k};
+  double sender_resumed = -1;
+  k.spawn("tx", [](Kernel& k, Mailbox<int>& mb, double& at) -> Task<void> {
+    WakeStatus s = co_await mb.send_sync(42);
+    EXPECT_EQ(s, WakeStatus::kOk);
+    at = k.now().as_units();
+  }(k, mb, sender_resumed));
+  k.spawn("rx", [](Kernel& k, Mailbox<int>& mb) -> Task<void> {
+    co_await k.delay(Duration::units(9));
+    EXPECT_EQ(*co_await mb.receive(), 42);
+  }(k, mb));
+  k.run();
+  EXPECT_EQ(sender_resumed, 9.0);
+}
+
+TEST(MailboxTest, RendezvousToWaitingReceiverCompletesImmediately) {
+  Kernel k;
+  Mailbox<int> mb{k};
+  int got = 0;
+  k.spawn("rx", [](Mailbox<int>& mb, int& got) -> Task<void> {
+    got = *co_await mb.receive();
+  }(mb, got));
+  k.spawn("tx", [](Kernel& k, Mailbox<int>& mb) -> Task<void> {
+    co_await k.yield();  // let the receiver block first
+    WakeStatus s = co_await mb.send_sync(5);
+    EXPECT_EQ(s, WakeStatus::kOk);
+    EXPECT_EQ(k.now(), TimePoint::origin());
+  }(k, mb));
+  k.run();
+  EXPECT_EQ(got, 5);
+}
+
+// The paper's Message Server: "if the receiving site is not operational, a
+// time-out mechanism will unblock the sender process".
+TEST(MailboxTest, RendezvousTimeoutWithdrawsMessage) {
+  Kernel k;
+  Mailbox<int> mb{k};
+  WakeStatus status = WakeStatus::kOk;
+  k.spawn("tx", [](Kernel& k, Mailbox<int>& mb, WakeStatus& status) -> Task<void> {
+    status = co_await mb.send_sync_for(1, Duration::units(3));
+    EXPECT_EQ(k.now().as_units(), 3.0);
+  }(k, mb, status));
+  k.run();
+  EXPECT_EQ(status, WakeStatus::kTimeout);
+  EXPECT_TRUE(mb.empty());  // message withdrawn, not delivered later
+}
+
+TEST(MailboxTest, TryTakeDrainsQueueThenSenders) {
+  Kernel k;
+  Mailbox<int> mb{k};
+  mb.send(1);
+  k.spawn("tx", [](Mailbox<int>& mb) -> Task<void> {
+    co_await mb.send_sync(2);
+  }(mb));
+  k.spawn("probe", [](Kernel& k, Mailbox<int>& mb) -> Task<void> {
+    co_await k.delay(Duration::units(1));
+    EXPECT_EQ(mb.try_take(), std::optional<int>{1});
+    EXPECT_EQ(mb.try_take(), std::optional<int>{2});
+    EXPECT_EQ(mb.try_take(), std::nullopt);
+  }(k, mb));
+  k.run();
+}
+
+TEST(MailboxTest, KilledReceiverRequeuesDeliveredMessage) {
+  Kernel k;
+  Mailbox<int> mb{k};
+  ProcessId victim = k.spawn("victim", [](Mailbox<int>& mb) -> Task<void> {
+    co_await mb.receive();
+    ADD_FAILURE() << "victim must not receive";
+  }(mb));
+  int survivor_got = 0;
+  k.spawn("driver", [](Kernel& k, Mailbox<int>& mb, ProcessId victim,
+                       int& survivor_got) -> Task<void> {
+    co_await k.delay(Duration::units(1));
+    mb.send(77);      // delivered to victim's slot, wake pending
+    k.kill(victim);   // victim dies first; message must be requeued
+    auto v = co_await mb.receive_for(Duration::units(1));
+    survivor_got = v.value_or(-1);
+  }(k, mb, victim, survivor_got));
+  k.run();
+  EXPECT_EQ(survivor_got, 77);
+}
+
+TEST(MailboxTest, KilledSenderWithdrawsRendezvousMessage) {
+  Kernel k;
+  Mailbox<int> mb{k};
+  ProcessId victim = k.spawn("victim", [](Mailbox<int>& mb) -> Task<void> {
+    co_await mb.send_sync(5);
+  }(mb));
+  k.spawn("driver", [](Kernel& k, Mailbox<int>& mb, ProcessId victim) -> Task<void> {
+    co_await k.delay(Duration::units(1));
+    EXPECT_EQ(mb.waiting_senders(), 1u);
+    k.kill(victim);
+    EXPECT_EQ(mb.waiting_senders(), 0u);
+    EXPECT_EQ(mb.try_take(), std::nullopt);
+  }(k, mb, victim));
+  k.run();
+}
+
+TEST(MailboxTest, MoveOnlyPayload) {
+  Kernel k;
+  Mailbox<std::unique_ptr<int>> mb{k};
+  mb.send(std::make_unique<int>(9));
+  int got = 0;
+  k.spawn("rx", [](Mailbox<std::unique_ptr<int>>& mb, int& got) -> Task<void> {
+    auto p = co_await mb.receive();
+    got = **p;
+  }(mb, got));
+  k.run();
+  EXPECT_EQ(got, 9);
+}
+
+}  // namespace
+}  // namespace rtdb::sim

@@ -1,0 +1,187 @@
+#include "sim/semaphore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace rtdb::sim {
+namespace {
+
+Duration tu(std::int64_t n) { return Duration::units(n); }
+
+TEST(SemaphoreTest, TryAcquireConsumesCredits) {
+  Kernel k;
+  Semaphore sem{k, 2};
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  EXPECT_EQ(sem.available(), 0);
+  sem.release();
+  EXPECT_EQ(sem.available(), 1);
+}
+
+TEST(SemaphoreTest, AcquireFastPathDoesNotBlock) {
+  Kernel k;
+  Semaphore sem{k, 1};
+  bool done = false;
+  k.spawn("p", [](Kernel& k, Semaphore& sem, bool& done) -> Task<void> {
+    WakeStatus s = co_await sem.acquire();
+    EXPECT_EQ(s, WakeStatus::kOk);
+    EXPECT_EQ(k.now(), TimePoint::origin());
+    done = true;
+  }(k, sem, done));
+  k.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(SemaphoreTest, BlockedAcquireWokenByRelease) {
+  Kernel k;
+  Semaphore sem{k, 0};
+  double acquired_at = -1;
+  k.spawn("waiter", [](Kernel& k, Semaphore& sem, double& at) -> Task<void> {
+    co_await sem.acquire();
+    at = k.now().as_units();
+  }(k, sem, acquired_at));
+  k.spawn("releaser", [](Kernel& k, Semaphore& sem) -> Task<void> {
+    co_await k.delay(Duration::units(8));
+    sem.release();
+  }(k, sem));
+  k.run();
+  EXPECT_EQ(acquired_at, 8.0);
+  EXPECT_EQ(sem.available(), 0);
+}
+
+TEST(SemaphoreTest, FifoHandoffNoBarging) {
+  Kernel k;
+  Semaphore sem{k, 0};
+  std::vector<int> order;
+  auto waiter = [](Kernel&, Semaphore& sem, std::vector<int>& order,
+                   int id) -> Task<void> {
+    co_await sem.acquire();
+    order.push_back(id);
+  };
+  for (int i = 0; i < 3; ++i) k.spawn("w", waiter(k, sem, order, i));
+  k.spawn("releaser", [](Kernel& k, Semaphore& sem) -> Task<void> {
+    co_await k.delay(Duration::units(1));
+    sem.release(3);
+  }(k, sem));
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SemaphoreTest, ReleaseWithoutWaitersAccumulates) {
+  Kernel k;
+  Semaphore sem{k, 0};
+  sem.release(5);
+  EXPECT_EQ(sem.available(), 5);
+}
+
+TEST(SemaphoreTest, TimeoutExpires) {
+  Kernel k;
+  Semaphore sem{k, 0};
+  WakeStatus status = WakeStatus::kOk;
+  double resumed_at = -1;
+  k.spawn("p", [](Kernel& k, Semaphore& sem, WakeStatus& status,
+                  double& at) -> Task<void> {
+    status = co_await sem.acquire_for(Duration::units(4));
+    at = k.now().as_units();
+  }(k, sem, status, resumed_at));
+  k.run();
+  EXPECT_EQ(status, WakeStatus::kTimeout);
+  EXPECT_EQ(resumed_at, 4.0);
+  EXPECT_EQ(sem.waiter_count(), 0u);
+}
+
+TEST(SemaphoreTest, GrantBeforeTimeoutCancelsTimer) {
+  Kernel k;
+  Semaphore sem{k, 0};
+  WakeStatus status = WakeStatus::kTimeout;
+  k.spawn("p", [](Semaphore& sem, WakeStatus& status) -> Task<void> {
+    status = co_await sem.acquire_for(Duration::units(100));
+  }(sem, status));
+  k.spawn("r", [](Kernel& k, Semaphore& sem) -> Task<void> {
+    co_await k.delay(Duration::units(2));
+    sem.release();
+  }(k, sem));
+  k.run();
+  EXPECT_EQ(status, WakeStatus::kOk);
+  EXPECT_EQ(k.now().as_units(), 2.0);  // no stray timeout event at t=100
+}
+
+TEST(SemaphoreTest, KilledWaiterLeavesQueue) {
+  Kernel k;
+  Semaphore sem{k, 0};
+  ProcessId p = k.spawn("p", [](Semaphore& sem) -> Task<void> {
+    co_await sem.acquire();
+  }(sem));
+  k.spawn("killer", [](Kernel& k, Semaphore& sem, ProcessId p) -> Task<void> {
+    co_await k.delay(Duration::units(1));
+    EXPECT_EQ(sem.waiter_count(), 1u);
+    k.kill(p);
+    EXPECT_EQ(sem.waiter_count(), 0u);
+  }(k, sem, p));
+  k.run();
+  EXPECT_FALSE(k.alive(p));
+}
+
+// A credit handed to a waiter that is killed before it resumes must return
+// to the semaphore rather than vanish.
+TEST(SemaphoreTest, KillAfterGrantReturnsCredit) {
+  Kernel k;
+  Semaphore sem{k, 0};
+  ProcessId victim = k.spawn("victim", [](Semaphore& sem) -> Task<void> {
+    co_await sem.acquire();
+    ADD_FAILURE() << "victim should never obtain the credit";
+  }(sem));
+  k.spawn("driver", [](Kernel& k, Semaphore& sem, ProcessId victim) -> Task<void> {
+    co_await k.delay(Duration::units(1));
+    sem.release();      // hand-off scheduled for the victim
+    k.kill(victim);     // ...but the victim dies first
+    co_await k.yield();
+    EXPECT_EQ(sem.available(), 1);  // credit survived
+  }(k, sem, victim));
+  k.run();
+}
+
+TEST(SemaphoreTest, ManyWaitersPartialRelease) {
+  Kernel k;
+  Semaphore sem{k, 0};
+  int acquired = 0;
+  auto waiter = [](Semaphore& sem, int& acquired) -> Task<void> {
+    co_await sem.acquire();
+    ++acquired;
+  };
+  for (int i = 0; i < 5; ++i) k.spawn("w", waiter(sem, acquired));
+  k.spawn("r", [](Kernel& k, Semaphore& sem) -> Task<void> {
+    co_await k.delay(Duration::units(1));
+    sem.release(2);
+  }(k, sem));
+  k.run_until(TimePoint::origin() + tu(10));
+  EXPECT_EQ(acquired, 2);
+  EXPECT_EQ(sem.waiter_count(), 3u);
+}
+
+TEST(SemaphoreTest, MutexStyleCriticalSection) {
+  Kernel k;
+  Semaphore mutex{k, 1};
+  int inside = 0;
+  int max_inside = 0;
+  auto worker = [](Kernel& k, Semaphore& mutex, int& inside,
+                   int& max_inside) -> Task<void> {
+    co_await mutex.acquire();
+    ++inside;
+    max_inside = std::max(max_inside, inside);
+    co_await k.delay(Duration::units(3));
+    --inside;
+    mutex.release();
+  };
+  for (int i = 0; i < 4; ++i) k.spawn("w", worker(k, mutex, inside, max_inside));
+  k.run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(k.now().as_units(), 12.0);  // fully serialized
+}
+
+}  // namespace
+}  // namespace rtdb::sim

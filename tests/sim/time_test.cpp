@@ -1,0 +1,98 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/priority.hpp"
+
+namespace rtdb::sim {
+namespace {
+
+TEST(DurationTest, ConstructionAndConversion) {
+  EXPECT_EQ(Duration::zero().as_ticks(), 0);
+  EXPECT_EQ(Duration::units(3).as_ticks(), 3 * kTicksPerUnit);
+  EXPECT_EQ(Duration::ticks(1500).as_units(), 1.5);
+  EXPECT_EQ(Duration::from_units(0.5).as_ticks(), kTicksPerUnit / 2);
+  EXPECT_EQ(Duration::from_units(2.0004).as_ticks(), 2000);  // rounds
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::units(2);
+  const Duration b = Duration::units(3);
+  EXPECT_EQ((a + b).as_units(), 5.0);
+  EXPECT_EQ((b - a).as_units(), 1.0);
+  EXPECT_EQ((a * 4).as_units(), 8.0);
+  EXPECT_EQ((4 * a).as_units(), 8.0);
+  EXPECT_EQ(a.scaled(1.25).as_ticks(), 2500);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c, Duration::units(5));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::units(1), Duration::units(2));
+  EXPECT_TRUE(Duration::ticks(-5).is_negative());
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_FALSE(Duration::ticks(1).is_zero());
+}
+
+TEST(DurationTest, SecondsConversion) {
+  // One time unit is one millisecond by convention.
+  EXPECT_DOUBLE_EQ(Duration::units(kUnitsPerSecond).as_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(Duration::units(500).as_seconds(), 0.5);
+}
+
+TEST(DurationTest, ToString) {
+  EXPECT_EQ(Duration::units(7).to_string(), "7tu");
+  EXPECT_EQ(Duration::ticks(1500).to_string(), "1.500tu");
+  EXPECT_EQ(Duration::ticks(-1500).to_string(), "-1.500tu");
+}
+
+TEST(TimePointTest, ArithmeticWithDuration) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::units(10);
+  EXPECT_EQ((t1 - t0).as_units(), 10.0);
+  EXPECT_EQ((t1 - Duration::units(4)).as_ticks(), 6 * kTicksPerUnit);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(TimePoint::at_ticks(2500).as_units(), 2.5);
+}
+
+TEST(PriorityTest, SmallerKeyIsHigher) {
+  const Priority early{100, 1};
+  const Priority late{200, 1};
+  EXPECT_TRUE(early.higher_than(late));
+  EXPECT_TRUE(late.lower_than(early));
+  EXPECT_TRUE(early.at_least(late));
+  EXPECT_TRUE(early.at_least(early));
+  EXPECT_FALSE(late.at_least(early));
+}
+
+TEST(PriorityTest, TieBreakByTransactionId) {
+  const Priority a{100, 1};
+  const Priority b{100, 2};
+  EXPECT_TRUE(a.higher_than(b));
+  EXPECT_FALSE(b.higher_than(a));
+  EXPECT_NE(a, b);
+}
+
+TEST(PriorityTest, Extremes) {
+  const Priority p{12345, 7};
+  EXPECT_TRUE(Priority::highest().higher_than(p));
+  EXPECT_TRUE(p.higher_than(Priority::lowest()));
+  EXPECT_EQ(Priority::stronger(p, Priority::lowest()), p);
+  EXPECT_EQ(Priority::stronger(Priority::highest(), p), Priority::highest());
+}
+
+TEST(PriorityTest, DefaultIsLowest) {
+  EXPECT_EQ(Priority{}, Priority::lowest());
+}
+
+TEST(PriorityTest, HigherFirstComparator) {
+  Priority::HigherFirst cmp;
+  EXPECT_TRUE(cmp(Priority{1, 0}, Priority{2, 0}));
+  EXPECT_FALSE(cmp(Priority{2, 0}, Priority{1, 0}));
+}
+
+}  // namespace
+}  // namespace rtdb::sim

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "stats/metrics.hpp"
+#include "stats/monitor.hpp"
+#include "stats/table.hpp"
+
+namespace rtdb::stats {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at(std::int64_t n) { return TimePoint::origin() + Duration::units(n); }
+
+TxnRecord arrival(std::uint64_t id, std::uint32_t size, std::int64_t t,
+                  std::int64_t deadline) {
+  TxnRecord r;
+  r.id = db::TxnId{id};
+  r.size = size;
+  r.arrival = at(t);
+  r.deadline = at(deadline);
+  return r;
+}
+
+TEST(MonitorTest, LifecycleCounters) {
+  PerformanceMonitor m;
+  m.on_arrival(arrival(1, 3, 0, 100));
+  m.on_arrival(arrival(2, 5, 1, 100));
+  m.on_start(db::TxnId{1}, at(0));
+  m.on_commit(db::TxnId{1}, at(10));
+  m.on_deadline_miss(db::TxnId{2}, at(100));
+  EXPECT_EQ(m.arrived(), 2u);
+  EXPECT_EQ(m.processed(), 2u);
+  EXPECT_EQ(m.committed(), 1u);
+  EXPECT_EQ(m.missed(), 1u);
+  EXPECT_EQ(m.record(db::TxnId{1}).response(), Duration::units(10));
+}
+
+TEST(MonitorTest, RestartAndBlockingAccumulate) {
+  PerformanceMonitor m;
+  m.on_arrival(arrival(1, 2, 0, 50));
+  m.on_restart(db::TxnId{1});
+  m.on_restart(db::TxnId{1});
+  m.on_attempt_stats(db::TxnId{1}, Duration::units(3), 1);
+  m.on_attempt_stats(db::TxnId{1}, Duration::units(4), 2);
+  const auto& r = m.record(db::TxnId{1});
+  EXPECT_EQ(r.aborts, 2u);
+  EXPECT_EQ(r.blocked, Duration::units(7));
+  EXPECT_EQ(r.ceiling_blocks, 3u);
+}
+
+TEST(MonitorTest, FindUnknownReturnsNull) {
+  PerformanceMonitor m;
+  EXPECT_EQ(m.find(db::TxnId{42}), nullptr);
+}
+
+TEST(MetricsTest, ComputesPaperFormulas) {
+  PerformanceMonitor m;
+  // Two committed transactions of sizes 4 and 6, one miss of size 10,
+  // over 2 "seconds" of virtual time.
+  m.on_arrival(arrival(1, 4, 0, 1000));
+  m.on_arrival(arrival(2, 6, 0, 1000));
+  m.on_arrival(arrival(3, 10, 0, 500));
+  m.on_commit(db::TxnId{1}, at(100));
+  m.on_commit(db::TxnId{2}, at(200));
+  m.on_deadline_miss(db::TxnId{3}, at(500));
+  const Duration elapsed = Duration::units(2 * sim::kUnitsPerSecond);
+  const Metrics metrics = Metrics::compute(m.records(), elapsed);
+  EXPECT_EQ(metrics.processed, 3u);
+  EXPECT_EQ(metrics.committed, 2u);
+  EXPECT_EQ(metrics.missed, 1u);
+  EXPECT_NEAR(metrics.pct_missed, 100.0 / 3.0, 1e-9);
+  // Normalized throughput counts only successful transactions' objects.
+  EXPECT_DOUBLE_EQ(metrics.throughput_objects_per_sec, (4 + 6) / 2.0);
+  EXPECT_DOUBLE_EQ(metrics.avg_response_units, 150.0);
+}
+
+TEST(MetricsTest, UnprocessedRecordsAreExcluded) {
+  PerformanceMonitor m;
+  m.on_arrival(arrival(1, 4, 0, 1000));  // never finishes (end of run)
+  m.on_arrival(arrival(2, 6, 0, 1000));
+  m.on_commit(db::TxnId{2}, at(10));
+  const Metrics metrics =
+      Metrics::compute(m.records(), Duration::units(sim::kUnitsPerSecond));
+  EXPECT_EQ(metrics.arrived, 2u);
+  EXPECT_EQ(metrics.processed, 1u);
+  EXPECT_DOUBLE_EQ(metrics.pct_missed, 0.0);
+}
+
+TEST(RunAggregateTest, MeanStddevMinMax) {
+  const double samples[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const RunAggregate a = RunAggregate::over(samples);
+  EXPECT_DOUBLE_EQ(a.mean, 5.0);
+  EXPECT_NEAR(a.stddev, 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(a.min, 2.0);
+  EXPECT_DOUBLE_EQ(a.max, 9.0);
+  EXPECT_EQ(a.n, 8u);
+}
+
+TEST(RunAggregateTest, EmptyAndSingle) {
+  EXPECT_EQ(RunAggregate::over({}).n, 0u);
+  const double one[] = {3.0};
+  const RunAggregate a = RunAggregate::over(one);
+  EXPECT_DOUBLE_EQ(a.mean, 3.0);
+  EXPECT_DOUBLE_EQ(a.stddev, 0.0);
+}
+
+TEST(TableTest, AlignedTextOutput) {
+  Table t{{"size", "PCP", "2PL"}};
+  t.add_row({"4", "123.40", "99.21"});
+  t.add_row({"20", "120.00", "7.55"});
+  const std::string text = t.to_text("Fig 2");
+  EXPECT_NE(text.find("== Fig 2 =="), std::string::npos);
+  EXPECT_NE(text.find("size"), std::string::npos);
+  EXPECT_NE(text.find("123.40"), std::string::npos);
+  // Columns align: every line has the same position for the last column.
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t{{"a", "b"}};
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace rtdb::stats

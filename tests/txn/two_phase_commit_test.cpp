@@ -1,0 +1,142 @@
+#include "txn/two_phase_commit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/kernel.hpp"
+
+namespace rtdb::txn {
+namespace {
+
+using sim::Duration;
+using sim::Kernel;
+using sim::Task;
+
+Duration tu(std::int64_t n) { return Duration::units(n); }
+
+struct Cluster {
+  Kernel k;
+  net::Network net{k, 3, tu(2)};
+  net::MessageServer ms0{k, net, 0};
+  net::MessageServer ms1{k, net, 1};
+  net::MessageServer ms2{k, net, 2};
+  CommitCoordinator coordinator{ms0};
+  std::map<std::pair<net::SiteId, std::uint64_t>, bool> decisions;
+
+  CommitParticipant p1{ms1, callbacks(1, true)};
+  CommitParticipant p2{ms2, callbacks(2, true)};
+
+  Cluster() {
+    ms0.start();
+    ms1.start();
+    ms2.start();
+  }
+
+  CommitParticipant::Callbacks callbacks(net::SiteId site, bool vote) {
+    return CommitParticipant::Callbacks{
+        [vote](db::TxnId) { return vote; },
+        [this, site](db::TxnId txn, bool commit) {
+          decisions[{site, txn.value}] = commit;
+        }};
+  }
+};
+
+TEST(TwoPhaseCommitTest, AllYesCommits) {
+  Cluster c;
+  bool committed = false;
+  double done_at = -1;
+  c.k.spawn("coord", [](Cluster& c, bool& committed, double& at) -> Task<void> {
+    std::vector<net::SiteId> participants{1, 2};  // gcc12: no braced list in co_await
+    committed = co_await c.coordinator.commit(db::TxnId{7}, participants, tu(100));
+    at = c.k.now().as_units();
+  }(c, committed, done_at));
+  c.k.run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(done_at, 4.0);  // one parallel prepare/vote round trip
+  EXPECT_EQ((c.decisions[{1, 7}]), true);
+  EXPECT_EQ((c.decisions[{2, 7}]), true);
+  EXPECT_EQ(c.coordinator.aborts(), 0u);
+}
+
+struct VetoCluster {
+  Kernel k;
+  net::Network net{k, 3, tu(2)};
+  net::MessageServer ms0{k, net, 0};
+  net::MessageServer ms1{k, net, 1};
+  net::MessageServer ms2{k, net, 2};
+  CommitCoordinator coordinator{ms0};
+  std::map<std::pair<net::SiteId, std::uint64_t>, bool> decisions;
+  CommitParticipant yes{ms1, {[](db::TxnId) { return true; },
+                              [this](db::TxnId t, bool c) {
+                                decisions[{1, t.value}] = c;
+                              }}};
+  CommitParticipant no{ms2, {[](db::TxnId) { return false; },
+                             [this](db::TxnId t, bool c) {
+                               decisions[{2, t.value}] = c;
+                             }}};
+  VetoCluster() {
+    ms0.start();
+    ms1.start();
+    ms2.start();
+  }
+};
+
+TEST(TwoPhaseCommitTest, VetoAborts) {
+  VetoCluster c;
+  bool committed = true;
+  c.k.spawn("coord", [](VetoCluster& c, bool& committed) -> Task<void> {
+    std::vector<net::SiteId> participants{1, 2};
+    committed = co_await c.coordinator.commit(db::TxnId{9}, participants, tu(100));
+  }(c, committed));
+  c.k.run();
+  EXPECT_FALSE(committed);
+  EXPECT_EQ((c.decisions[{1, 9}]), false);
+  EXPECT_EQ((c.decisions[{2, 9}]), false);
+  EXPECT_EQ(c.coordinator.aborts(), 1u);
+}
+
+TEST(TwoPhaseCommitTest, NoParticipantsIsLocalCommit) {
+  Cluster c;
+  bool committed = false;
+  c.k.spawn("coord", [](Cluster& c, bool& committed) -> Task<void> {
+    committed = co_await c.coordinator.commit(db::TxnId{1}, std::vector<net::SiteId>{}, tu(10));
+    EXPECT_EQ(c.k.now().as_units(), 0.0);
+  }(c, committed));
+  c.k.run();
+  EXPECT_TRUE(committed);
+}
+
+TEST(TwoPhaseCommitTest, DownParticipantTimesOutAsNo) {
+  Cluster c;
+  c.net.set_operational(2, false);  // site 2 never votes
+  bool committed = true;
+  double done_at = -1;
+  c.k.spawn("coord", [](Cluster& c, bool& committed, double& at) -> Task<void> {
+    std::vector<net::SiteId> participants{1, 2};
+    committed = co_await c.coordinator.commit(db::TxnId{3}, participants, tu(10));
+    at = c.k.now().as_units();
+  }(c, committed, done_at));
+  c.k.run();
+  EXPECT_FALSE(committed);
+  EXPECT_EQ(done_at, 10.0);  // waited out the vote timeout
+  EXPECT_EQ((c.decisions[{1, 3}]), false);  // survivor told to abort
+}
+
+TEST(TwoPhaseCommitTest, SequentialTransactionsDoNotInterfere) {
+  Cluster c;
+  std::vector<bool> results;
+  c.k.spawn("coord", [](Cluster& c, std::vector<bool>& results) -> Task<void> {
+    for (std::uint64_t t = 1; t <= 3; ++t) {
+      std::vector<net::SiteId> participants{1, 2};
+      results.push_back(
+          co_await c.coordinator.commit(db::TxnId{t}, participants, tu(100)));
+    }
+  }(c, results));
+  c.k.run();
+  EXPECT_EQ(results, (std::vector<bool>{true, true, true}));
+  EXPECT_EQ(c.coordinator.rounds(), 3u);
+}
+
+}  // namespace
+}  // namespace rtdb::txn

@@ -1,0 +1,190 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace rtdb::workload {
+namespace {
+
+using sim::Duration;
+using sim::Kernel;
+
+WorkloadConfig base_config() {
+  WorkloadConfig cfg;
+  cfg.mean_interarrival = Duration::units(10);
+  cfg.size_min = 2;
+  cfg.size_max = 5;
+  cfg.read_only_fraction = 0.5;
+  cfg.slack_min = 4;
+  cfg.slack_max = 8;
+  cfg.est_time_per_object = Duration::units(3);
+  cfg.transaction_count = 200;
+  return cfg;
+}
+
+TEST(GeneratorTest, GeneratesConfiguredCount) {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{50, 1, db::Placement::kSingleSite}};
+  std::vector<txn::TransactionSpec> specs;
+  TransactionGenerator gen{k, schema, base_config(), sim::RandomStream{1},
+                           [&](txn::TransactionSpec s) { specs.push_back(s); }};
+  gen.start();
+  k.run();
+  EXPECT_EQ(specs.size(), 200u);
+  EXPECT_EQ(gen.generated(), 200u);
+  EXPECT_TRUE(gen.finished());
+}
+
+TEST(GeneratorTest, SpecsAreWellFormed) {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{50, 1, db::Placement::kSingleSite}};
+  std::vector<txn::TransactionSpec> specs;
+  TransactionGenerator gen{k, schema, base_config(), sim::RandomStream{2},
+                           [&](txn::TransactionSpec s) { specs.push_back(s); }};
+  gen.start();
+  k.run();
+  std::set<std::uint64_t> ids;
+  for (const auto& s : specs) {
+    EXPECT_TRUE(s.id.valid());
+    ids.insert(s.id.value);
+    EXPECT_GE(s.size(), 2u);
+    EXPECT_LE(s.size(), 5u);
+    EXPECT_GT(s.deadline, s.arrival);
+    // Deadline proportional to size: slack in [4, 8] x 3tu per object.
+    const double per_object =
+        (s.deadline - s.arrival).as_units() / s.size();
+    EXPECT_GE(per_object, 4 * 3 - 1e-9);
+    EXPECT_LE(per_object, 8 * 3 + 1e-9);
+    // EDF at arrival: priority key equals the deadline.
+    EXPECT_EQ(s.priority.key(), s.deadline.as_ticks());
+    // Objects are distinct and in range.
+    std::set<db::ObjectId> objs;
+    for (const auto& op : s.access.operations()) {
+      EXPECT_LT(op.object, 50u);
+      objs.insert(op.object);
+      EXPECT_EQ(op.mode, s.read_only ? cc::LockMode::kRead : cc::LockMode::kWrite);
+    }
+    EXPECT_EQ(objs.size(), s.size());
+  }
+  EXPECT_EQ(ids.size(), specs.size());  // ids unique
+}
+
+TEST(GeneratorTest, MixFractionRoughlyHolds) {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{50, 1, db::Placement::kSingleSite}};
+  auto cfg = base_config();
+  cfg.transaction_count = 1000;
+  cfg.read_only_fraction = 0.3;
+  int read_only = 0;
+  TransactionGenerator gen{k, schema, cfg, sim::RandomStream{3},
+                           [&](txn::TransactionSpec s) {
+                             if (s.read_only) ++read_only;
+                           }};
+  gen.start();
+  k.run();
+  EXPECT_NEAR(read_only / 1000.0, 0.3, 0.05);
+}
+
+TEST(GeneratorTest, InterarrivalMeanConverges) {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{50, 1, db::Placement::kSingleSite}};
+  auto cfg = base_config();
+  cfg.transaction_count = 2000;
+  sim::TimePoint last{};
+  double sum = 0;
+  int n = 0;
+  TransactionGenerator gen{k, schema, cfg, sim::RandomStream{4},
+                           [&](txn::TransactionSpec s) {
+                             sum += (s.arrival - last).as_units();
+                             last = s.arrival;
+                             ++n;
+                           }};
+  gen.start();
+  k.run();
+  EXPECT_NEAR(sum / n, 10.0, 0.7);
+}
+
+TEST(GeneratorTest, HomeByWriteSetKeepsUpdatesLocal) {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{30, 3, db::Placement::kFullyReplicated}};
+  auto cfg = base_config();
+  cfg.assignment = Assignment::kHomeByWriteSet;
+  cfg.read_only_fraction = 0.5;
+  cfg.transaction_count = 300;
+  bool saw_all_sites[3] = {};
+  TransactionGenerator gen{k, schema, cfg, sim::RandomStream{5},
+                           [&](txn::TransactionSpec s) {
+                             EXPECT_LT(s.home_site, 3u);
+                             saw_all_sites[s.home_site] = true;
+                             if (!s.read_only) {
+                               for (const auto& op : s.access.operations()) {
+                                 EXPECT_TRUE(schema.is_primary(s.home_site, op.object))
+                                     << "update touches non-local primary";
+                               }
+                             }
+                           }};
+  gen.start();
+  k.run();
+  EXPECT_TRUE(saw_all_sites[0] && saw_all_sites[1] && saw_all_sites[2]);
+}
+
+TEST(GeneratorTest, UniformSiteSpreadsHomes) {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{30, 3, db::Placement::kPartitioned}};
+  auto cfg = base_config();
+  cfg.assignment = Assignment::kUniformSite;
+  cfg.transaction_count = 600;
+  int per_site[3] = {};
+  TransactionGenerator gen{k, schema, cfg, sim::RandomStream{6},
+                           [&](txn::TransactionSpec s) { ++per_site[s.home_site]; }};
+  gen.start();
+  k.run();
+  for (int c : per_site) EXPECT_NEAR(c, 200, 60);
+}
+
+TEST(GeneratorTest, PeriodicSourceReleasesOnSchedule) {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{50, 1, db::Placement::kSingleSite}};
+  auto cfg = base_config();
+  cfg.transaction_count = 0;  // only the periodic source
+  PeriodicSource source;
+  source.period = Duration::units(20);
+  source.phase = Duration::units(5);
+  source.size = 3;
+  source.read_only = true;
+  cfg.periodic.push_back(source);
+  std::vector<double> releases;
+  TransactionGenerator gen{k, schema, cfg, sim::RandomStream{7},
+                           [&](txn::TransactionSpec s) {
+                             releases.push_back(s.arrival.as_units());
+                             EXPECT_TRUE(s.read_only);
+                             EXPECT_EQ(s.size(), 3u);
+                             // Implicit deadline: next release.
+                             EXPECT_EQ((s.deadline - s.arrival).as_units(), 20.0);
+                           }};
+  gen.start();
+  k.run_until(sim::TimePoint::origin() + Duration::units(100));
+  EXPECT_EQ(releases, (std::vector<double>{5, 25, 45, 65, 85}));
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  auto collect = [](std::uint64_t seed) {
+    Kernel k;
+    db::Database schema{db::DatabaseConfig{50, 1, db::Placement::kSingleSite}};
+    std::vector<std::pair<std::int64_t, std::uint32_t>> sig;
+    TransactionGenerator gen{k, schema, base_config(), sim::RandomStream{seed},
+                             [&](txn::TransactionSpec s) {
+                               sig.emplace_back(s.arrival.as_ticks(), s.size());
+                             }};
+    gen.start();
+    k.run();
+    return sig;
+  };
+  EXPECT_EQ(collect(42), collect(42));
+  EXPECT_NE(collect(42), collect(43));
+}
+
+}  // namespace
+}  // namespace rtdb::workload
