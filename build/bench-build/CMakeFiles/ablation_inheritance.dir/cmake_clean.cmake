@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_inheritance"
+  "../bench/ablation_inheritance.pdb"
+  "CMakeFiles/ablation_inheritance.dir/ablation_inheritance.cpp.o"
+  "CMakeFiles/ablation_inheritance.dir/ablation_inheritance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rw_semantics"
+  "../bench/ablation_rw_semantics.pdb"
+  "CMakeFiles/ablation_rw_semantics.dir/ablation_rw_semantics.cpp.o"
+  "CMakeFiles/ablation_rw_semantics.dir/ablation_rw_semantics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rw_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_victim_policy"
+  "../bench/ablation_victim_policy.pdb"
+  "CMakeFiles/ablation_victim_policy.dir/ablation_victim_policy.cpp.o"
+  "CMakeFiles/ablation_victim_policy.dir/ablation_victim_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_victim_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_deadline_miss"
+  "../bench/fig3_deadline_miss.pdb"
+  "CMakeFiles/fig3_deadline_miss.dir/fig3_deadline_miss.cpp.o"
+  "CMakeFiles/fig3_deadline_miss.dir/fig3_deadline_miss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_deadline_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

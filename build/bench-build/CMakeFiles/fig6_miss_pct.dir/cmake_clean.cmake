@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_miss_pct"
+  "../bench/fig6_miss_pct.pdb"
+  "CMakeFiles/fig6_miss_pct.dir/fig6_miss_pct.cpp.o"
+  "CMakeFiles/fig6_miss_pct.dir/fig6_miss_pct.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_miss_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

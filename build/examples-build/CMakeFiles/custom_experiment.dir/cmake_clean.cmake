@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_experiment"
+  "../examples/custom_experiment.pdb"
+  "CMakeFiles/custom_experiment.dir/custom_experiment.cpp.o"
+  "CMakeFiles/custom_experiment.dir/custom_experiment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/protocol_shootout"
+  "../examples/protocol_shootout.pdb"
+  "CMakeFiles/protocol_shootout.dir/protocol_shootout.cpp.o"
+  "CMakeFiles/protocol_shootout.dir/protocol_shootout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/replicated_views"
+  "../examples/replicated_views.pdb"
+  "CMakeFiles/replicated_views.dir/replicated_views.cpp.o"
+  "CMakeFiles/replicated_views.dir/replicated_views.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/tracking_radar"
+  "../examples/tracking_radar.pdb"
+  "CMakeFiles/tracking_radar.dir/tracking_radar.cpp.o"
+  "CMakeFiles/tracking_radar.dir/tracking_radar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracking_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

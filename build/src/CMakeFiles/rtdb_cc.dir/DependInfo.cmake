@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/access_set.cpp" "src/CMakeFiles/rtdb_cc.dir/cc/access_set.cpp.o" "gcc" "src/CMakeFiles/rtdb_cc.dir/cc/access_set.cpp.o.d"
+  "/root/repo/src/cc/controller.cpp" "src/CMakeFiles/rtdb_cc.dir/cc/controller.cpp.o" "gcc" "src/CMakeFiles/rtdb_cc.dir/cc/controller.cpp.o.d"
+  "/root/repo/src/cc/deadlock.cpp" "src/CMakeFiles/rtdb_cc.dir/cc/deadlock.cpp.o" "gcc" "src/CMakeFiles/rtdb_cc.dir/cc/deadlock.cpp.o.d"
+  "/root/repo/src/cc/hp2pl.cpp" "src/CMakeFiles/rtdb_cc.dir/cc/hp2pl.cpp.o" "gcc" "src/CMakeFiles/rtdb_cc.dir/cc/hp2pl.cpp.o.d"
+  "/root/repo/src/cc/lock_table.cpp" "src/CMakeFiles/rtdb_cc.dir/cc/lock_table.cpp.o" "gcc" "src/CMakeFiles/rtdb_cc.dir/cc/lock_table.cpp.o.d"
+  "/root/repo/src/cc/pcp.cpp" "src/CMakeFiles/rtdb_cc.dir/cc/pcp.cpp.o" "gcc" "src/CMakeFiles/rtdb_cc.dir/cc/pcp.cpp.o.d"
+  "/root/repo/src/cc/pip.cpp" "src/CMakeFiles/rtdb_cc.dir/cc/pip.cpp.o" "gcc" "src/CMakeFiles/rtdb_cc.dir/cc/pip.cpp.o.d"
+  "/root/repo/src/cc/serializability.cpp" "src/CMakeFiles/rtdb_cc.dir/cc/serializability.cpp.o" "gcc" "src/CMakeFiles/rtdb_cc.dir/cc/serializability.cpp.o.d"
+  "/root/repo/src/cc/tso.cpp" "src/CMakeFiles/rtdb_cc.dir/cc/tso.cpp.o" "gcc" "src/CMakeFiles/rtdb_cc.dir/cc/tso.cpp.o.d"
+  "/root/repo/src/cc/two_phase.cpp" "src/CMakeFiles/rtdb_cc.dir/cc/two_phase.cpp.o" "gcc" "src/CMakeFiles/rtdb_cc.dir/cc/two_phase.cpp.o.d"
+  "/root/repo/src/cc/wait_die.cpp" "src/CMakeFiles/rtdb_cc.dir/cc/wait_die.cpp.o" "gcc" "src/CMakeFiles/rtdb_cc.dir/cc/wait_die.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_cc.dir/cc/access_set.cpp.o"
+  "CMakeFiles/rtdb_cc.dir/cc/access_set.cpp.o.d"
+  "CMakeFiles/rtdb_cc.dir/cc/controller.cpp.o"
+  "CMakeFiles/rtdb_cc.dir/cc/controller.cpp.o.d"
+  "CMakeFiles/rtdb_cc.dir/cc/deadlock.cpp.o"
+  "CMakeFiles/rtdb_cc.dir/cc/deadlock.cpp.o.d"
+  "CMakeFiles/rtdb_cc.dir/cc/hp2pl.cpp.o"
+  "CMakeFiles/rtdb_cc.dir/cc/hp2pl.cpp.o.d"
+  "CMakeFiles/rtdb_cc.dir/cc/lock_table.cpp.o"
+  "CMakeFiles/rtdb_cc.dir/cc/lock_table.cpp.o.d"
+  "CMakeFiles/rtdb_cc.dir/cc/pcp.cpp.o"
+  "CMakeFiles/rtdb_cc.dir/cc/pcp.cpp.o.d"
+  "CMakeFiles/rtdb_cc.dir/cc/pip.cpp.o"
+  "CMakeFiles/rtdb_cc.dir/cc/pip.cpp.o.d"
+  "CMakeFiles/rtdb_cc.dir/cc/serializability.cpp.o"
+  "CMakeFiles/rtdb_cc.dir/cc/serializability.cpp.o.d"
+  "CMakeFiles/rtdb_cc.dir/cc/tso.cpp.o"
+  "CMakeFiles/rtdb_cc.dir/cc/tso.cpp.o.d"
+  "CMakeFiles/rtdb_cc.dir/cc/two_phase.cpp.o"
+  "CMakeFiles/rtdb_cc.dir/cc/two_phase.cpp.o.d"
+  "CMakeFiles/rtdb_cc.dir/cc/wait_die.cpp.o"
+  "CMakeFiles/rtdb_cc.dir/cc/wait_die.cpp.o.d"
+  "librtdb_cc.a"
+  "librtdb_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

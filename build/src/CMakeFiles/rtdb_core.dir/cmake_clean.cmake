@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/rtdb_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/rtdb_core.dir/core/system.cpp.o"
+  "CMakeFiles/rtdb_core.dir/core/system.cpp.o.d"
+  "librtdb_core.a"
+  "librtdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

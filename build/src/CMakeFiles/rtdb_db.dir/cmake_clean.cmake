@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_db.dir/db/database.cpp.o"
+  "CMakeFiles/rtdb_db.dir/db/database.cpp.o.d"
+  "CMakeFiles/rtdb_db.dir/db/multiversion.cpp.o"
+  "CMakeFiles/rtdb_db.dir/db/multiversion.cpp.o.d"
+  "CMakeFiles/rtdb_db.dir/db/resource_manager.cpp.o"
+  "CMakeFiles/rtdb_db.dir/db/resource_manager.cpp.o.d"
+  "librtdb_db.a"
+  "librtdb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

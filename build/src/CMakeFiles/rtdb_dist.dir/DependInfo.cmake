@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/global_ceiling.cpp" "src/CMakeFiles/rtdb_dist.dir/dist/global_ceiling.cpp.o" "gcc" "src/CMakeFiles/rtdb_dist.dir/dist/global_ceiling.cpp.o.d"
+  "/root/repo/src/dist/local_ceiling.cpp" "src/CMakeFiles/rtdb_dist.dir/dist/local_ceiling.cpp.o" "gcc" "src/CMakeFiles/rtdb_dist.dir/dist/local_ceiling.cpp.o.d"
+  "/root/repo/src/dist/recovery.cpp" "src/CMakeFiles/rtdb_dist.dir/dist/recovery.cpp.o" "gcc" "src/CMakeFiles/rtdb_dist.dir/dist/recovery.cpp.o.d"
+  "/root/repo/src/dist/replication.cpp" "src/CMakeFiles/rtdb_dist.dir/dist/replication.cpp.o" "gcc" "src/CMakeFiles/rtdb_dist.dir/dist/replication.cpp.o.d"
+  "/root/repo/src/dist/temporal_view.cpp" "src/CMakeFiles/rtdb_dist.dir/dist/temporal_view.cpp.o" "gcc" "src/CMakeFiles/rtdb_dist.dir/dist/temporal_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtdb_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_dist.dir/dist/global_ceiling.cpp.o"
+  "CMakeFiles/rtdb_dist.dir/dist/global_ceiling.cpp.o.d"
+  "CMakeFiles/rtdb_dist.dir/dist/local_ceiling.cpp.o"
+  "CMakeFiles/rtdb_dist.dir/dist/local_ceiling.cpp.o.d"
+  "CMakeFiles/rtdb_dist.dir/dist/recovery.cpp.o"
+  "CMakeFiles/rtdb_dist.dir/dist/recovery.cpp.o.d"
+  "CMakeFiles/rtdb_dist.dir/dist/replication.cpp.o"
+  "CMakeFiles/rtdb_dist.dir/dist/replication.cpp.o.d"
+  "CMakeFiles/rtdb_dist.dir/dist/temporal_view.cpp.o"
+  "CMakeFiles/rtdb_dist.dir/dist/temporal_view.cpp.o.d"
+  "librtdb_dist.a"
+  "librtdb_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_net.dir/net/message_server.cpp.o"
+  "CMakeFiles/rtdb_net.dir/net/message_server.cpp.o.d"
+  "CMakeFiles/rtdb_net.dir/net/network.cpp.o"
+  "CMakeFiles/rtdb_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/rtdb_net.dir/net/rpc.cpp.o"
+  "CMakeFiles/rtdb_net.dir/net/rpc.cpp.o.d"
+  "librtdb_net.a"
+  "librtdb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_sched.dir/sched/cpu.cpp.o"
+  "CMakeFiles/rtdb_sched.dir/sched/cpu.cpp.o.d"
+  "CMakeFiles/rtdb_sched.dir/sched/disk.cpp.o"
+  "CMakeFiles/rtdb_sched.dir/sched/disk.cpp.o.d"
+  "librtdb_sched.a"
+  "librtdb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

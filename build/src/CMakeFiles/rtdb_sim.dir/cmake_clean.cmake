@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/rtdb_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/rtdb_sim.dir/sim/kernel.cpp.o"
+  "CMakeFiles/rtdb_sim.dir/sim/kernel.cpp.o.d"
+  "CMakeFiles/rtdb_sim.dir/sim/process.cpp.o"
+  "CMakeFiles/rtdb_sim.dir/sim/process.cpp.o.d"
+  "CMakeFiles/rtdb_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/rtdb_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/rtdb_sim.dir/sim/time.cpp.o"
+  "CMakeFiles/rtdb_sim.dir/sim/time.cpp.o.d"
+  "CMakeFiles/rtdb_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/rtdb_sim.dir/sim/trace.cpp.o.d"
+  "librtdb_sim.a"
+  "librtdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

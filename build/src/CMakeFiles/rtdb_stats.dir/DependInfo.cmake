@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/metrics.cpp" "src/CMakeFiles/rtdb_stats.dir/stats/metrics.cpp.o" "gcc" "src/CMakeFiles/rtdb_stats.dir/stats/metrics.cpp.o.d"
+  "/root/repo/src/stats/monitor.cpp" "src/CMakeFiles/rtdb_stats.dir/stats/monitor.cpp.o" "gcc" "src/CMakeFiles/rtdb_stats.dir/stats/monitor.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/rtdb_stats.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/rtdb_stats.dir/stats/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_stats.dir/stats/metrics.cpp.o"
+  "CMakeFiles/rtdb_stats.dir/stats/metrics.cpp.o.d"
+  "CMakeFiles/rtdb_stats.dir/stats/monitor.cpp.o"
+  "CMakeFiles/rtdb_stats.dir/stats/monitor.cpp.o.d"
+  "CMakeFiles/rtdb_stats.dir/stats/table.cpp.o"
+  "CMakeFiles/rtdb_stats.dir/stats/table.cpp.o.d"
+  "librtdb_stats.a"
+  "librtdb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_txn.dir/txn/manager.cpp.o"
+  "CMakeFiles/rtdb_txn.dir/txn/manager.cpp.o.d"
+  "CMakeFiles/rtdb_txn.dir/txn/transaction.cpp.o"
+  "CMakeFiles/rtdb_txn.dir/txn/transaction.cpp.o.d"
+  "CMakeFiles/rtdb_txn.dir/txn/two_phase_commit.cpp.o"
+  "CMakeFiles/rtdb_txn.dir/txn/two_phase_commit.cpp.o.d"
+  "librtdb_txn.a"
+  "librtdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

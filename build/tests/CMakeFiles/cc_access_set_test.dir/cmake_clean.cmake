@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_access_set_test.dir/cc/access_set_test.cpp.o"
+  "CMakeFiles/cc_access_set_test.dir/cc/access_set_test.cpp.o.d"
+  "cc_access_set_test"
+  "cc_access_set_test.pdb"
+  "cc_access_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_access_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_deadlock_test.dir/cc/deadlock_test.cpp.o"
+  "CMakeFiles/cc_deadlock_test.dir/cc/deadlock_test.cpp.o.d"
+  "cc_deadlock_test"
+  "cc_deadlock_test.pdb"
+  "cc_deadlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_deadlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_hp2pl_test.dir/cc/hp2pl_test.cpp.o"
+  "CMakeFiles/cc_hp2pl_test.dir/cc/hp2pl_test.cpp.o.d"
+  "cc_hp2pl_test"
+  "cc_hp2pl_test.pdb"
+  "cc_hp2pl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_hp2pl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

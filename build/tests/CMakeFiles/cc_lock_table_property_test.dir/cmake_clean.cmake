@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_lock_table_property_test.dir/cc/lock_table_property_test.cpp.o"
+  "CMakeFiles/cc_lock_table_property_test.dir/cc/lock_table_property_test.cpp.o.d"
+  "cc_lock_table_property_test"
+  "cc_lock_table_property_test.pdb"
+  "cc_lock_table_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_lock_table_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_pcp_test.dir/cc/pcp_test.cpp.o"
+  "CMakeFiles/cc_pcp_test.dir/cc/pcp_test.cpp.o.d"
+  "cc_pcp_test"
+  "cc_pcp_test.pdb"
+  "cc_pcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_pcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

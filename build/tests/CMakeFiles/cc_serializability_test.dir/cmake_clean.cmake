@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_serializability_test.dir/cc/serializability_test.cpp.o"
+  "CMakeFiles/cc_serializability_test.dir/cc/serializability_test.cpp.o.d"
+  "cc_serializability_test"
+  "cc_serializability_test.pdb"
+  "cc_serializability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_serializability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

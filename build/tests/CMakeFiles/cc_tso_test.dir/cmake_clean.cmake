@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_tso_test.dir/cc/tso_test.cpp.o"
+  "CMakeFiles/cc_tso_test.dir/cc/tso_test.cpp.o.d"
+  "cc_tso_test"
+  "cc_tso_test.pdb"
+  "cc_tso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_tso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

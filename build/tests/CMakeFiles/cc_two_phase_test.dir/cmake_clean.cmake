@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_two_phase_test.dir/cc/two_phase_test.cpp.o"
+  "CMakeFiles/cc_two_phase_test.dir/cc/two_phase_test.cpp.o.d"
+  "cc_two_phase_test"
+  "cc_two_phase_test.pdb"
+  "cc_two_phase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_two_phase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_wait_die_test.dir/cc/wait_die_test.cpp.o"
+  "CMakeFiles/cc_wait_die_test.dir/cc/wait_die_test.cpp.o.d"
+  "cc_wait_die_test"
+  "cc_wait_die_test.pdb"
+  "cc_wait_die_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_wait_die_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

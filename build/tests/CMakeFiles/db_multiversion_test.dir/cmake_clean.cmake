@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_multiversion_test.dir/db/multiversion_test.cpp.o"
+  "CMakeFiles/db_multiversion_test.dir/db/multiversion_test.cpp.o.d"
+  "db_multiversion_test"
+  "db_multiversion_test.pdb"
+  "db_multiversion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_multiversion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db/resource_manager_test.cpp" "tests/CMakeFiles/db_resource_manager_test.dir/db/resource_manager_test.cpp.o" "gcc" "tests/CMakeFiles/db_resource_manager_test.dir/db/resource_manager_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

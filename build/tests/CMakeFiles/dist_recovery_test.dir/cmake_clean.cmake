@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_recovery_test.dir/dist/recovery_test.cpp.o"
+  "CMakeFiles/dist_recovery_test.dir/dist/recovery_test.cpp.o.d"
+  "dist_recovery_test"
+  "dist_recovery_test.pdb"
+  "dist_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_replication_test.dir/dist/replication_test.cpp.o"
+  "CMakeFiles/dist_replication_test.dir/dist/replication_test.cpp.o.d"
+  "dist_replication_test"
+  "dist_replication_test.pdb"
+  "dist_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

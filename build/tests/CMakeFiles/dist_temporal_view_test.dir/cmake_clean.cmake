@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_temporal_view_test.dir/dist/temporal_view_test.cpp.o"
+  "CMakeFiles/dist_temporal_view_test.dir/dist/temporal_view_test.cpp.o.d"
+  "dist_temporal_view_test"
+  "dist_temporal_view_test.pdb"
+  "dist_temporal_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_temporal_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_message_server_test.dir/net/message_server_test.cpp.o"
+  "CMakeFiles/net_message_server_test.dir/net/message_server_test.cpp.o.d"
+  "net_message_server_test"
+  "net_message_server_test.pdb"
+  "net_message_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_message_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_cpu_test.dir/sched/cpu_test.cpp.o"
+  "CMakeFiles/sched_cpu_test.dir/sched/cpu_test.cpp.o.d"
+  "sched_cpu_test"
+  "sched_cpu_test.pdb"
+  "sched_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

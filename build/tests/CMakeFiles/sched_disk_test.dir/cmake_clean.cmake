@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_disk_test.dir/sched/disk_test.cpp.o"
+  "CMakeFiles/sched_disk_test.dir/sched/disk_test.cpp.o.d"
+  "sched_disk_test"
+  "sched_disk_test.pdb"
+  "sched_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

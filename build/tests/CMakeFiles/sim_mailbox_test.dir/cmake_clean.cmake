@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_mailbox_test.dir/sim/mailbox_test.cpp.o"
+  "CMakeFiles/sim_mailbox_test.dir/sim/mailbox_test.cpp.o.d"
+  "sim_mailbox_test"
+  "sim_mailbox_test.pdb"
+  "sim_mailbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_mailbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_semaphore_test.dir/sim/semaphore_test.cpp.o"
+  "CMakeFiles/sim_semaphore_test.dir/sim/semaphore_test.cpp.o.d"
+  "sim_semaphore_test"
+  "sim_semaphore_test.pdb"
+  "sim_semaphore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_semaphore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

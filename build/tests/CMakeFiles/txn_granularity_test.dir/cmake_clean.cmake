@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_granularity_test.dir/txn/granularity_test.cpp.o"
+  "CMakeFiles/txn_granularity_test.dir/txn/granularity_test.cpp.o.d"
+  "txn_granularity_test"
+  "txn_granularity_test.pdb"
+  "txn_granularity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_granularity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_two_phase_commit_test.dir/txn/two_phase_commit_test.cpp.o"
+  "CMakeFiles/txn_two_phase_commit_test.dir/txn/two_phase_commit_test.cpp.o.d"
+  "txn_two_phase_commit_test"
+  "txn_two_phase_commit_test.pdb"
+  "txn_two_phase_commit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_two_phase_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
