@@ -11,50 +11,44 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   using namespace rtdb::bench;
-  using core::ExperimentRunner;
   using core::Protocol;
 
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
   const std::uint32_t granularities[] = {1, 2, 5, 10, 25};
   constexpr std::uint32_t kTxnSize = 12;
+  constexpr Protocol kProtocols[] = {Protocol::kPriorityCeiling,
+                                     Protocol::kTwoPhasePriority};
+
+  exp::SweepSpec spec;
+  spec.name = "ablation_granularity";
+  spec.title =
+      "Ablation: locking granularity at transaction size 12 (db 200)";
+  spec.default_runs = kFig23Runs;
+  for (const std::uint32_t granularity : granularities) {
+    for (const Protocol p : kProtocols) {
+      auto cfg = fig23_config(p, kTxnSize, 1);
+      cfg.lock_granularity = granularity;
+      spec.add_cell({{"granularity", std::to_string(granularity)},
+                     {"protocol", curve_label(p)}},
+                    cfg);
+    }
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
 
   stats::Table table{{"objects/granule", "granules", "C thr", "P thr",
                       "C miss%", "P miss%", "P restarts"}};
+  std::size_t cell = 0;
   for (const std::uint32_t granularity : granularities) {
-    std::vector<std::string> thr;
-    std::vector<std::string> miss;
-    std::string restarts;
-    for (const Protocol p :
-         {Protocol::kPriorityCeiling, Protocol::kTwoPhasePriority}) {
-      auto cfg = fig23_config(p, kTxnSize, 1);
-      cfg.lock_granularity = granularity;
-      const auto results = ExperimentRunner::run_many(cfg, kFig23Runs);
-      thr.push_back(
-          stats::Table::num(ExperimentRunner::mean_throughput(results)));
-      miss.push_back(
-          stats::Table::num(ExperimentRunner::mean_pct_missed(results)));
-      if (p == Protocol::kTwoPhasePriority) {
-        restarts = stats::Table::num(
-            ExperimentRunner::aggregate(results,
-                                        [](const core::RunResult& r) {
-                                          return static_cast<double>(r.restarts);
-                                        })
-                .mean,
-            1);
-      }
-    }
-    std::vector<std::string> row{
-        std::to_string(granularity),
-        std::to_string((200 + granularity - 1) / granularity)};
-    row.push_back(thr[0]);
-    row.push_back(thr[1]);
-    row.push_back(miss[0]);
-    row.push_back(miss[1]);
-    row.push_back(restarts);
-    table.add_row(std::move(row));
+    const exp::CellResult& c = res.cell(cell++);
+    const exp::CellResult& p = res.cell(cell++);
+    table.add_row({std::to_string(granularity),
+                   std::to_string((200 + granularity - 1) / granularity),
+                   stats::Table::num(c.throughput()),
+                   stats::Table::num(p.throughput()),
+                   stats::Table::num(c.pct_missed()),
+                   stats::Table::num(p.pct_missed()),
+                   stats::Table::num(p.mean_of("restarts"), 1)});
   }
-  emit(table,
-       "Ablation: locking granularity at transaction size 12 (db 200), "
-       "10 runs/point",
-       argc, argv);
-  return 0;
+  return exp::emit(res, table, opts) ? 0 : 1;
 }

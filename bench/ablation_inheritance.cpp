@@ -15,43 +15,58 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   using namespace rtdb::bench;
-  using core::ExperimentRunner;
   using core::Protocol;
 
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
   const std::uint32_t sizes[] = {4, 8, 12, 16, 20};
-  const Protocol protocols[] = {
-      Protocol::kTwoPhasePriority, Protocol::kPriorityInheritance,
-      Protocol::kPriorityCeiling, Protocol::kHighPriority,
-      Protocol::kTimestampOrdering, Protocol::kWaitDie, Protocol::kWoundWait};
+  const std::pair<const char*, Protocol> protocols[] = {
+      {"2PL-P", Protocol::kTwoPhasePriority},
+      {"2PL-PIP", Protocol::kPriorityInheritance},
+      {"PCP", Protocol::kPriorityCeiling},
+      {"2PL-HP", Protocol::kHighPriority},
+      {"TSO", Protocol::kTimestampOrdering},
+      {"2PL-WD", Protocol::kWaitDie},
+      {"2PL-WW", Protocol::kWoundWait},
+  };
+
+  exp::SweepSpec spec;
+  spec.name = "ablation_inheritance";
+  spec.title = "Ablation: % deadline-missing by synchronization mechanism";
+  spec.default_runs = kFig23Runs;
+  for (const std::uint32_t size : sizes) {
+    for (const auto& [label, p] : protocols) {
+      spec.add_cell({{"size", std::to_string(size)}, {"protocol", label}},
+                    fig23_config(p, size, 1));
+    }
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
 
   stats::Table miss{
       {"size", "2PL-P", "2PL-PIP", "PCP", "2PL-HP", "TSO", "2PL-WD", "2PL-WW"}};
   stats::Table restarts{
       {"size", "2PL-P", "2PL-PIP", "PCP", "2PL-HP", "TSO", "2PL-WD", "2PL-WW"}};
+  std::size_t cell = 0;
   for (const std::uint32_t size : sizes) {
     std::vector<std::string> miss_row{std::to_string(size)};
     std::vector<std::string> restart_row{std::to_string(size)};
-    for (const Protocol p : protocols) {
-      const auto results =
-          ExperimentRunner::run_many(fig23_config(p, size, 1), kFig23Runs);
-      miss_row.push_back(
-          stats::Table::num(ExperimentRunner::mean_pct_missed(results)));
-      restart_row.push_back(stats::Table::num(
-          ExperimentRunner::aggregate(results,
-                                      [](const core::RunResult& r) {
-                                        return static_cast<double>(r.restarts);
-                                      })
-              .mean,
-          1));
+    for (std::size_t p = 0; p < std::size(protocols); ++p) {
+      const exp::CellResult& c = res.cell(cell++);
+      miss_row.push_back(stats::Table::num(c.pct_missed().mean));
+      restart_row.push_back(stats::Table::num(c.mean_of("restarts"), 1));
     }
     miss.add_row(std::move(miss_row));
     restarts.add_row(std::move(restart_row));
   }
-  emit(miss,
-       "Ablation: % deadline-missing by synchronization mechanism, "
-       "10 runs/point",
-       argc, argv);
-  emit(restarts, "Ablation: mean protocol-initiated restarts per run", argc,
-       argv);
-  return 0;
+  std::fputs(miss.to_text(spec.title + ", " +
+                          std::to_string(res.runs_per_cell) + " runs/point")
+                 .c_str(),
+             stdout);
+  std::fputs("\n", stdout);
+  std::fputs(
+      restarts.to_text("Ablation: mean protocol-initiated restarts per run")
+          .c_str(),
+      stdout);
+  std::fputs("\n", stdout);
+  return exp::write_artifacts(res, opts) ? 0 : 1;
 }

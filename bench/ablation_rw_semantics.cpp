@@ -15,33 +15,45 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   using namespace rtdb::bench;
-  using core::ExperimentRunner;
   using core::Protocol;
 
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
   const double mixes[] = {0.0, 0.25, 0.5, 0.75, 0.9};
   constexpr std::uint32_t kTxnSize = 16;
+  const std::pair<const char*, Protocol> variants[] = {
+      {"PCP", Protocol::kPriorityCeiling},
+      {"PCP-X", Protocol::kPriorityCeilingExclusive},
+  };
+
+  exp::SweepSpec spec;
+  spec.name = "ablation_rw_semantics";
+  spec.title =
+      "Ablation: PCP read/write semantics vs exclusive-only locks, "
+      "transaction size 16";
+  spec.default_runs = kFig23Runs;
+  for (const double mix : mixes) {
+    for (const auto& [label, p] : variants) {
+      auto cfg = fig23_config(p, kTxnSize, 1);
+      cfg.workload.read_only_fraction = mix;
+      spec.add_cell({{"read_only_pct", stats::Table::num(mix * 100, 0)},
+                     {"protocol", label}},
+                    cfg);
+    }
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
 
   stats::Table table{{"read-only %", "PCP thr", "PCP-X thr", "PCP miss%",
                       "PCP-X miss%"}};
+  std::size_t cell = 0;
   for (const double mix : mixes) {
-    std::vector<std::string> row{stats::Table::num(mix * 100, 0)};
-    std::vector<std::string> miss;
-    for (const Protocol p : {Protocol::kPriorityCeiling,
-                             Protocol::kPriorityCeilingExclusive}) {
-      auto cfg = fig23_config(p, kTxnSize, 1);
-      cfg.workload.read_only_fraction = mix;
-      const auto results = ExperimentRunner::run_many(cfg, kFig23Runs);
-      row.push_back(
-          stats::Table::num(ExperimentRunner::mean_throughput(results)));
-      miss.push_back(
-          stats::Table::num(ExperimentRunner::mean_pct_missed(results)));
-    }
-    row.insert(row.end(), miss.begin(), miss.end());
-    table.add_row(std::move(row));
+    const exp::CellResult& pcp = res.cell(cell++);
+    const exp::CellResult& pcpx = res.cell(cell++);
+    table.add_row({stats::Table::num(mix * 100, 0),
+                   stats::Table::num(pcp.throughput()),
+                   stats::Table::num(pcpx.throughput()),
+                   stats::Table::num(pcp.pct_missed()),
+                   stats::Table::num(pcpx.pct_missed())});
   }
-  emit(table,
-       "Ablation: PCP read/write semantics vs exclusive-only locks, "
-       "transaction size 16, 10 runs/point",
-       argc, argv);
-  return 0;
+  return exp::emit(res, table, opts) ? 0 : 1;
 }

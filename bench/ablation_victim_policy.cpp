@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   using namespace rtdb;
   using namespace rtdb::bench;
   using cc::TwoPhaseLocking;
-  using core::ExperimentRunner;
 
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
   const std::pair<const char*, TwoPhaseLocking::VictimPolicy> policies[] = {
       {"requester", TwoPhaseLocking::VictimPolicy::kRequester},
       {"lowest-priority", TwoPhaseLocking::VictimPolicy::kLowestPriority},
@@ -24,31 +24,31 @@ int main(int argc, char** argv) {
   };
   const std::uint32_t sizes[] = {14, 16, 18};
 
-  stats::Table table{{"policy", "size", "thr obj/s", "miss %", "restarts"}};
+  exp::SweepSpec spec;
+  spec.name = "ablation_victim_policy";
+  spec.title =
+      "Ablation: 2PL deadlock victim policies under priority queues";
+  spec.default_runs = kFig23Runs;
   for (const auto& [name, policy] : policies) {
     for (const std::uint32_t size : sizes) {
       auto cfg = fig23_config(core::Protocol::kTwoPhasePriority, size, 1);
       cfg.victim_policy = policy;
-      const auto results = ExperimentRunner::run_many(cfg, kFig23Runs);
-      table.add_row({
-          name,
-          std::to_string(size),
-          stats::Table::num(ExperimentRunner::mean_throughput(results)),
-          stats::Table::num(ExperimentRunner::mean_pct_missed(results)),
-          stats::Table::num(
-              ExperimentRunner::aggregate(results,
-                                          [](const core::RunResult& r) {
-                                            return static_cast<double>(
-                                                r.restarts);
-                                          })
-                  .mean,
-              1),
-      });
+      spec.add_cell({{"policy", name}, {"size", std::to_string(size)}}, cfg);
     }
   }
-  emit(table,
-       "Ablation: 2PL deadlock victim policies under priority queues, "
-       "10 runs/point",
-       argc, argv);
-  return 0;
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
+
+  stats::Table table{{"policy", "size", "thr obj/s", "miss %", "restarts"}};
+  std::size_t cell = 0;
+  for (const auto& [name, policy] : policies) {
+    for (const std::uint32_t size : sizes) {
+      const exp::CellResult& c = res.cell(cell++);
+      table.add_row({name, std::to_string(size),
+                     stats::Table::num(c.throughput()),
+                     stats::Table::num(c.pct_missed()),
+                     stats::Table::num(c.mean_of("restarts"), 1)});
+    }
+  }
+  return exp::emit(res, table, opts) ? 0 : 1;
 }

@@ -13,36 +13,48 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   using namespace rtdb::bench;
-  using core::ExperimentRunner;
   using core::Protocol;
 
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
   const std::uint32_t db_sizes[] = {100, 200, 400, 800};
   constexpr std::uint32_t kTxnSize = 12;
+  constexpr Protocol kProtocols[] = {Protocol::kPriorityCeiling,
+                                     Protocol::kTwoPhasePriority,
+                                     Protocol::kTwoPhase};
+
+  exp::SweepSpec spec;
+  spec.name = "ext_dbsize_sweep";
+  spec.title =
+      "Extension: database-size sweep at transaction size 12 (conflict "
+      "probability axis)";
+  spec.default_runs = kFig23Runs;
+  for (const std::uint32_t db : db_sizes) {
+    for (const Protocol p : kProtocols) {
+      auto cfg = fig23_config(p, kTxnSize, 1);
+      cfg.db_objects = db;
+      spec.add_cell({{"db_objects", std::to_string(db)},
+                     {"protocol", curve_label(p)}},
+                    cfg);
+    }
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
 
   stats::Table table{{"db objects", "C thr", "P thr", "L thr", "C miss%",
                       "P miss%", "L miss%"}};
+  std::size_t cell = 0;
   for (const std::uint32_t db : db_sizes) {
     std::vector<std::string> thr;
     std::vector<std::string> miss;
-    for (const Protocol p :
-         {Protocol::kPriorityCeiling, Protocol::kTwoPhasePriority,
-          Protocol::kTwoPhase}) {
-      auto cfg = fig23_config(p, kTxnSize, 1);
-      cfg.db_objects = db;
-      const auto results = ExperimentRunner::run_many(cfg, kFig23Runs);
-      thr.push_back(
-          stats::Table::num(ExperimentRunner::mean_throughput(results)));
-      miss.push_back(
-          stats::Table::num(ExperimentRunner::mean_pct_missed(results)));
+    for (std::size_t p = 0; p < std::size(kProtocols); ++p) {
+      const exp::CellResult& c = res.cell(cell++);
+      thr.push_back(stats::Table::num(c.throughput()));
+      miss.push_back(stats::Table::num(c.pct_missed()));
     }
     std::vector<std::string> row{std::to_string(db)};
     row.insert(row.end(), thr.begin(), thr.end());
     row.insert(row.end(), miss.begin(), miss.end());
     table.add_row(std::move(row));
   }
-  emit(table,
-       "Extension: database-size sweep at transaction size 12 (conflict "
-       "probability axis), 10 runs/point",
-       argc, argv);
-  return 0;
+  return exp::emit(res, table, opts) ? 0 : 1;
 }

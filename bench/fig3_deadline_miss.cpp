@@ -14,36 +14,44 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   using namespace rtdb::bench;
-  using core::ExperimentRunner;
   using core::Protocol;
+
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
+  constexpr Protocol kProtocols[] = {Protocol::kPriorityCeiling,
+                                     Protocol::kTwoPhasePriority,
+                                     Protocol::kTwoPhase};
+
+  exp::SweepSpec spec;
+  spec.name = "fig3_deadline_miss";
+  spec.title =
+      "Fig 3: % deadline-missing transactions vs transaction size, "
+      "heavy load";
+  spec.default_runs = kFig23Runs;
+  for (const std::uint32_t size : kFig23Sizes) {
+    for (const Protocol p : kProtocols) {
+      spec.add_cell({{"size", std::to_string(size)},
+                     {"protocol", curve_label(p)}},
+                    fig23_config(p, size, 1));
+    }
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
 
   stats::Table table{{"size", "C (PCP) %", "P (2PL-prio) %", "L (2PL) %",
                       "C dyn-deadlocks"}};
+  std::size_t cell = 0;
   for (const std::uint32_t size : kFig23Sizes) {
     std::vector<std::string> row{std::to_string(size)};
     double pcp_dynamic = 0;
-    for (const Protocol p :
-         {Protocol::kPriorityCeiling, Protocol::kTwoPhasePriority,
-          Protocol::kTwoPhase}) {
-      const auto results =
-          ExperimentRunner::run_many(fig23_config(p, size, 1), kFig23Runs);
-      row.push_back(
-          stats::Table::num(ExperimentRunner::mean_pct_missed(results)));
+    for (const Protocol p : kProtocols) {
+      const exp::CellResult& c = res.cell(cell++);
+      row.push_back(stats::Table::num(c.pct_missed()));
       if (p == Protocol::kPriorityCeiling) {
-        pcp_dynamic = ExperimentRunner::aggregate(
-                          results,
-                          [](const core::RunResult& r) {
-                            return static_cast<double>(r.dynamic_deadlocks);
-                          })
-                          .mean;
+        pcp_dynamic = c.mean_of("dynamic_deadlocks");
       }
     }
     row.push_back(stats::Table::num(pcp_dynamic, 2));
     table.add_row(std::move(row));
   }
-  emit(table,
-       "Fig 3: % deadline-missing transactions vs transaction size, "
-       "heavy load, 10 runs/point",
-       argc, argv);
-  return 0;
+  return exp::emit(res, table, opts) ? 0 : 1;
 }

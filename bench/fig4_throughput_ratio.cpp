@@ -16,29 +16,45 @@ int main(int argc, char** argv) {
   using namespace rtdb;
   using namespace rtdb::bench;
   using core::DistScheme;
-  using core::ExperimentRunner;
 
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
   const double delays[] = {0, 1, 2, 5};
   const double mixes[] = {0.0, 0.25, 0.5, 0.75, 1.0};
 
+  exp::SweepSpec spec;
+  spec.name = "fig4_throughput_ratio";
+  spec.title =
+      "Fig 4: throughput ratio local/global vs transaction mix, by "
+      "communication delay (tu)";
+  spec.default_runs = kDistRuns;
+  for (const double mix : mixes) {
+    for (const double delay : delays) {
+      for (const DistScheme scheme :
+           {DistScheme::kGlobalCeiling, DistScheme::kLocalCeiling}) {
+        spec.add_cell(
+            {{"read_only_pct", stats::Table::num(mix * 100, 0)},
+             {"delay", stats::Table::num(delay, 1)},
+             {"scheme",
+              scheme == DistScheme::kGlobalCeiling ? "global" : "local"}},
+            dist_config(scheme, mix, delay, 1));
+      }
+    }
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
+
   stats::Table table{{"read-only %", "delay=0", "delay=1", "delay=2",
                       "delay=5"}};
+  std::size_t cell = 0;
   for (const double mix : mixes) {
     std::vector<std::string> row{stats::Table::num(mix * 100, 0)};
-    for (const double delay : delays) {
-      const auto global = ExperimentRunner::run_many(
-          dist_config(DistScheme::kGlobalCeiling, mix, delay, 1), kDistRuns);
-      const auto local = ExperimentRunner::run_many(
-          dist_config(DistScheme::kLocalCeiling, mix, delay, 1), kDistRuns);
-      const double ratio = ExperimentRunner::mean_throughput(local) /
-                           ExperimentRunner::mean_throughput(global);
-      row.push_back(stats::Table::num(ratio));
+    for (std::size_t d = 0; d < std::size(delays); ++d) {
+      const exp::CellResult& global = res.cell(cell++);
+      const exp::CellResult& local = res.cell(cell++);
+      row.push_back(stats::Table::num(local.throughput().mean /
+                                      global.throughput().mean));
     }
     table.add_row(std::move(row));
   }
-  emit(table,
-       "Fig 4: throughput ratio local/global vs transaction mix, by "
-       "communication delay (tu), 5 runs/point",
-       argc, argv);
-  return 0;
+  return exp::emit(res, table, opts) ? 0 : 1;
 }

@@ -14,26 +14,38 @@ int main(int argc, char** argv) {
   using namespace rtdb;
   using namespace rtdb::bench;
   using core::DistScheme;
-  using core::ExperimentRunner;
 
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
   const double delays[] = {0, 0.5, 1, 1.5, 2, 3, 4, 6, 8, 10};
+
+  exp::SweepSpec spec;
+  spec.name = "fig5_miss_ratio";
+  spec.title =
+      "Fig 5: deadline-missing ratio global/local vs communication delay, "
+      "50/50 mix";
+  spec.default_runs = kDistRuns;
+  for (const double delay : delays) {
+    for (const DistScheme scheme :
+         {DistScheme::kGlobalCeiling, DistScheme::kLocalCeiling}) {
+      spec.add_cell(
+          {{"delay", stats::Table::num(delay, 1)},
+           {"scheme",
+            scheme == DistScheme::kGlobalCeiling ? "global" : "local"}},
+          dist_config(scheme, 0.5, delay, 1));
+    }
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
 
   stats::Table table{{"delay (tu)", "global miss %", "local miss %",
                       "ratio G/L"}};
+  std::size_t cell = 0;
   for (const double delay : delays) {
-    const auto global = ExperimentRunner::run_many(
-        dist_config(DistScheme::kGlobalCeiling, 0.5, delay, 1), kDistRuns);
-    const auto local = ExperimentRunner::run_many(
-        dist_config(DistScheme::kLocalCeiling, 0.5, delay, 1), kDistRuns);
-    const double g = ExperimentRunner::mean_pct_missed(global);
-    const double l = ExperimentRunner::mean_pct_missed(local);
+    const double g = res.cell(cell++).pct_missed().mean;
+    const double l = res.cell(cell++).pct_missed().mean;
     table.add_row({stats::Table::num(delay, 1), stats::Table::num(g),
                    stats::Table::num(l),
                    l > 0 ? stats::Table::num(g / l) : "inf"});
   }
-  emit(table,
-       "Fig 5: deadline-missing ratio global/local vs communication delay, "
-       "50/50 mix, 5 runs/point",
-       argc, argv);
-  return 0;
+  return exp::emit(res, table, opts) ? 0 : 1;
 }

@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "cc/lock_table.hpp"
 #include "cc/pcp.hpp"
 #include "core/system.hpp"
@@ -171,4 +174,29 @@ BENCHMARK(BM_EndToEndSingleSiteRun);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same artifact flags as the figure benches (--json PATH / --csv PATH),
+// translated onto google-benchmark's reporter options; this binary's JSON
+// is google-benchmark's schema, not the sweep schema — it measures the
+// simulator substrate, not an experiment grid.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  std::vector<char*> args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--json" || arg == "--csv") && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      storage.push_back(arg == "--json" ? "--benchmark_out_format=json"
+                                        : "--benchmark_out_format=csv");
+    } else {
+      storage.push_back(arg);
+    }
+  }
+  // Pointers into `storage` stay valid: it is never resized after this.
+  for (std::string& s : storage) args.push_back(s.data());
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,6 +13,9 @@
 
 #include "core/config.hpp"
 #include "core/experiment.hpp"
+#include "exp/artifacts.hpp"
+#include "exp/cli.hpp"
+#include "exp/sweep.hpp"
 #include "stats/table.hpp"
 
 namespace rtdb::bench {
@@ -85,19 +88,21 @@ inline core::SystemConfig dist_config(core::DistScheme scheme,
 
 inline constexpr int kDistRuns = 5;
 
-// Prints the table and, when the binary was invoked with --csv, the CSV
-// form as well.
-inline void emit(const stats::Table& table, const std::string& title,
-                 int argc, char** argv) {
-  std::fputs(table.to_text(title).c_str(), stdout);
-  std::fputs("\n", stdout);
-  for (int i = 1; i < argc; ++i) {
-    if (std::string{argv[i]} == "--csv") {
-      std::fputs(table.to_csv().c_str(), stdout);
-      std::fputs("\n", stdout);
-    }
+// Every bench binary runs its grid through the parallel sweep engine
+// (exp::run_sweep) and finishes with exp::emit: figure table on stdout,
+// JSON/CSV artifacts per the shared CLI (exp::parse_options_or_exit).
+// The short protocol labels used as axis values throughout the figures:
+inline const char* curve_label(core::Protocol p) {
+  switch (p) {
+    case core::Protocol::kPriorityCeiling:
+      return "C";
+    case core::Protocol::kTwoPhasePriority:
+      return "P";
+    case core::Protocol::kTwoPhase:
+      return "L";
+    default:
+      return core::to_string(p);
   }
-  std::fflush(stdout);
 }
 
 }  // namespace rtdb::bench

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Rebuilds the tree and regenerates every figure's artifacts in parallel.
+#
+#   bench/run_all.sh [build-dir] [extra bench flags...]
+#
+# Tables go to bench/out/<name>.txt, machine-readable aggregates to
+# bench/out/<name>.json and bench/out/<name>.csv. All sweeps run with
+# --jobs $(nproc); artifacts are identical for any job count. Extra flags
+# (e.g. --runs 3) are passed to every sweep binary.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+[ "$#" -ge 1 ] && shift
+out="$repo/bench/out"
+jobs="$(nproc 2>/dev/null || echo 1)"
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$jobs"
+mkdir -p "$out"
+
+for bin in "$build"/bench/*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "== $name =="
+  if [ "$name" = micro_kernel ]; then
+    # google-benchmark suite: its JSON is the benchmark schema.
+    "$bin" --json "$out/$name.json" > "$out/$name.txt"
+  else
+    "$bin" --quiet --jobs "$jobs" \
+      --json "$out/$name.json" --csv "$out/$name.csv" "$@" > "$out/$name.txt"
+  fi
+done
+
+echo "artifacts written to $out"

@@ -6,17 +6,23 @@
 // Columns show the paper's two headline measures plus the mechanisms at
 // work: blocking, protocol-initiated restarts, and (for the ceiling
 // protocol) denials on unlocked objects — the "insurance premium".
+//
+// Runs on the parallel sweep engine and takes the shared bench CLI
+// (--runs/--seed/--jobs/--json/--csv).
 
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "exp/artifacts.hpp"
+#include "exp/cli.hpp"
+#include "exp/sweep.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rtdb;
-  using core::ExperimentRunner;
   using core::Protocol;
 
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
   const Protocol protocols[] = {
       Protocol::kTwoPhase,           Protocol::kTwoPhasePriority,
       Protocol::kPriorityInheritance, Protocol::kHighPriority,
@@ -25,8 +31,12 @@ int main() {
       Protocol::kPriorityCeilingExclusive,
   };
 
-  stats::Table table{{"protocol", "thr obj/s", "miss %", "restarts",
-                      "ceiling denials", "mean blocked tu"}};
+  exp::SweepSpec spec;
+  spec.name = "protocol_shootout";
+  spec.title =
+      "Protocol shootout: 400 transactions of size 14, 25% read-only, "
+      "heavy load";
+  spec.default_runs = 5;
   for (const Protocol protocol : protocols) {
     core::SystemConfig cfg;
     cfg.protocol = protocol;
@@ -45,44 +55,29 @@ int main() {
     cfg.workload.est_time_per_object = sim::Duration::units(4);
     cfg.workload.read_only_fraction = 0.25;
     cfg.seed = 1;
-    const auto results = ExperimentRunner::run_many(cfg, 5);
+    spec.add_cell({{"protocol", core::to_string(protocol)}}, cfg);
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
+
+  stats::Table table{{"protocol", "thr obj/s", "miss %", "restarts",
+                      "ceiling denials", "mean blocked tu"}};
+  for (std::size_t i = 0; i < std::size(protocols); ++i) {
+    const exp::CellResult& c = res.cell(i);
     table.add_row({
-        std::string{core::to_string(protocol)},
-        stats::Table::num(ExperimentRunner::mean_throughput(results)),
-        stats::Table::num(ExperimentRunner::mean_pct_missed(results)),
-        stats::Table::num(
-            ExperimentRunner::aggregate(results,
-                                        [](const core::RunResult& r) {
-                                          return static_cast<double>(r.restarts);
-                                        })
-                .mean,
-            1),
-        stats::Table::num(
-            ExperimentRunner::aggregate(results,
-                                        [](const core::RunResult& r) {
-                                          return static_cast<double>(
-                                              r.ceiling_denials);
-                                        })
-                .mean,
-            1),
-        stats::Table::num(
-            ExperimentRunner::aggregate(results,
-                                        [](const core::RunResult& r) {
-                                          return r.metrics.avg_blocked_units;
-                                        })
-                .mean,
-            1),
+        std::string{core::to_string(protocols[i])},
+        stats::Table::num(c.throughput()),
+        stats::Table::num(c.pct_missed()),
+        stats::Table::num(c.mean_of("restarts"), 1),
+        stats::Table::num(c.mean_of("ceiling_denials"), 1),
+        stats::Table::num(c.mean_of("avg_blocked_units"), 1),
     });
   }
-  std::fputs(table
-                 .to_text("Protocol shootout: 400 transactions of size 14, "
-                          "25% read-only, heavy load, 5 runs each")
-                 .c_str(),
-             stdout);
+  const bool ok = exp::emit(res, table, opts);
   std::fputs(
       "\nBlocking-based protocols pay with blocked time, abort-based ones\n"
       "with restarts; the ceiling protocol trades some unnecessary blocking\n"
       "(denials on unlocked objects) for freedom from deadlock.\n",
       stdout);
-  return 0;
+  return ok ? 0 : 1;
 }

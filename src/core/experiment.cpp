@@ -1,6 +1,64 @@
 #include "core/experiment.hpp"
 
+#include <cstring>
+
 namespace rtdb::core {
+
+namespace {
+
+// Stable order: the two headline measures first, then lifecycle counts,
+// response/blocking, and the protocol counters. Appending is fine;
+// reordering or renaming is a schema change.
+constexpr RunScalar kRunScalars[] = {
+    {"throughput_objects_per_sec",
+     [](const RunResult& r) { return r.metrics.throughput_objects_per_sec; }},
+    {"pct_missed", [](const RunResult& r) { return r.metrics.pct_missed; }},
+    {"arrived",
+     [](const RunResult& r) { return static_cast<double>(r.metrics.arrived); }},
+    {"processed",
+     [](const RunResult& r) {
+       return static_cast<double>(r.metrics.processed);
+     }},
+    {"committed",
+     [](const RunResult& r) {
+       return static_cast<double>(r.metrics.committed);
+     }},
+    {"missed",
+     [](const RunResult& r) { return static_cast<double>(r.metrics.missed); }},
+    {"avg_response_units",
+     [](const RunResult& r) { return r.metrics.avg_response_units; }},
+    {"avg_blocked_units",
+     [](const RunResult& r) { return r.metrics.avg_blocked_units; }},
+    {"restarts",
+     [](const RunResult& r) { return static_cast<double>(r.restarts); }},
+    {"deadline_kills",
+     [](const RunResult& r) { return static_cast<double>(r.deadline_kills); }},
+    {"protocol_aborts",
+     [](const RunResult& r) { return static_cast<double>(r.protocol_aborts); }},
+    {"ceiling_denials",
+     [](const RunResult& r) { return static_cast<double>(r.ceiling_denials); }},
+    {"ceiling_blocks",
+     [](const RunResult& r) {
+       return static_cast<double>(r.metrics.total_ceiling_blocks);
+     }},
+    {"dynamic_deadlocks",
+     [](const RunResult& r) {
+       return static_cast<double>(r.dynamic_deadlocks);
+     }},
+    {"elapsed_units",
+     [](const RunResult& r) { return r.elapsed.as_units(); }},
+};
+
+}  // namespace
+
+std::span<const RunScalar> run_scalars() { return kRunScalars; }
+
+const RunScalar* find_run_scalar(std::string_view name) {
+  for (const RunScalar& s : kRunScalars) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
 
 RunResult ExperimentRunner::run_once(const SystemConfig& config) {
   System system{config};
@@ -22,7 +80,7 @@ std::vector<RunResult> ExperimentRunner::run_many(SystemConfig config,
   results.reserve(static_cast<std::size_t>(runs));
   const std::uint64_t base_seed = config.seed;
   for (int i = 0; i < runs; ++i) {
-    config.seed = base_seed + static_cast<std::uint64_t>(i);
+    config.seed = seed_for_run(base_seed, i);
     results.push_back(run_once(config));
   }
   return results;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
@@ -23,11 +24,32 @@ struct RunResult {
   sim::Duration elapsed{};
 };
 
+// A named per-run scalar — the catalog below is the single list the text
+// tables, the JSON/CSV artifacts, and ad-hoc aggregation all draw from.
+struct RunScalar {
+  const char* name;
+  double (*extract)(const RunResult&);
+};
+
+// Every counter and derived measure a RunResult carries, in the stable
+// order the artifact schema documents.
+std::span<const RunScalar> run_scalars();
+
+// Looks a scalar up by name; nullptr when unknown.
+const RunScalar* find_run_scalar(std::string_view name);
+
 // Runs experiment cells: one cell = one SystemConfig executed with
 // several seeds (the paper averages 10 runs per point).
 class ExperimentRunner {
  public:
   static constexpr int kDefaultRuns = 10;
+
+  // The seed of run `run` of a cell whose base seed is `base` — one rule,
+  // shared by run_many and the parallel sweep engine so that their results
+  // are interchangeable.
+  static std::uint64_t seed_for_run(std::uint64_t base, int run) {
+    return base + static_cast<std::uint64_t>(run);
+  }
 
   // Builds a System from the config, runs the batch to completion, and
   // collects results.

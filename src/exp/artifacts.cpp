@@ -1,0 +1,114 @@
+#include "exp/artifacts.hpp"
+
+#include <cstdio>
+
+namespace rtdb::exp {
+
+namespace {
+
+Json aggregate_json(const stats::RunAggregate& a) {
+  Json j = Json::object();
+  j.set("mean", Json{a.mean});
+  j.set("stddev", Json{a.stddev});
+  j.set("ci95", Json{a.ci95});
+  j.set("min", Json{a.min});
+  j.set("max", Json{a.max});
+  j.set("n", Json{a.n});
+  return j;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+}  // namespace
+
+Json artifact_json(const SweepResult& result) {
+  Json root = Json::object();
+  root.set("schema_version", Json{kArtifactSchemaVersion});
+  root.set("benchmark", Json{result.name});
+  root.set("title", Json{result.title});
+  root.set("runs_per_cell", Json{result.runs_per_cell});
+  root.set("base_seed", Json{result.base_seed});
+  Json cells = Json::array();
+  for (const CellResult& cell : result.cells) {
+    Json c = Json::object();
+    Json axes = Json::object();
+    for (const Axis& axis : cell.axes) axes.set(axis.first, Json{axis.second});
+    c.set("axes", std::move(axes));
+    c.set("seed", Json{cell.base_seed});
+    Json metrics = Json::object();
+    for (const core::RunScalar& scalar : core::run_scalars()) {
+      metrics.set(scalar.name, aggregate_json(cell.aggregate(scalar)));
+    }
+    c.set("metrics", std::move(metrics));
+    cells.push_back(std::move(c));
+  }
+  root.set("cells", std::move(cells));
+  return root;
+}
+
+std::string artifact_csv(const SweepResult& result) {
+  std::string out = "benchmark,cell";
+  // All cells of a sweep share their axis keys; take them from the first.
+  if (!result.cells.empty()) {
+    for (const Axis& axis : result.cells.front().axes) {
+      out += ',' + axis.first;
+    }
+  }
+  out += ",metric,mean,stddev,ci95,min,max,n\n";
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    const CellResult& cell = result.cells[c];
+    std::string prefix = result.name + ',' + std::to_string(c);
+    for (const Axis& axis : cell.axes) prefix += ',' + axis.second;
+    for (const core::RunScalar& scalar : core::run_scalars()) {
+      const stats::RunAggregate a = cell.aggregate(scalar);
+      out += prefix + ',' + scalar.name + ',' + Json::format_number(a.mean) +
+             ',' + Json::format_number(a.stddev) + ',' +
+             Json::format_number(a.ci95) + ',' + Json::format_number(a.min) +
+             ',' + Json::format_number(a.max) + ',' + std::to_string(a.n) +
+             '\n';
+    }
+  }
+  return out;
+}
+
+bool write_artifacts(const SweepResult& result, const Options& opts) {
+  bool ok = true;
+  if (opts.json_path) {
+    ok = write_file(*opts.json_path, artifact_json(result).dump(2)) && ok;
+  }
+  if (opts.csv) {
+    const std::string csv = artifact_csv(result);
+    if (opts.csv_path) {
+      ok = write_file(*opts.csv_path, csv) && ok;
+    } else {
+      std::fputs(csv.c_str(), stdout);
+      std::fputs("\n", stdout);
+    }
+  }
+  std::fflush(stdout);
+  return ok;
+}
+
+bool emit(const SweepResult& result, const stats::Table& table,
+          const Options& opts) {
+  std::string caption = result.title;
+  if (result.runs_per_cell > 0) {
+    caption += ", " + std::to_string(result.runs_per_cell) + " runs/point";
+  }
+  std::fputs(table.to_text(caption).c_str(), stdout);
+  std::fputs("\n", stdout);
+  return write_artifacts(result, opts);
+}
+
+}  // namespace rtdb::exp

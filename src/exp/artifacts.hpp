@@ -1,0 +1,38 @@
+#pragma once
+
+// Machine-readable artifacts of a sweep: a JSON document and a long-format
+// CSV, both carrying mean/stddev/95% CI/min/max/n for every RunResult
+// scalar of every cell. The schema is stable and documented in
+// EXPERIMENTS.md; nothing run-environment-dependent (worker count, wall
+// clock, timestamps) is ever included, so artifact bytes depend only on
+// (spec, runs, seed).
+
+#include <string>
+
+#include "exp/cli.hpp"
+#include "exp/json.hpp"
+#include "exp/sweep.hpp"
+#include "stats/table.hpp"
+
+namespace rtdb::exp {
+
+inline constexpr int kArtifactSchemaVersion = 1;
+
+// The full JSON document for a sweep result.
+Json artifact_json(const SweepResult& result);
+
+// Long-format CSV: one row per (cell, scalar), axis values as leading
+// columns. Header: benchmark,cell,<axes...>,metric,mean,stddev,ci95,min,max,n
+std::string artifact_csv(const SweepResult& result);
+
+// The standard bench epilogue: prints the figure table to stdout (caption
+// = result.title plus the run count), then writes whichever artifacts the
+// options request. Returns false (after printing to stderr) if a file
+// could not be written.
+bool emit(const SweepResult& result, const stats::Table& table,
+          const Options& opts);
+
+// Writes only the artifacts (for callers that render no table).
+bool write_artifacts(const SweepResult& result, const Options& opts);
+
+}  // namespace rtdb::exp

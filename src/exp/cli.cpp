@@ -1,0 +1,114 @@
+#include "exp/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace rtdb::exp {
+
+namespace {
+
+bool parse_int(const std::string& text, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+}  // namespace
+
+int Options::effective_jobs() const {
+  if (jobs) return *jobs > 0 ? *jobs : 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::optional<Options> parse_options(int argc, char** argv,
+                                     std::string* error) {
+  Options opts;
+  auto fail = [&](const std::string& message) {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      (void)flag;
+      return std::string{argv[++i]};
+    };
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+      return opts;
+    } else if (arg == "--quiet" || arg == "-q") {
+      opts.quiet = true;
+    } else if (arg == "--runs") {
+      const auto v = value("--runs");
+      long long n = 0;
+      if (!v || !parse_int(*v, &n) || n <= 0)
+        return fail("--runs requires a positive integer");
+      opts.runs = static_cast<int>(n);
+    } else if (arg == "--seed") {
+      const auto v = value("--seed");
+      long long n = 0;
+      if (!v || !parse_int(*v, &n) || n < 0)
+        return fail("--seed requires a non-negative integer");
+      opts.seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--jobs" || arg == "-j") {
+      const auto v = value("--jobs");
+      long long n = 0;
+      if (!v || !parse_int(*v, &n) || n <= 0)
+        return fail("--jobs requires a positive integer");
+      opts.jobs = static_cast<int>(n);
+    } else if (arg == "--json") {
+      const auto v = value("--json");
+      if (!v || v->empty() || (*v)[0] == '-')
+        return fail("--json requires a file path");
+      opts.json_path = *v;
+    } else if (arg == "--csv") {
+      opts.csv = true;
+      // Optional path operand: `--csv out.csv` writes a file, bare `--csv`
+      // streams the aggregate CSV to stdout after the table.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        opts.csv_path = std::string{argv[++i]};
+      }
+    } else {
+      return fail("unknown option '" + arg + "'");
+    }
+  }
+  return opts;
+}
+
+std::string usage(const std::string& program) {
+  return "usage: " + program +
+         " [options]\n"
+         "  --runs N     seeded runs per sweep cell (default: per-figure, "
+         "10 single-site / 5 distributed)\n"
+         "  --seed S     base seed; run r of a cell uses seed S+r "
+         "(default 1)\n"
+         "  --jobs N     worker threads for independent runs "
+         "(default: all cores; results are identical for any N)\n"
+         "  --json PATH  write the aggregate artifact as JSON "
+         "(schema_version 1, see EXPERIMENTS.md)\n"
+         "  --csv [PATH] write the aggregate artifact as CSV "
+         "(stdout when PATH is omitted)\n"
+         "  --quiet      suppress the progress meter\n"
+         "  --help       this message\n";
+}
+
+Options parse_options_or_exit(int argc, char** argv) {
+  std::string error;
+  const auto opts = parse_options(argc, argv, &error);
+  const std::string program = argc > 0 ? argv[0] : "bench";
+  if (!opts) {
+    std::fprintf(stderr, "%s: %s\n%s", program.c_str(), error.c_str(),
+                 usage(program).c_str());
+    std::exit(2);
+  }
+  if (opts->help) {
+    std::fputs(usage(program).c_str(), stdout);
+    std::exit(0);
+  }
+  return *opts;
+}
+
+}  // namespace rtdb::exp

@@ -1,0 +1,40 @@
+#pragma once
+
+// The CLI shared by every bench binary: run-count / seed / parallelism
+// control plus artifact destinations. One parser so the flags (and the
+// EXPERIMENTS.md documentation of them) cannot drift between figures.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace rtdb::exp {
+
+struct Options {
+  std::optional<int> runs;            // --runs N   (default: per-figure)
+  std::optional<std::uint64_t> seed;  // --seed S   (default: per-figure, 1)
+  std::optional<int> jobs;            // --jobs N   (default: all cores)
+  std::optional<std::string> json_path;  // --json PATH
+  bool csv = false;                      // --csv [PATH]
+  std::optional<std::string> csv_path;   // empty optional = stdout
+  bool quiet = false;                    // --quiet: no progress meter
+  bool help = false;
+
+  // The worker count actually used: --jobs if given, else
+  // hardware_concurrency (min 1).
+  int effective_jobs() const;
+};
+
+// Parses argv. On error fills `error` and returns nullopt; `--help` sets
+// options.help with no error.
+std::optional<Options> parse_options(int argc, char** argv,
+                                     std::string* error);
+
+// One usage block, shared verbatim by every binary.
+std::string usage(const std::string& program);
+
+// parse_options + the conventional exit behavior: prints usage and
+// terminates on --help (status 0) or a bad flag (status 2).
+Options parse_options_or_exit(int argc, char** argv);
+
+}  // namespace rtdb::exp

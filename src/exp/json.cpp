@@ -1,0 +1,319 @@
+#include "exp/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtdb::exp {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') return parse_string_value(out);
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_null(out);
+    return parse_number(out);
+  }
+
+  bool parse_object(Json& out) {
+    if (!consume('{')) return false;
+    out = Json::object();
+    if (peek_is('}')) return consume('}');
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      Json value;
+      if (!parse_value(value)) return false;
+      out.set(std::move(key), std::move(value));
+      if (peek_is(',')) {
+        if (!consume(',')) return false;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_array(Json& out) {
+    if (!consume('[')) return false;
+    out = Json::array();
+    if (peek_is(']')) return consume(']');
+    while (true) {
+      Json value;
+      if (!parse_value(value)) return false;
+      out.push_back(std::move(value));
+      if (peek_is(',')) {
+        if (!consume(',')) return false;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parse_string_value(Json& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = Json{std::move(s)};
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("truncated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("truncated \\u escape");
+            const std::string hex{text.substr(pos, 4)};
+            pos += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            // Artifacts only escape control characters, which are ASCII.
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(Json& out) {
+    if (text.substr(pos, 4) == "true") {
+      pos += 4;
+      out = Json{true};
+      return true;
+    }
+    if (text.substr(pos, 5) == "false") {
+      pos += 5;
+      out = Json{false};
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_null(Json& out) {
+    if (text.substr(pos, 4) == "null") {
+      pos += 4;
+      out = Json{};
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected a value");
+    const std::string token{text.substr(start, pos - start)};
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("malformed number");
+    out = Json{value};
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string Json::format_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  // Integers (the counters) print exactly; everything else uses enough
+  // digits to round-trip. Both are pure functions of the double's bits.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) return shorter;
+  }
+  return buf;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      out += format_number(number_);
+      break;
+    case Type::kString:
+      append_escaped(out, string_);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += indent > 0 ? "," : ", ";
+        append_newline_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += indent > 0 ? "," : ", ";
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  Parser p{text, 0, {}};
+  Json value;
+  if (!p.parse_value(value)) {
+    if (error) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error) *error = "trailing garbage at offset " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace rtdb::exp

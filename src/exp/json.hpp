@@ -1,0 +1,99 @@
+#pragma once
+
+// Minimal JSON document model for the experiment artifacts: enough to
+// build, serialize, and re-parse the sweep schema without an external
+// dependency. Objects preserve insertion order so that dumps are
+// deterministic — the determinism test compares artifact bytes across
+// worker counts.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rtdb::exp {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), number_(d) {}
+  Json(std::int64_t i) : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  Json(int i) : type_(Type::kNumber), number_(i) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+
+  // ---- array access ----
+  void push_back(Json value) { array_.push_back(std::move(value)); }
+  const std::vector<Json>& items() const { return array_; }
+  std::size_t size() const {
+    return type_ == Type::kArray ? array_.size() : members_.size();
+  }
+
+  // ---- object access (insertion-ordered) ----
+  void set(std::string key, Json value) {
+    members_.emplace_back(std::move(key), std::move(value));
+  }
+  const Json* find(std::string_view key) const {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  // Serialization. Numbers use a fixed shortest-round-trip format, so the
+  // same doubles always produce the same bytes. `indent` of 0 emits one
+  // line; artifacts use 2.
+  std::string dump(int indent = 0) const;
+
+  // Strict-enough recursive-descent parser for artifacts produced by
+  // dump(); returns nullopt (and an error message) on malformed input.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+  // Deterministic number formatting shared with the CSV writer.
+  static std::string format_number(double value);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace rtdb::exp

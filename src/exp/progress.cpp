@@ -1,0 +1,62 @@
+#include "exp/progress.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace rtdb::exp {
+
+ProgressMeter::ProgressMeter(std::string label, std::size_t total_runs,
+                             bool enabled)
+    : label_(std::move(label)),
+      total_(total_runs),
+      active_(enabled && total_runs > 0 && ::isatty(::fileno(stderr)) != 0),
+      start_(std::chrono::steady_clock::now()) {
+  if (active_) {
+    reporter_ = std::thread([this] { report_loop(); });
+  }
+}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!active_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  reporter_.join();
+  // Repaint the final state and terminate the line.
+  std::fprintf(stderr, "\r\033[K%s\n", render(completed()).c_str());
+  std::fflush(stderr);
+}
+
+void ProgressMeter::report_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "\r\033[K%s", render(completed()).c_str());
+    std::fflush(stderr);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
+std::string ProgressMeter::render(std::size_t done) const {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const int pct =
+      static_cast<int>(100.0 * static_cast<double>(done) /
+                       static_cast<double>(total_));
+  char buf[256];
+  if (done == 0) {
+    std::snprintf(buf, sizeof(buf), "%s: 0/%zu runs (0%%) elapsed %.1fs",
+                  label_.c_str(), total_, elapsed);
+  } else {
+    const double eta = elapsed * static_cast<double>(total_ - done) /
+                       static_cast<double>(done);
+    std::snprintf(buf, sizeof(buf),
+                  "%s: %zu/%zu runs (%d%%) elapsed %.1fs eta %.1fs",
+                  label_.c_str(), done, total_, pct, elapsed, eta);
+  }
+  return buf;
+}
+
+}  // namespace rtdb::exp

@@ -1,0 +1,51 @@
+#pragma once
+
+// Live progress/ETA for a sweep: a reporter thread repaints one stderr
+// line while worker threads tick an atomic counter. Rendering never
+// touches stdout, so tables and artifacts are byte-identical with and
+// without it; it self-disables when stderr is not a terminal.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+
+namespace rtdb::exp {
+
+class ProgressMeter {
+ public:
+  // `label` prefixes the line (the sweep name). The meter reports only
+  // when `enabled` and stderr is a tty.
+  ProgressMeter(std::string label, std::size_t total_runs, bool enabled);
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  // Called by workers once per completed run; thread-safe and wait-free.
+  void tick() { completed_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Stops the reporter and clears the line. Idempotent; the destructor
+  // calls it too.
+  void finish();
+
+  std::size_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void report_loop();
+  std::string render(std::size_t done) const;
+
+  const std::string label_;
+  const std::size_t total_;
+  const bool active_;
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<bool> stop_{false};
+  std::chrono::steady_clock::time_point start_;
+  std::thread reporter_;
+  bool finished_ = false;
+};
+
+}  // namespace rtdb::exp

@@ -1,0 +1,71 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "exp/progress.hpp"
+
+namespace rtdb::exp {
+
+SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
+  const int runs = std::max(1, opts.runs.value_or(spec.default_runs));
+  const std::size_t n_cells = spec.cells.size();
+  const std::size_t total = n_cells * static_cast<std::size_t>(runs);
+
+  auto base_seed_of = [&](std::size_t cell) {
+    return opts.seed.value_or(spec.cells[cell].config.seed);
+  };
+
+  SweepResult result;
+  result.name = spec.name;
+  result.title = spec.title;
+  result.runs_per_cell = runs;
+  result.base_seed = n_cells > 0 ? base_seed_of(0) : opts.seed.value_or(1);
+
+  // Flat (cell-major) result slots: worker interleaving decides only *when*
+  // a slot fills, never *what* or *where* — determinism by construction.
+  std::vector<core::RunResult> flat(total);
+  std::atomic<std::size_t> next{0};
+  ProgressMeter meter{spec.name, total, !opts.quiet};
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      const std::size_t cell = i / static_cast<std::size_t>(runs);
+      const int run = static_cast<int>(i % static_cast<std::size_t>(runs));
+      core::SystemConfig config = spec.cells[cell].config;
+      config.seed =
+          core::ExperimentRunner::seed_for_run(base_seed_of(cell), run);
+      flat[i] = core::ExperimentRunner::run_once(config);
+      meter.tick();
+    }
+  };
+
+  const int jobs = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(opts.effective_jobs()), std::max<std::size_t>(total, 1)));
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  meter.finish();
+
+  result.cells.reserve(n_cells);
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    CellResult cell;
+    cell.axes = spec.cells[c].axes;
+    cell.base_seed = base_seed_of(c);
+    const auto begin = flat.begin() + static_cast<std::ptrdiff_t>(
+                                          c * static_cast<std::size_t>(runs));
+    cell.runs.assign(begin, begin + runs);
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+}  // namespace rtdb::exp

@@ -41,6 +41,22 @@ Metrics Metrics::compute(std::span<const TxnRecord> records,
   return m;
 }
 
+namespace {
+
+// Two-sided 97.5% Student-t critical values by degrees of freedom; beyond
+// 30 the normal approximation is within half a percent.
+double t_critical_975(std::size_t df) {
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= std::size(kTable)) return kTable[df - 1];
+  return 1.960;
+}
+
+}  // namespace
+
 RunAggregate RunAggregate::over(std::span<const double> samples) {
   RunAggregate a;
   a.n = samples.size();
@@ -53,6 +69,9 @@ RunAggregate RunAggregate::over(std::span<const double> samples) {
   double sq = 0.0;
   for (double s : samples) sq += (s - a.mean) * (s - a.mean);
   a.stddev = a.n > 1 ? std::sqrt(sq / static_cast<double>(a.n - 1)) : 0.0;
+  a.ci95 = a.n > 1 ? t_critical_975(a.n - 1) * a.stddev /
+                         std::sqrt(static_cast<double>(a.n))
+                   : 0.0;
   return a;
 }
 

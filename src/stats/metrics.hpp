@@ -31,11 +31,14 @@ struct Metrics {
                          sim::Duration elapsed);
 };
 
-// Mean / standard deviation / extrema over the runs of one experiment cell
-// (the paper averages 10 runs per point).
+// Mean / standard deviation / extrema / confidence interval over the runs
+// of one experiment cell (the paper averages 10 runs per point).
 struct RunAggregate {
   double mean = 0.0;
-  double stddev = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1 denominator)
+  // Half-width of the two-sided 95% confidence interval on the mean,
+  // t_{0.975,n-1} * stddev / sqrt(n); 0 for fewer than two samples.
+  double ci95 = 0.0;
   double min = 0.0;
   double max = 0.0;
   std::size_t n = 0;

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "stats/metrics.hpp"
+
 namespace rtdb::stats {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
@@ -24,6 +26,10 @@ std::string Table::num(double value, int precision) {
 
 std::string Table::num(std::uint64_t value) {
   return std::to_string(value);
+}
+
+std::string Table::num(const RunAggregate& agg, int precision) {
+  return num(agg.mean, precision) + " ±" + num(agg.ci95, precision);
 }
 
 std::string Table::to_text(const std::string& title) const {

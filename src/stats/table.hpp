@@ -7,6 +7,8 @@
 
 namespace rtdb::stats {
 
+struct RunAggregate;
+
 // Column-aligned text tables for the bench harness output (one table per
 // paper figure) with optional CSV emission for plotting.
 class Table {
@@ -18,6 +20,9 @@ class Table {
 
   static std::string num(double value, int precision = 2);
   static std::string num(std::uint64_t value);
+  // "mean ±ci95" — the figure tables report the run-to-run confidence
+  // half-width next to every headline mean.
+  static std::string num(const RunAggregate& agg, int precision = 2);
 
   // Renders with a title line, aligned columns, and a separator rule.
   std::string to_text(const std::string& title) const;

@@ -1,0 +1,108 @@
+// Artifact schema contract: the JSON document round-trips through the
+// parser and carries every documented key; the CSV is long-format with a
+// fixed header. Results are fabricated — the schema does not depend on
+// the simulator.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/artifacts.hpp"
+
+namespace rtdb::exp {
+namespace {
+
+SweepResult fabricated_result() {
+  SweepResult result;
+  result.name = "fig2_throughput";
+  result.title = "Fig 2: fixture";
+  result.runs_per_cell = 2;
+  result.base_seed = 1;
+  for (int c = 0; c < 2; ++c) {
+    CellResult cell;
+    cell.axes = {{"size", std::to_string(4 * (c + 1))}, {"protocol", "C"}};
+    cell.base_seed = 1;
+    for (int r = 0; r < 2; ++r) {
+      core::RunResult run;
+      run.metrics.arrived = 10;
+      run.metrics.processed = 10;
+      run.metrics.committed = 9 - r;
+      run.metrics.missed = 1 + static_cast<std::uint64_t>(r);
+      run.metrics.pct_missed = 10.0 * (1 + r);
+      run.metrics.throughput_objects_per_sec = 100.0 + c * 10 + r;
+      run.restarts = static_cast<std::uint64_t>(c + r);
+      run.elapsed = sim::Duration::units(1000);
+      cell.runs.push_back(run);
+    }
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+TEST(ArtifactTest, JsonCarriesEveryDocumentedKey) {
+  const Json doc = artifact_json(fabricated_result());
+  const std::string text = doc.dump(2);
+
+  std::string error;
+  const auto parsed = Json::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  for (const char* key : {"schema_version", "benchmark", "title",
+                          "runs_per_cell", "base_seed", "cells"}) {
+    EXPECT_TRUE(parsed->contains(key)) << key;
+  }
+  EXPECT_DOUBLE_EQ(parsed->find("schema_version")->as_number(),
+                   kArtifactSchemaVersion);
+  EXPECT_EQ(parsed->find("benchmark")->as_string(), "fig2_throughput");
+  EXPECT_DOUBLE_EQ(parsed->find("runs_per_cell")->as_number(), 2.0);
+
+  const Json& cells = *parsed->find("cells");
+  ASSERT_TRUE(cells.is_array());
+  ASSERT_EQ(cells.items().size(), 2u);
+  for (const Json& cell : cells.items()) {
+    ASSERT_TRUE(cell.contains("axes"));
+    ASSERT_TRUE(cell.contains("seed"));
+    ASSERT_TRUE(cell.contains("metrics"));
+    EXPECT_TRUE(cell.find("axes")->contains("size"));
+    EXPECT_TRUE(cell.find("axes")->contains("protocol"));
+    const Json& metrics = *cell.find("metrics");
+    // Every scalar of the catalog appears, each with the full aggregate.
+    for (const core::RunScalar& scalar : core::run_scalars()) {
+      const Json* agg = metrics.find(scalar.name);
+      ASSERT_NE(agg, nullptr) << scalar.name;
+      for (const char* stat : {"mean", "stddev", "ci95", "min", "max", "n"}) {
+        EXPECT_TRUE(agg->contains(stat)) << scalar.name << "." << stat;
+      }
+      EXPECT_DOUBLE_EQ(agg->find("n")->as_number(), 2.0);
+    }
+  }
+
+  // Spot-check one aggregated value: cell 0 throughput mean of {100, 101}.
+  const Json& thr = *cells.items()[0].find("metrics")->find(
+      "throughput_objects_per_sec");
+  EXPECT_DOUBLE_EQ(thr.find("mean")->as_number(), 100.5);
+  EXPECT_DOUBLE_EQ(thr.find("min")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(thr.find("max")->as_number(), 101.0);
+}
+
+TEST(ArtifactTest, CsvIsLongFormatWithAxisColumns) {
+  const std::string csv = artifact_csv(fabricated_result());
+  std::istringstream lines{csv};
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header,
+            "benchmark,cell,size,protocol,metric,mean,stddev,ci95,min,max,n");
+
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++rows;
+    EXPECT_EQ(line.rfind("fig2_throughput,", 0), 0u) << line;
+  }
+  // 2 cells x one row per catalog scalar.
+  EXPECT_EQ(rows, 2 * core::run_scalars().size());
+}
+
+}  // namespace
+}  // namespace rtdb::exp

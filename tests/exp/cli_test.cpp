@@ -1,0 +1,82 @@
+#include "exp/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtdb::exp {
+namespace {
+
+Options parse_ok(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench");
+  std::string error;
+  const auto opts = parse_options(static_cast<int>(args.size()),
+                                  const_cast<char**>(args.data()), &error);
+  EXPECT_TRUE(opts.has_value()) << error;
+  return opts.value_or(Options{});
+}
+
+bool parse_fails(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench");
+  std::string error;
+  return !parse_options(static_cast<int>(args.size()),
+                        const_cast<char**>(args.data()), &error)
+              .has_value();
+}
+
+TEST(CliTest, DefaultsLeaveEverythingUnset) {
+  const Options opts = parse_ok({});
+  EXPECT_FALSE(opts.runs.has_value());
+  EXPECT_FALSE(opts.seed.has_value());
+  EXPECT_FALSE(opts.jobs.has_value());
+  EXPECT_FALSE(opts.json_path.has_value());
+  EXPECT_FALSE(opts.csv);
+  EXPECT_FALSE(opts.quiet);
+  EXPECT_GE(opts.effective_jobs(), 1);
+}
+
+TEST(CliTest, ParsesEveryFlag) {
+  const Options opts = parse_ok({"--runs", "20", "--seed", "7", "--jobs", "4",
+                                 "--json", "out.json", "--csv", "out.csv",
+                                 "--quiet"});
+  EXPECT_EQ(opts.runs, 20);
+  EXPECT_EQ(opts.seed, 7u);
+  EXPECT_EQ(opts.jobs, 4);
+  EXPECT_EQ(opts.effective_jobs(), 4);
+  EXPECT_EQ(opts.json_path, "out.json");
+  EXPECT_TRUE(opts.csv);
+  EXPECT_EQ(opts.csv_path, "out.csv");
+  EXPECT_TRUE(opts.quiet);
+}
+
+TEST(CliTest, BareCsvStreamsToStdout) {
+  const Options opts = parse_ok({"--csv", "--jobs", "2"});
+  EXPECT_TRUE(opts.csv);
+  EXPECT_FALSE(opts.csv_path.has_value());
+  EXPECT_EQ(opts.jobs, 2);
+}
+
+TEST(CliTest, HelpShortCircuits) {
+  EXPECT_TRUE(parse_ok({"--help"}).help);
+  EXPECT_TRUE(parse_ok({"-h"}).help);
+}
+
+TEST(CliTest, RejectsBadInput) {
+  EXPECT_TRUE(parse_fails({"--runs"}));
+  EXPECT_TRUE(parse_fails({"--runs", "0"}));
+  EXPECT_TRUE(parse_fails({"--runs", "ten"}));
+  EXPECT_TRUE(parse_fails({"--jobs", "-2"}));
+  EXPECT_TRUE(parse_fails({"--json"}));
+  EXPECT_TRUE(parse_fails({"--frobnicate"}));
+}
+
+TEST(CliTest, UsageMentionsEveryFlag) {
+  const std::string text = usage("bench");
+  for (const char* flag :
+       {"--runs", "--seed", "--jobs", "--json", "--csv", "--quiet"}) {
+    EXPECT_NE(text.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace rtdb::exp

@@ -1,0 +1,75 @@
+#include "exp/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::exp {
+namespace {
+
+TEST(JsonTest, BuildsAndDumpsCompact) {
+  Json obj = Json::object();
+  obj.set("name", Json{"fig2"});
+  obj.set("n", Json{10});
+  obj.set("ok", Json{true});
+  Json arr = Json::array();
+  arr.push_back(Json{1.5});
+  arr.push_back(Json{});
+  obj.set("values", std::move(arr));
+  EXPECT_EQ(obj.dump(),
+            "{\"name\": \"fig2\", \"n\": 10, \"ok\": true, "
+            "\"values\": [1.5, null]}");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", Json{1});
+  obj.set("alpha", Json{2});
+  EXPECT_EQ(obj.members()[0].first, "zebra");
+  EXPECT_EQ(obj.members()[1].first, "alpha");
+}
+
+TEST(JsonTest, RoundTripsThroughParse) {
+  Json obj = Json::object();
+  obj.set("title", Json{"a \"quoted\" name\nwith newline"});
+  obj.set("pi", Json{3.141592653589793});
+  obj.set("neg", Json{-0.25});
+  Json cells = Json::array();
+  Json cell = Json::object();
+  cell.set("seed", Json{std::uint64_t{42}});
+  cells.push_back(std::move(cell));
+  obj.set("cells", std::move(cells));
+
+  const std::string text = obj.dump(2);
+  std::string error;
+  const auto parsed = Json::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->find("title")->as_string(),
+            "a \"quoted\" name\nwith newline");
+  EXPECT_DOUBLE_EQ(parsed->find("pi")->as_number(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(parsed->find("neg")->as_number(), -0.25);
+  EXPECT_EQ(parsed->find("cells")->items().size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      parsed->find("cells")->items()[0].find("seed")->as_number(), 42.0);
+  // Dump of the parse equals the original dump: the format is a fixpoint.
+  EXPECT_EQ(parsed->dump(2), text);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("{\"a\": }").has_value());
+  EXPECT_FALSE(Json::parse("[1, 2").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\": 1} trailing").has_value());
+  EXPECT_FALSE(Json::parse("").has_value());
+}
+
+TEST(JsonTest, NumberFormattingIsStableAndShort) {
+  EXPECT_EQ(Json::format_number(0.0), "0");
+  EXPECT_EQ(Json::format_number(10.0), "10");
+  EXPECT_EQ(Json::format_number(-3.0), "-3");
+  EXPECT_EQ(Json::format_number(0.5), "0.5");
+  // Shortest round-trip: re-parsing yields the identical double.
+  const double value = 158.83720930232559;
+  const std::string text = Json::format_number(value);
+  EXPECT_DOUBLE_EQ(std::stod(text), value);
+}
+
+}  // namespace
+}  // namespace rtdb::exp

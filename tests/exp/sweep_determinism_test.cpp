@@ -1,0 +1,99 @@
+// The engine's core guarantee: results are a pure function of
+// (spec, runs, seed) — the worker count changes wall-clock time only.
+// `--jobs 8` must be byte-identical to `--jobs 1`, and both must match
+// the serial ExperimentRunner::run_many path the figures used before.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "exp/artifacts.hpp"
+#include "exp/sweep.hpp"
+
+namespace rtdb::exp {
+namespace {
+
+// A shrunk fig2 grid: 2 sizes x 2 protocols, 60 transactions per run.
+SweepSpec small_fig2_grid() {
+  SweepSpec spec;
+  spec.name = "fig2_small";
+  spec.title = "determinism fixture";
+  spec.default_runs = 3;
+  for (const std::uint32_t size : {4u, 12u}) {
+    for (const core::Protocol p :
+         {core::Protocol::kPriorityCeiling, core::Protocol::kTwoPhase}) {
+      core::SystemConfig cfg;
+      cfg.protocol = p;
+      cfg.db_objects = 100;
+      cfg.workload.size_min = size;
+      cfg.workload.size_max = size;
+      cfg.workload.mean_interarrival = sim::Duration::units(50);
+      cfg.workload.transaction_count = 60;
+      cfg.seed = 1;
+      spec.add_cell({{"size", std::to_string(size)},
+                     {"protocol", core::to_string(p)}},
+                    cfg);
+    }
+  }
+  return spec;
+}
+
+Options with_jobs(int jobs) {
+  Options opts;
+  opts.jobs = jobs;
+  opts.quiet = true;
+  return opts;
+}
+
+TEST(SweepDeterminismTest, ParallelArtifactsAreByteIdenticalToSerial) {
+  const SweepSpec spec = small_fig2_grid();
+  const SweepResult serial = run_sweep(spec, with_jobs(1));
+  const SweepResult parallel = run_sweep(spec, with_jobs(8));
+
+  EXPECT_EQ(artifact_json(serial).dump(2), artifact_json(parallel).dump(2));
+  EXPECT_EQ(artifact_csv(serial), artifact_csv(parallel));
+}
+
+TEST(SweepDeterminismTest, EngineMatchesSerialRunMany) {
+  const SweepSpec spec = small_fig2_grid();
+  const SweepResult result = run_sweep(spec, with_jobs(8));
+  ASSERT_EQ(result.cells.size(), 4u);
+  for (std::size_t c = 0; c < spec.cells.size(); ++c) {
+    const auto expected =
+        core::ExperimentRunner::run_many(spec.cells[c].config, 3);
+    const auto& actual = result.cells[c].runs;
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t r = 0; r < expected.size(); ++r) {
+      EXPECT_EQ(actual[r].metrics.committed, expected[r].metrics.committed);
+      EXPECT_EQ(actual[r].restarts, expected[r].restarts);
+      EXPECT_DOUBLE_EQ(actual[r].metrics.throughput_objects_per_sec,
+                       expected[r].metrics.throughput_objects_per_sec);
+      EXPECT_EQ(actual[r].elapsed, expected[r].elapsed);
+    }
+  }
+}
+
+TEST(SweepDeterminismTest, RunsAndSeedOverridesApply) {
+  SweepSpec spec = small_fig2_grid();
+  spec.cells.resize(1);
+  Options opts = with_jobs(2);
+  opts.runs = 5;
+  opts.seed = 100;
+  const SweepResult result = run_sweep(spec, opts);
+  EXPECT_EQ(result.runs_per_cell, 5);
+  EXPECT_EQ(result.base_seed, 100u);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].runs.size(), 5u);
+
+  // Seed 100's runs differ from seed 1's (the override took effect) but
+  // repeat exactly under a different worker count.
+  core::SystemConfig reference = spec.cells[0].config;
+  reference.seed = 100;
+  const auto expected = core::ExperimentRunner::run_many(reference, 5);
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_EQ(result.cells[0].runs[r].metrics.committed,
+              expected[r].metrics.committed);
+  }
+}
+
+}  // namespace
+}  // namespace rtdb::exp

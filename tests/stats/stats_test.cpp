@@ -92,6 +92,8 @@ TEST(RunAggregateTest, MeanStddevMinMax) {
   const RunAggregate a = RunAggregate::over(samples);
   EXPECT_DOUBLE_EQ(a.mean, 5.0);
   EXPECT_NEAR(a.stddev, 2.138, 1e-3);  // sample stddev
+  // 95% CI half-width: t_{0.975,7} * stddev / sqrt(8) = 2.365 * 0.7559...
+  EXPECT_NEAR(a.ci95, 1.788, 1e-3);
   EXPECT_DOUBLE_EQ(a.min, 2.0);
   EXPECT_DOUBLE_EQ(a.max, 9.0);
   EXPECT_EQ(a.n, 8u);
@@ -103,6 +105,16 @@ TEST(RunAggregateTest, EmptyAndSingle) {
   const RunAggregate a = RunAggregate::over(one);
   EXPECT_DOUBLE_EQ(a.mean, 3.0);
   EXPECT_DOUBLE_EQ(a.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(a.ci95, 0.0);  // no spread estimate from one sample
+}
+
+TEST(RunAggregateTest, LargeSampleCiUsesNormalApproximation) {
+  std::vector<double> samples(100);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<double>(i % 2);  // mean 0.5, stddev ~0.5025
+  }
+  const RunAggregate a = RunAggregate::over(samples);
+  EXPECT_NEAR(a.ci95, 1.960 * a.stddev / 10.0, 1e-9);
 }
 
 TEST(TableTest, AlignedTextOutput) {
@@ -128,6 +140,14 @@ TEST(TableTest, NumberFormatting) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
   EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+TEST(TableTest, AggregateFormatsMeanWithConfidence) {
+  RunAggregate a;
+  a.mean = 158.83;
+  a.ci95 = 4.271;
+  EXPECT_EQ(Table::num(a), "158.83 ±4.27");
+  EXPECT_EQ(Table::num(a, 1), "158.8 ±4.3");
 }
 
 }  // namespace
