@@ -1,0 +1,93 @@
+// Extension — fault injection. The 1990 study assumed a reliable network
+// and always-up sites; this sweep asks what each distributed ceiling
+// scheme pays when that assumption breaks. Message loss turns 2PC prepares
+// into coordinator vote timeouts (global scheme) and update propagation
+// into stale replicas (local scheme); a mid-run site crash kills in-flight
+// transactions and exercises presumed-abort recovery plus replica
+// catch-up. All faults are drawn deterministically from the run seed, so
+// the artifact stays byte-identical across --jobs N.
+//
+// The drop=0 cells run with an inactive FaultSpec and the default commit
+// vote timeout — bit-for-bit the fault-free baseline.
+
+#include <cstdio>
+
+#include "params.hpp"
+
+namespace {
+
+std::string drop_label(double drop) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "drop=%g", drop);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtdb;
+  using namespace rtdb::bench;
+  using core::DistScheme;
+
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
+  const double kDropRates[] = {0.0, 0.01, 0.02, 0.05};
+  constexpr DistScheme kSchemes[] = {DistScheme::kGlobalCeiling,
+                                     DistScheme::kLocalCeiling};
+  const auto scheme_label = [](DistScheme s) {
+    return s == DistScheme::kGlobalCeiling ? "global" : "local";
+  };
+  // Short vote-collection window in the faulty cells so lost prepares
+  // surface as coordinator timeouts instead of waiting out the deadline.
+  const sim::Duration kFaultVoteTimeout = sim::Duration::units(40);
+
+  exp::SweepSpec spec;
+  spec.name = "ext_fault_sweep";
+  spec.title =
+      "Extension: message loss and site crashes under the distributed "
+      "ceiling schemes (comm delay 1tu, 25% read-only)";
+  spec.default_runs = kDistRuns;
+
+  std::vector<std::string> fault_labels;
+  for (const DistScheme scheme : kSchemes) {
+    for (const double drop : kDropRates) {
+      auto cfg = dist_config(scheme, 0.25, 1.0, 1);
+      cfg.faults.drop_rate = drop;
+      if (cfg.faults.active()) cfg.commit_vote_timeout = kFaultVoteTimeout;
+      spec.add_cell(
+          {{"scheme", scheme_label(scheme)}, {"fault", drop_label(drop)}},
+          cfg);
+      if (scheme == kSchemes[0]) fault_labels.push_back(drop_label(drop));
+    }
+    // One fail-stop outage: site 2 dies at 400tu, restarts 300tu later and
+    // catches its replicas up.
+    auto cfg = dist_config(scheme, 0.25, 1.0, 1);
+    cfg.faults.crashes.push_back(net::FaultSpec::Crash{
+        2, sim::Duration::units(400), sim::Duration::units(300)});
+    cfg.commit_vote_timeout = kFaultVoteTimeout;
+    spec.add_cell(
+        {{"scheme", scheme_label(scheme)}, {"fault", "crash@400+300"}}, cfg);
+    if (scheme == kSchemes[0]) fault_labels.push_back("crash@400+300");
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
+
+  stats::Table table{{"scheme", "fault", "thr", "miss%", "drops",
+                      "2pc aborts", "vote t/o", "presumed", "crash kills",
+                      "recovered"}};
+  std::size_t cell = 0;
+  for (const DistScheme scheme : kSchemes) {
+    for (const std::string& fault : fault_labels) {
+      const exp::CellResult& c = res.cell(cell++);
+      table.add_row({scheme_label(scheme), fault,
+                     stats::Table::num(c.throughput()),
+                     stats::Table::num(c.pct_missed()),
+                     stats::Table::num(c.mean_of("fault_drops")),
+                     stats::Table::num(c.mean_of("commit_aborts")),
+                     stats::Table::num(c.mean_of("vote_timeouts")),
+                     stats::Table::num(c.mean_of("presumed_aborts")),
+                     stats::Table::num(c.mean_of("crash_kills")),
+                     stats::Table::num(c.mean_of("versions_recovered"))});
+    }
+  }
+  return exp::emit(res, table, opts) ? 0 : 1;
+}

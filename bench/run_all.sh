@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Rebuilds the tree and regenerates every figure's artifacts in parallel.
 #
 #   bench/run_all.sh [build-dir] [extra bench flags...]
@@ -7,7 +7,10 @@
 # bench/out/<name>.json and bench/out/<name>.csv. All sweeps run with
 # --jobs $(nproc); artifacts are identical for any job count. Extra flags
 # (e.g. --runs 3) are passed to every sweep binary.
-set -eu
+#
+# Every binary runs even if an earlier one fails; the script exits
+# non-zero if any of them did.
+set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
@@ -19,17 +22,23 @@ cmake -B "$build" -S "$repo"
 cmake --build "$build" -j "$jobs"
 mkdir -p "$out"
 
+failed=()
 for bin in "$build"/bench/*; do
   [ -x "$bin" ] || continue
   name="$(basename "$bin")"
   echo "== $name =="
   if [ "$name" = micro_kernel ]; then
     # google-benchmark suite: its JSON is the benchmark schema.
-    "$bin" --json "$out/$name.json" > "$out/$name.txt"
+    "$bin" --json "$out/$name.json" > "$out/$name.txt" || failed+=("$name")
   else
     "$bin" --quiet --jobs "$jobs" \
-      --json "$out/$name.json" --csv "$out/$name.csv" "$@" > "$out/$name.txt"
+      --json "$out/$name.json" --csv "$out/$name.csv" "$@" \
+      > "$out/$name.txt" || failed+=("$name")
   fi
 done
 
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo "FAILED: ${failed[*]}" >&2
+  exit 1
+fi
 echo "artifacts written to $out"

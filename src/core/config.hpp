@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "cc/two_phase.hpp"
+#include "net/fault.hpp"
 #include "sched/disk.hpp"
 #include "sim/time.hpp"
 #include "workload/config.hpp"
@@ -68,6 +69,16 @@ struct SystemConfig {
   // aborts to dissolve the (rare) arrival-induced cycles, as the 1990
   // study implicitly did.
   bool pcp_deadlock_backstop = true;
+
+  // ---- fault injection (distributed schemes; see net/fault.hpp) ----
+  // All fault decisions draw from a stream forked off `seed`, so a zero
+  // spec is bit-identical to a build without fault injection and `--jobs N`
+  // replay determinism is preserved.
+  net::FaultSpec faults;
+  // 2PC coordinator vote-collection window (global scheme); a missing vote
+  // counts as NO. The default matches the value the executor historically
+  // hardcoded, keeping fault-free runs byte-identical.
+  sim::Duration commit_vote_timeout = sim::Duration::units(10000);
 
   // ---- load characteristics ----
   workload::WorkloadConfig workload;

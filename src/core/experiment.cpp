@@ -47,6 +47,32 @@ constexpr RunScalar kRunScalars[] = {
      }},
     {"elapsed_units",
      [](const RunResult& r) { return r.elapsed.as_units(); }},
+    // Appended by the fault-injection work (schema-compatible: new columns
+    // only, stable order preserved).
+    {"commit_rounds",
+     [](const RunResult& r) { return static_cast<double>(r.commit_rounds); }},
+    {"commit_aborts",
+     [](const RunResult& r) { return static_cast<double>(r.commit_aborts); }},
+    {"vote_timeouts",
+     [](const RunResult& r) { return static_cast<double>(r.vote_timeouts); }},
+    {"presumed_aborts",
+     [](const RunResult& r) {
+       return static_cast<double>(r.presumed_aborts);
+     }},
+    {"fault_drops",
+     [](const RunResult& r) { return static_cast<double>(r.fault_drops); }},
+    {"fault_dups",
+     [](const RunResult& r) { return static_cast<double>(r.fault_dups); }},
+    {"msgs_dropped",
+     [](const RunResult& r) { return static_cast<double>(r.msgs_dropped); }},
+    {"crashes",
+     [](const RunResult& r) { return static_cast<double>(r.crashes); }},
+    {"crash_kills",
+     [](const RunResult& r) { return static_cast<double>(r.crash_kills); }},
+    {"versions_recovered",
+     [](const RunResult& r) {
+       return static_cast<double>(r.versions_recovered);
+     }},
 };
 
 }  // namespace
@@ -71,6 +97,18 @@ RunResult ExperimentRunner::run_once(const SystemConfig& config) {
   result.ceiling_denials = system.total_ceiling_denials();
   result.dynamic_deadlocks = system.total_dynamic_deadlocks();
   result.elapsed = system.kernel().now() - sim::TimePoint::origin();
+  result.commit_rounds = system.total_commit_rounds();
+  result.commit_aborts = system.total_commit_aborts();
+  result.vote_timeouts = system.total_vote_timeouts();
+  result.presumed_aborts = system.total_presumed_aborts();
+  if (const net::Network* net = system.network(); net != nullptr) {
+    result.fault_drops = net->fault_drops();
+    result.fault_dups = net->fault_duplicates();
+    result.msgs_dropped = net->messages_dropped();
+  }
+  result.crashes = system.crashes();
+  result.crash_kills = system.total_crash_kills();
+  result.versions_recovered = system.total_versions_recovered();
   return result;
 }
 

@@ -22,6 +22,18 @@ struct RunResult {
   std::uint64_t ceiling_denials = 0;
   std::uint64_t dynamic_deadlocks = 0;
   sim::Duration elapsed{};
+  // Fault-injection / commit-protocol counters (all 0 in fault-free
+  // single-site runs).
+  std::uint64_t commit_rounds = 0;
+  std::uint64_t commit_aborts = 0;
+  std::uint64_t vote_timeouts = 0;
+  std::uint64_t presumed_aborts = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_dups = 0;
+  std::uint64_t msgs_dropped = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t crash_kills = 0;
+  std::uint64_t versions_recovered = 0;
 };
 
 // A named per-run scalar — the catalog below is the single list the text

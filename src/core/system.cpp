@@ -81,6 +81,7 @@ System::System(SystemConfig config)
       build_local_ceiling();
       break;
   }
+  schedule_faults();
 
   generator_ = std::make_unique<workload::TransactionGenerator>(
       kernel_, schema_, config_.workload, sim::RandomStream{config_.seed},
@@ -163,9 +164,20 @@ void System::build_global_ceiling() {
     site.server = std::make_unique<net::MessageServer>(kernel_, *network_, id);
     site.rpc_client = std::make_unique<net::RpcClient>(*site.server);
     site.rpc_dispatcher = std::make_unique<net::RpcDispatcher>(*site.server);
+    // Presumed abort only matters once faults can lose the decision; the
+    // fault-free default (zero timeout = wait forever) keeps runs
+    // byte-identical to earlier artifact versions.
+    const sim::Duration decision_timeout =
+        config_.faults.active() ? config_.commit_vote_timeout * 2
+                                : sim::Duration::zero();
     site.data_server = std::make_unique<dist::DataServer>(
-        *site.server, *site.rpc_dispatcher, *site.rm);
+        *site.server, *site.rpc_dispatcher, *site.rm, decision_timeout);
     site.coordinator = std::make_unique<txn::CommitCoordinator>(*site.server);
+    if (schema_.placement() == db::Placement::kFullyReplicated) {
+      // Replica catch-up after an outage (shared with the local scheme).
+      site.recovery =
+          std::make_unique<dist::RecoveryManager>(*site.server, *site.rm);
+    }
     auto client = std::make_unique<dist::GlobalCeilingClient>(
         kernel_, *site.server, *site.rpc_client, kManagerSite);
     site.executor = std::make_unique<dist::GlobalExecutor>(
@@ -175,7 +187,7 @@ void System::build_global_ceiling() {
             config_.record_history ? &history_ : nullptr},
         dist::GlobalExecutor::Costs{config_.cpu_per_object,
                                     use_priority_scheduling(),
-                                    sim::Duration::units(10000)});
+                                    config_.commit_vote_timeout});
     site.cc = std::move(client);
     site.tm = std::make_unique<txn::TransactionManager>(
         kernel_, *site.cc, *site.executor, monitor_,
@@ -215,6 +227,59 @@ void System::build_local_ceiling() {
     site.server->start();
     sites_.push_back(std::move(site));
   }
+}
+
+void System::schedule_faults() {
+  if (!config_.faults.active()) return;
+  assert(network_ != nullptr &&
+         "fault injection applies to the distributed schemes");
+  if (config_.faults.message_faults()) {
+    // Forked stream: the workload generator's draws are untouched by the
+    // fault knobs, and the fault schedule is a pure function of the seed.
+    constexpr std::uint64_t kFaultStream = 0xFA;
+    network_->install_faults(config_.faults,
+                             sim::RandomStream{config_.seed}.fork(kFaultStream));
+  }
+  for (const net::FaultSpec::Crash& crash : config_.faults.crashes) {
+    assert(crash.site < config_.sites);
+    const sim::TimePoint down_at = sim::TimePoint::origin() + crash.at;
+    kernel_.schedule_at(down_at,
+                        [this, site = crash.site] { crash_site(site); });
+    if (crash.down_for > sim::Duration::zero()) {
+      kernel_.schedule_at(down_at + crash.down_for,
+                          [this, site = crash.site] { restore_site(site); });
+    }
+  }
+}
+
+void System::crash_site(net::SiteId site) {
+  assert(network_ != nullptr && site < sites_.size());
+  if (!network_->operational(site)) return;
+  ++crashes_;
+  // Network first: everything the dying attempts try to say on the way
+  // down (release messages, votes) is lost, as fail-stop demands.
+  network_->set_operational(site, false);
+  Site& s = sites_[site];
+  if (s.server != nullptr) {
+    s.server->stop();
+    network_->inbox(site).clear();  // undispatched inbox dies with the site
+  }
+  if (s.data_server != nullptr) s.data_server->on_crash();
+  s.tm->crash();
+  // Idealized instantaneous failure detection at the lock manager: free
+  // whatever the dead site's transactions held so survivors are not
+  // blocked behind a corpse.
+  if (global_manager_ != nullptr) global_manager_->abort_site(site);
+}
+
+void System::restore_site(net::SiteId site) {
+  assert(network_ != nullptr && site < sites_.size());
+  if (network_->operational(site)) return;
+  network_->set_operational(site, true);
+  Site& s = sites_[site];
+  if (s.server != nullptr) s.server->start();
+  s.tm->restore();
+  if (s.recovery != nullptr) s.recovery->request_catch_up();
 }
 
 void System::submit(txn::TransactionSpec spec) {
@@ -283,6 +348,52 @@ std::uint64_t System::total_dynamic_deadlocks() const {
   }
   if (global_manager_ != nullptr) {
     n += global_manager_->protocol().dynamic_deadlocks();
+  }
+  return n;
+}
+
+std::uint64_t System::total_crash_kills() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) n += site.tm->crash_kills();
+  return n;
+}
+
+std::uint64_t System::total_commit_rounds() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.coordinator != nullptr) n += site.coordinator->rounds();
+  }
+  return n;
+}
+
+std::uint64_t System::total_commit_aborts() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.coordinator != nullptr) n += site.coordinator->aborts();
+  }
+  return n;
+}
+
+std::uint64_t System::total_vote_timeouts() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.coordinator != nullptr) n += site.coordinator->vote_timeouts();
+  }
+  return n;
+}
+
+std::uint64_t System::total_presumed_aborts() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.data_server != nullptr) n += site.data_server->presumed_aborts();
+  }
+  return n;
+}
+
+std::uint64_t System::total_versions_recovered() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.recovery != nullptr) n += site.recovery->versions_recovered();
   }
   return n;
 }

@@ -89,6 +89,16 @@ class System {
     return *generator_;
   }
 
+  // ---- fault injection (config_.faults drives these automatically) ----
+  // Fail-stop outage of one site: network down both directions, dispatcher
+  // stopped, queued inbox lost, staged write sets lost, running attempts
+  // killed; the global lock manager aborts the site's transactions
+  // (idealized instantaneous failure detection). Idempotent while down.
+  void crash_site(net::SiteId site);
+  // Brings the site back: network up, dispatcher restarted, queued and
+  // surviving transactions resumed, replica catch-up requested.
+  void restore_site(net::SiteId site);
+
   // ---- aggregate protocol counters (summed over sites) ----
   std::uint64_t total_restarts() const;
   std::uint64_t total_deadline_kills() const;
@@ -96,11 +106,20 @@ class System {
   // PCP-specific (0 for other protocols).
   std::uint64_t total_ceiling_denials() const;
   std::uint64_t total_dynamic_deadlocks() const;
+  // Fault/commit counters (0 outside the schemes that produce them).
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t total_crash_kills() const;
+  std::uint64_t total_commit_rounds() const;
+  std::uint64_t total_commit_aborts() const;
+  std::uint64_t total_vote_timeouts() const;
+  std::uint64_t total_presumed_aborts() const;
+  std::uint64_t total_versions_recovered() const;
 
  private:
   void build_single_site();
   void build_global_ceiling();
   void build_local_ceiling();
+  void schedule_faults();
   Site make_site_base(net::SiteId id, db::Placement placement);
   std::unique_ptr<cc::ConcurrencyController> make_controller();
   bool use_priority_scheduling() const {
@@ -118,6 +137,7 @@ class System {
   stats::PerformanceMonitor monitor_;
   std::unique_ptr<workload::TransactionGenerator> generator_;
   bool started_ = false;
+  std::uint64_t crashes_ = 0;
 };
 
 }  // namespace rtdb::core

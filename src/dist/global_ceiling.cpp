@@ -20,8 +20,8 @@ GlobalCeilingManager::GlobalCeilingManager(net::MessageServer& server,
       // Inherited priorities are not propagated to remote CPUs (the
       // grant/wake ordering at the manager still honours them).
       [](const cc::CcTxn&) {}});
-  server_.on<RegisterTxnMsg>([this](SiteId /*from*/, RegisterTxnMsg message) {
-    handle_register(std::move(message));
+  server_.on<RegisterTxnMsg>([this](SiteId from, RegisterTxnMsg message) {
+    handle_register(from, std::move(message));
   });
   server_.on<ReleaseAllMsg>([this](SiteId /*from*/, ReleaseAllMsg message) {
     handle_release(message.txn);
@@ -35,10 +35,21 @@ GlobalCeilingManager::GlobalCeilingManager(net::MessageServer& server,
   });
 }
 
-void GlobalCeilingManager::handle_register(RegisterTxnMsg message) {
-  assert(!mirrors_.contains(message.txn));
+void GlobalCeilingManager::handle_register(SiteId from,
+                                           RegisterTxnMsg message) {
+  auto it = mirrors_.find(message.txn);
+  if (it != mirrors_.end()) {
+    // Duplicated register for the live attempt: ignore. An *aborted* mirror
+    // still present means the attempt's EndTxn was lost (dropped message or
+    // home-site crash) and this is the restarted attempt re-registering:
+    // the old mirror already released everything in finish_abort, so just
+    // replace it.
+    if (!it->second->aborted) return;
+    mirrors_.erase(it);
+  }
   auto mirror = std::make_unique<Mirror>();
   mirror->ctx.id = db::TxnId{message.txn};
+  mirror->home = from;
   mirror->ctx.base_priority =
       sim::Priority{message.priority_key, message.priority_tie};
   mirror->ctx.access = cc::AccessSet::from_operations(message.operations);
@@ -66,9 +77,35 @@ void GlobalCeilingManager::handle_end(std::uint64_t txn) {
   auto it = mirrors_.find(txn);
   if (it == mirrors_.end()) return;
   Mirror& mirror = *it->second;
-  assert(mirror.pending.empty());
-  if (!mirror.aborted) pcp_.on_end(mirror.ctx);
+  // Under message jitter the EndTxn can overtake the ReleaseAll (and under
+  // drops the ReleaseAll may never arrive): cancel waiting grants and drop
+  // held locks before deregistering, so no CcTxn pointer survives in the
+  // lock table. release_all is idempotent, so the common ordered path is
+  // unchanged.
+  auto pending = mirror.pending;
+  mirror.pending.clear();
+  for (const sim::ProcessId pid : pending) {
+    if (server_.kernel().alive(pid)) server_.kernel().kill(pid);
+  }
+  if (!mirror.aborted) {
+    pcp_.release_all(mirror.ctx);
+    pcp_.on_end(mirror.ctx);
+  }
   mirrors_.erase(it);
+}
+
+void GlobalCeilingManager::abort_site(net::SiteId site) {
+  std::vector<std::uint64_t> victims;
+  for (const auto& [txn, mirror] : mirrors_) {
+    if (mirror->home == site) victims.push_back(txn);
+  }
+  // mirrors_ iteration order is unspecified; sort for deterministic replay.
+  std::sort(victims.begin(), victims.end());
+  for (const std::uint64_t txn : victims) {
+    auto it = mirrors_.find(txn);
+    finish_abort(*it->second);
+    mirrors_.erase(it);
+  }
 }
 
 void GlobalCeilingManager::handle_acquire(AcquireReq request,
@@ -208,7 +245,8 @@ void GlobalCeilingClient::on_end(cc::CcTxn& txn) {
 // ---- DataServer ----
 
 DataServer::DataServer(net::MessageServer& server, net::RpcDispatcher& rpc,
-                       db::ResourceManager& rm)
+                       db::ResourceManager& rm,
+                       sim::Duration decision_timeout)
     : server_(server),
       rm_(rm),
       participant_(
@@ -243,7 +281,8 @@ DataServer::DataServer(net::MessageServer& server, net::RpcDispatcher& rpc,
                                                 sim::Priority::highest());
                       ++counter;
                     }(rm_, txn, std::move(staged.objects), applied_commits_));
-              }}) {
+              }},
+          txn::CommitParticipant::Options{decision_timeout}) {
   server_.on<WriteSetMsg>([this](SiteId /*from*/, WriteSetMsg message) {
     staged_[message.txn] = std::move(message);
   });

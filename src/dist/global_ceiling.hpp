@@ -82,14 +82,21 @@ class GlobalCeilingManager {
   // Transactions currently registered here; 0 once the system drains.
   std::size_t live_mirrors() const { return mirrors_.size(); }
 
+  // Failure-detector hook: aborts and deregisters every mirror homed at
+  // `site` (the site crashed — its transactions will never send their
+  // release/end messages), releasing whatever they held so the survivors
+  // are not blocked behind a dead site's locks.
+  void abort_site(net::SiteId site);
+
  private:
   struct Mirror {
     cc::CcTxn ctx;
+    net::SiteId home = 0;
     std::vector<sim::ProcessId> pending;
     bool aborted = false;
   };
 
-  void handle_register(RegisterTxnMsg message);
+  void handle_register(net::SiteId from, RegisterTxnMsg message);
   void handle_release(std::uint64_t txn);
   void handle_end(std::uint64_t txn);
   void handle_acquire(AcquireReq request, net::RpcServer::Responder respond);
@@ -135,13 +142,25 @@ class GlobalCeilingClient : public cc::ConcurrencyController {
 class DataServer {
  public:
   DataServer(net::MessageServer& server, net::RpcDispatcher& rpc,
-             db::ResourceManager& rm);
+             db::ResourceManager& rm)
+      : DataServer(server, rpc, rm, sim::Duration::zero()) {}
+  // `decision_timeout` > 0 arms presumed abort on the embedded 2PC
+  // participant (see txn::CommitParticipant::Options).
+  DataServer(net::MessageServer& server, net::RpcDispatcher& rpc,
+             db::ResourceManager& rm, sim::Duration decision_timeout);
 
   DataServer(const DataServer&) = delete;
   DataServer& operator=(const DataServer&) = delete;
 
+  // Site crash: staged (uncommitted) write sets are volatile state and die
+  // with the site.
+  void on_crash() { staged_.clear(); }
+
   std::uint64_t remote_reads() const { return remote_reads_; }
   std::uint64_t applied_commits() const { return applied_commits_; }
+  std::uint64_t presumed_aborts() const {
+    return participant_.presumed_aborts();
+  }
 
  private:
   net::MessageServer& server_;

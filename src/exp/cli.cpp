@@ -14,7 +14,45 @@ bool parse_int(const std::string& text, long long* out) {
   return end == text.c_str() + text.size() && !text.empty();
 }
 
+bool parse_double(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+// One crash spec: "site:at[:down_for]" (times in simulation units).
+bool parse_crash(const std::string& text, net::FaultSpec::Crash* out) {
+  const std::size_t first = text.find(':');
+  if (first == std::string::npos) return false;
+  const std::size_t second = text.find(':', first + 1);
+  long long site = 0;
+  double at = 0.0;
+  double down_for = 0.0;
+  if (!parse_int(text.substr(0, first), &site) || site < 0) return false;
+  const std::string at_text =
+      second == std::string::npos ? text.substr(first + 1)
+                                  : text.substr(first + 1, second - first - 1);
+  if (!parse_double(at_text, &at) || at < 0.0) return false;
+  if (second != std::string::npos &&
+      (!parse_double(text.substr(second + 1), &down_for) || down_for < 0.0)) {
+    return false;
+  }
+  out->site = static_cast<net::SiteId>(site);
+  out->at = sim::Duration::from_units(at);
+  out->down_for = sim::Duration::from_units(down_for);
+  return true;
+}
+
 }  // namespace
+
+void Options::apply_faults(net::FaultSpec* spec) const {
+  if (drop_rate) spec->drop_rate = *drop_rate;
+  if (dup_rate) spec->dup_rate = *dup_rate;
+  if (jitter_units) spec->jitter = sim::Duration::from_units(*jitter_units);
+  for (const net::FaultSpec::Crash& crash : crashes) {
+    spec->crashes.push_back(crash);
+  }
+}
 
 int Options::effective_jobs() const {
   if (jobs) return *jobs > 0 ? *jobs : 1;
@@ -64,6 +102,42 @@ std::optional<Options> parse_options(int argc, char** argv,
       if (!v || v->empty() || (*v)[0] == '-')
         return fail("--json requires a file path");
       opts.json_path = *v;
+    } else if (arg == "--drop-rate") {
+      const auto v = value("--drop-rate");
+      double p = 0.0;
+      if (!v || !parse_double(*v, &p) || p < 0.0 || p > 1.0)
+        return fail("--drop-rate requires a probability in [0, 1]");
+      opts.drop_rate = p;
+    } else if (arg == "--dup-rate") {
+      const auto v = value("--dup-rate");
+      double p = 0.0;
+      if (!v || !parse_double(*v, &p) || p < 0.0 || p > 1.0)
+        return fail("--dup-rate requires a probability in [0, 1]");
+      opts.dup_rate = p;
+    } else if (arg == "--jitter") {
+      const auto v = value("--jitter");
+      double units = 0.0;
+      if (!v || !parse_double(*v, &units) || units < 0.0)
+        return fail("--jitter requires a non-negative duration in units");
+      opts.jitter_units = units;
+    } else if (arg == "--crash-at") {
+      const auto v = value("--crash-at");
+      if (!v) return fail("--crash-at requires site:at[:down_for]");
+      // Comma-separated list of crash specs; the flag may also repeat.
+      std::size_t start = 0;
+      while (start <= v->size()) {
+        const std::size_t comma = v->find(',', start);
+        const std::string one =
+            v->substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+        net::FaultSpec::Crash crash;
+        if (!parse_crash(one, &crash))
+          return fail("--crash-at: bad crash spec '" + one +
+                      "' (want site:at[:down_for])");
+        opts.crashes.push_back(crash);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else if (arg == "--csv") {
       opts.csv = true;
       // Optional path operand: `--csv out.csv` writes a file, bare `--csv`
@@ -92,7 +166,18 @@ std::string usage(const std::string& program) {
          "  --csv [PATH] write the aggregate artifact as CSV "
          "(stdout when PATH is omitted)\n"
          "  --quiet      suppress the progress meter\n"
-         "  --help       this message\n";
+         "  --help       this message\n"
+         "fault injection (distributed schemes; deterministic per seed):\n"
+         "  --drop-rate P          drop each inter-site message with "
+         "probability P\n"
+         "  --dup-rate P           deliver each inter-site message twice "
+         "with probability P\n"
+         "  --jitter U             add uniform [0, U] units of extra delay "
+         "per message\n"
+         "  --crash-at SITE:AT[:DOWN_FOR]\n"
+         "               fail-stop SITE at time AT for DOWN_FOR units "
+         "(omitted/0 = rest of run);\n"
+         "               comma-separated list, flag may repeat\n";
 }
 
 Options parse_options_or_exit(int argc, char** argv) {

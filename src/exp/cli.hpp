@@ -7,6 +7,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
+
+#include "net/fault.hpp"
 
 namespace rtdb::exp {
 
@@ -20,9 +23,20 @@ struct Options {
   bool quiet = false;                    // --quiet: no progress meter
   bool help = false;
 
+  // Fault-injection overlays (--drop-rate/--dup-rate/--jitter/--crash-at);
+  // unset flags leave the bench's own FaultSpec untouched.
+  std::optional<double> drop_rate;
+  std::optional<double> dup_rate;
+  std::optional<double> jitter_units;
+  std::vector<net::FaultSpec::Crash> crashes;  // --crash-at (cumulative)
+
   // The worker count actually used: --jobs if given, else
   // hardware_concurrency (min 1).
   int effective_jobs() const;
+
+  // Overlays the fault flags onto `spec` (run_sweep applies this to every
+  // cell, so the knobs work uniformly across bench binaries).
+  void apply_faults(net::FaultSpec* spec) const;
 };
 
 // Parses argv. On error fills `error` and returns nullopt; `--help` sets

@@ -38,6 +38,7 @@ SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
       core::SystemConfig config = spec.cells[cell].config;
       config.seed =
           core::ExperimentRunner::seed_for_run(base_seed_of(cell), run);
+      opts.apply_faults(&config.faults);
       flat[i] = core::ExperimentRunner::run_once(config);
       meter.tick();
     }

@@ -1,0 +1,27 @@
+#include "net/fault.hpp"
+
+namespace rtdb::net {
+
+FaultInjector::Decision FaultInjector::next() {
+  Decision decision;
+  if (spec_.drop_rate > 0.0 && stream_.bernoulli(spec_.drop_rate)) {
+    decision.drop = true;
+    ++drops_;
+    return decision;
+  }
+  if (spec_.dup_rate > 0.0 && stream_.bernoulli(spec_.dup_rate)) {
+    decision.duplicate = true;
+    ++duplicates_;
+  }
+  if (spec_.jitter > sim::Duration::zero()) {
+    decision.extra_delay =
+        sim::Duration::from_units(stream_.uniform_real(0.0, spec_.jitter.as_units()));
+    if (decision.duplicate) {
+      decision.duplicate_delay = sim::Duration::from_units(
+          stream_.uniform_real(0.0, spec_.jitter.as_units()));
+    }
+  }
+  return decision;
+}
+
+}  // namespace rtdb::net

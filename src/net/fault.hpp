@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rtdb::net {
+
+using SiteId = std::uint32_t;
+
+// Deterministic fault model for the simulated network. Message faults
+// (drop, duplicate, jitter) apply independently to every inter-site
+// message; crashes are scheduled fail-stop outages of whole sites. All
+// random decisions come from a dedicated stream forked off the run seed,
+// so the workload trajectory is untouched by the fault knobs and a given
+// (config, seed) pair always produces the same fault schedule — the sweep
+// engine's `--jobs N` byte-identity survives fault injection.
+struct FaultSpec {
+  // Probability that an inter-site message is silently lost in transit.
+  double drop_rate = 0.0;
+  // Probability that an inter-site message is delivered twice.
+  double dup_rate = 0.0;
+  // Extra per-message delay, uniform in [0, jitter]. Reorders messages on
+  // a link once it exceeds the gap between sends.
+  sim::Duration jitter{};
+
+  // One scheduled fail-stop outage: the site drops off the network at
+  // `at`, its in-flight transaction attempts are killed, and it comes back
+  // `down_for` later (zero = stays down for the rest of the run).
+  struct Crash {
+    SiteId site = 0;
+    sim::Duration at{};
+    sim::Duration down_for{};
+  };
+  std::vector<Crash> crashes;
+
+  bool message_faults() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || jitter > sim::Duration::zero();
+  }
+  bool active() const { return message_faults() || !crashes.empty(); }
+};
+
+// Draws the per-message fault decisions. Owned by the Network; consulted
+// only when the spec has message faults, so a zero spec leaves the
+// fault stream untouched and the simulation bit-identical to a build
+// without fault injection.
+class FaultInjector {
+ public:
+  FaultInjector(FaultSpec spec, sim::RandomStream stream)
+      : spec_(std::move(spec)), stream_(stream) {}
+
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    sim::Duration extra_delay{};      // jitter on the original copy
+    sim::Duration duplicate_delay{};  // jitter on the duplicate copy
+  };
+
+  // The decision for the next inter-site message. Draw order is fixed
+  // (drop, then duplicate, then one jitter per delivered copy) so the
+  // schedule is a pure function of the spec and the stream seed.
+  Decision next();
+
+  const FaultSpec& spec() const { return spec_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+
+ private:
+  FaultSpec spec_;
+  sim::RandomStream stream_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace rtdb::net

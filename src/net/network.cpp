@@ -20,6 +20,8 @@ Network::Network(sim::Kernel& kernel, std::uint32_t site_count,
   }
 }
 
+Network::~Network() = default;
+
 void Network::set_delay(SiteId from, SiteId to, sim::Duration delay) {
   assert(from < site_count() && to < site_count());
   assert(!delay.is_negative());
@@ -49,15 +51,40 @@ bool Network::operational(SiteId site) const {
   return up_[site];
 }
 
+void Network::install_faults(const FaultSpec& spec, sim::RandomStream stream) {
+  injector_ = std::make_unique<FaultInjector>(spec, stream);
+}
+
 void Network::send(Envelope envelope) {
   assert(envelope.from < site_count() && envelope.to < site_count());
   ++sent_;
   const sim::Duration d = delay(envelope.from, envelope.to);
   if (envelope.from == envelope.to && d.is_zero()) {
+    // Intra-site communication bypasses the Message Server and the fault
+    // model alike.
     deliver(std::move(envelope));
     return;
   }
-  kernel_.schedule_in(d, [this, env = std::move(envelope)]() mutable {
+  if (!up_[envelope.from]) {
+    // A crashed site sends nothing; whatever its (dying) processes were
+    // emitting is lost with the site.
+    ++dropped_;
+    return;
+  }
+  if (injector_ != nullptr && injector_->spec().message_faults()) {
+    const FaultInjector::Decision decision = injector_->next();
+    if (decision.drop) return;
+    if (decision.duplicate) {
+      schedule_delivery(envelope, d + decision.duplicate_delay);
+    }
+    schedule_delivery(std::move(envelope), d + decision.extra_delay);
+    return;
+  }
+  schedule_delivery(std::move(envelope), d);
+}
+
+void Network::schedule_delivery(Envelope envelope, sim::Duration delay) {
+  kernel_.schedule_in(delay, [this, env = std::move(envelope)]() mutable {
     deliver(std::move(env));
   });
 }

@@ -6,13 +6,12 @@
 #include <memory>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "sim/kernel.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/time.hpp"
 
 namespace rtdb::net {
-
-using SiteId = std::uint32_t;
 
 // One message in flight between sites. `body` carries any application
 // payload; `on_retrieved` (optional) is invoked by the destination site's
@@ -38,6 +37,7 @@ class Network {
  public:
   Network(sim::Kernel& kernel, std::uint32_t site_count,
           sim::Duration default_delay = sim::Duration::zero());
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -50,6 +50,12 @@ class Network {
 
   void set_operational(SiteId site, bool up);
   bool operational(SiteId site) const;
+
+  // Installs message-fault injection (drop/duplicate/jitter). The decision
+  // stream is seeded independently of the workload; with a zero spec the
+  // injector is never consulted and the network behaves exactly as before.
+  void install_faults(const FaultSpec& spec, sim::RandomStream stream);
+  const FaultInjector* faults() const { return injector_.get(); }
 
   // Sends asynchronously; the envelope arrives in `to`'s inbox after
   // delay(from, to). Intra-site messages bypass the network (delivered
@@ -64,15 +70,25 @@ class Network {
 
   std::uint64_t messages_sent() const { return sent_; }
   std::uint64_t messages_delivered() const { return delivered_; }
+  // Messages lost to a down endpoint (either direction).
   std::uint64_t messages_dropped() const { return dropped_; }
+  // Messages lost / duplicated by the fault injector.
+  std::uint64_t fault_drops() const {
+    return injector_ ? injector_->drops() : 0;
+  }
+  std::uint64_t fault_duplicates() const {
+    return injector_ ? injector_->duplicates() : 0;
+  }
 
  private:
   void deliver(Envelope envelope);
+  void schedule_delivery(Envelope envelope, sim::Duration delay);
 
   sim::Kernel& kernel_;
   std::vector<std::unique_ptr<sim::Mailbox<Envelope>>> inboxes_;
   std::vector<sim::Duration> delays_;  // site_count x site_count
   std::vector<bool> up_;
+  std::unique_ptr<FaultInjector> injector_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

@@ -40,9 +40,13 @@ sim::Task<std::optional<std::any>> RpcClient::call(
 RpcServer::RpcServer(MessageServer& server, Handler handler)
     : server_(server), handler_(std::move(handler)) {
   server_.on<RpcRequestMsg>([this](SiteId from, RpcRequestMsg message) {
-    ++served_;
     const std::uint64_t correlation = message.correlation;
     const SiteId reply_to = message.reply_to;
+    if (!seen_[reply_to].insert(correlation).second) {
+      ++duplicates_;
+      return;
+    }
+    ++served_;
     Responder respond = [this, correlation, reply_to](std::any response) {
       server_.send(reply_to, RpcResponseMsg{correlation, std::move(response)});
     };

@@ -7,6 +7,7 @@
 #include <optional>
 #include <typeindex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "net/message_server.hpp"
 #include "net/network.hpp"
@@ -80,11 +81,16 @@ class RpcServer {
   RpcServer& operator=(const RpcServer&) = delete;
 
   std::uint64_t requests_served() const { return served_; }
+  // Re-deliveries of an already-served (caller, correlation) pair; the
+  // handler must not run twice (it would, e.g., double-acquire a lock).
+  std::uint64_t duplicates_dropped() const { return duplicates_; }
 
  private:
   MessageServer& server_;
   Handler handler_;
+  std::unordered_map<SiteId, std::unordered_set<std::uint64_t>> seen_;
   std::uint64_t served_ = 0;
+  std::uint64_t duplicates_ = 0;
 };
 
 // Routes RPC requests by payload type, so several services (lock manager,

@@ -59,6 +59,12 @@ void TransactionManager::submit(TransactionSpec spec) {
 
   ref.watchdog = kernel_.schedule_at(
       ref.spec.deadline, [this, id = ref.spec.id] { deadline_expired(id); });
+  if (down_) {
+    // Site is crashed: queue the transaction; restore() starts it (the
+    // watchdog is armed, so it can also miss its deadline while queued).
+    ref.phase = Phase::kDown;
+    return;
+  }
   start_attempt(ref);
 }
 
@@ -173,6 +179,49 @@ void TransactionManager::finish(Live& live, bool committed) {
 void TransactionManager::collect_attempt_stats(Live& live) {
   monitor_.on_attempt_stats(live.spec.id, live.attempt.ctx.blocked_total,
                             live.attempt.ctx.ceiling_blocks);
+}
+
+void TransactionManager::crash() {
+  assert(!down_);
+  down_ = true;
+  // Map order is unspecified; process in TxnId order for deterministic
+  // replay (kills release locks, which reorders grant queues).
+  std::vector<db::TxnId> ids;
+  ids.reserve(live_.size());
+  for (const auto& [id, live] : live_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(),
+            [](db::TxnId a, db::TxnId b) { return a.value < b.value; });
+  for (const db::TxnId id : ids) {
+    Live& live = *live_.at(id);
+    if (live.phase == Phase::kRunning) {
+      if (kernel_.alive(live.pid)) kernel_.kill(live.pid);
+      collect_attempt_stats(live);
+      // Release messages go through the (now down) network and vanish;
+      // remote lock-manager state is cleaned up by the failure detector.
+      executor_.release(live.attempt, live.spec, /*committed=*/false);
+      ++crash_kills_;
+    } else if (live.restart_event.valid()) {
+      kernel_.cancel_event(live.restart_event);
+      live.restart_event = {};
+    }
+    live.phase = Phase::kDown;
+  }
+}
+
+void TransactionManager::restore() {
+  assert(down_);
+  down_ = false;
+  std::vector<db::TxnId> ids;
+  for (const auto& [id, live] : live_) {
+    if (live->phase == Phase::kDown) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end(),
+            [](db::TxnId a, db::TxnId b) { return a.value < b.value; });
+  for (const db::TxnId id : ids) {
+    auto it = live_.find(id);
+    if (it == live_.end()) continue;
+    start_attempt(*it->second);
+  }
 }
 
 void TransactionManager::abort_all() {

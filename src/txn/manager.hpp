@@ -51,12 +51,23 @@ class TransactionManager {
   std::size_t live_count() const { return live_.size(); }
   std::uint64_t restarts() const { return restarts_; }
   std::uint64_t deadline_kills() const { return deadline_kills_; }
+  std::uint64_t crash_kills() const { return crash_kills_; }
 
   // Kills every live transaction (teardown between experiment runs).
   void abort_all();
 
+  // Site failure (fail-stop): kills every running attempt — their volatile
+  // state is lost — and parks all live transactions in Phase::kDown.
+  // Watchdogs stay armed: a deadline passing while the site is down is
+  // still a recorded miss. Transactions submitted while down are queued.
+  void crash();
+  // Site restart: resumes from the deadline watchdogs — every transaction
+  // whose deadline has not yet passed starts a fresh attempt.
+  void restore();
+  bool down() const { return down_; }
+
  private:
-  enum class Phase : std::uint8_t { kRunning, kAwaitingRestart };
+  enum class Phase : std::uint8_t { kRunning, kAwaitingRestart, kDown };
 
   struct Live {
     TransactionSpec spec;
@@ -85,8 +96,10 @@ class TransactionManager {
   Options options_;
   sched::PreemptiveCpu* cpu_ = nullptr;
   std::unordered_map<db::TxnId, std::unique_ptr<Live>> live_;
+  bool down_ = false;
   std::uint64_t restarts_ = 0;
   std::uint64_t deadline_kills_ = 0;
+  std::uint64_t crash_kills_ = 0;
 };
 
 }  // namespace rtdb::txn

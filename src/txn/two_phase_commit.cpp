@@ -5,18 +5,66 @@
 namespace rtdb::txn {
 
 CommitParticipant::CommitParticipant(net::MessageServer& server,
-                                     Callbacks callbacks)
-    : server_(server), callbacks_(std::move(callbacks)) {
+                                     Callbacks callbacks, Options options)
+    : server_(server), callbacks_(std::move(callbacks)), options_(options) {
   server_.on<PrepareMsg>([this](net::SiteId /*from*/, PrepareMsg msg) {
-    ++prepares_;
-    const bool yes = callbacks_.vote_yes
-                         ? callbacks_.vote_yes(db::TxnId{msg.txn})
-                         : true;
-    server_.send(msg.coordinator, VoteMsg{msg.txn, server_.site(), yes});
+    handle_prepare(std::move(msg));
   });
   server_.on<DecisionMsg>([this](net::SiteId /*from*/, DecisionMsg msg) {
-    if (callbacks_.decide) callbacks_.decide(db::TxnId{msg.txn}, msg.commit);
+    handle_decision(std::move(msg));
   });
+}
+
+CommitParticipant::~CommitParticipant() {
+  for (auto& [txn, waiting] : awaiting_) {
+    if (waiting.timeout.valid()) server_.kernel().cancel_event(waiting.timeout);
+  }
+}
+
+void CommitParticipant::handle_prepare(PrepareMsg msg) {
+  ++prepares_;
+  const bool yes =
+      callbacks_.vote_yes ? callbacks_.vote_yes(db::TxnId{msg.txn}) : true;
+  if (yes && !options_.decision_timeout.is_zero()) {
+    // Presumed abort: if the decision never arrives, abort unilaterally.
+    // A duplicated prepare re-votes but must not re-arm a fresh timeout
+    // for the same round; a newer epoch supersedes the old round's wait.
+    auto it = awaiting_.find(msg.txn);
+    if (it == awaiting_.end() || it->second.epoch < msg.epoch) {
+      if (it != awaiting_.end() && it->second.timeout.valid()) {
+        server_.kernel().cancel_event(it->second.timeout);
+      }
+      AwaitingDecision waiting;
+      waiting.epoch = msg.epoch;
+      waiting.timeout = server_.kernel().schedule_in(
+          options_.decision_timeout,
+          [this, txn = msg.txn, epoch = msg.epoch] {
+            presume_abort(txn, epoch);
+          });
+      awaiting_[msg.txn] = waiting;
+    }
+  }
+  server_.send(msg.coordinator,
+               VoteMsg{msg.txn, msg.epoch, server_.site(), yes});
+}
+
+void CommitParticipant::handle_decision(DecisionMsg msg) {
+  auto it = awaiting_.find(msg.txn);
+  if (it != awaiting_.end() && it->second.epoch <= msg.epoch) {
+    if (it->second.timeout.valid()) {
+      server_.kernel().cancel_event(it->second.timeout);
+    }
+    awaiting_.erase(it);
+  }
+  if (callbacks_.decide) callbacks_.decide(db::TxnId{msg.txn}, msg.commit);
+}
+
+void CommitParticipant::presume_abort(std::uint64_t txn, std::uint64_t epoch) {
+  auto it = awaiting_.find(txn);
+  if (it == awaiting_.end() || it->second.epoch != epoch) return;
+  awaiting_.erase(it);
+  ++presumed_aborts_;
+  if (callbacks_.decide) callbacks_.decide(db::TxnId{txn}, false);
 }
 
 CommitCoordinator::CommitCoordinator(net::MessageServer& server)
@@ -24,20 +72,24 @@ CommitCoordinator::CommitCoordinator(net::MessageServer& server)
   server_.on<VoteMsg>([this](net::SiteId /*from*/, VoteMsg msg) {
     auto it = pending_.find(msg.txn);
     if (it == pending_.end()) return;  // vote after timeout: ignored
-    if (msg.yes) ++it->second->yes;
-    it->second->arrived.release();
+    PendingVotes& votes = *it->second;
+    if (msg.epoch != votes.epoch) return;        // stale round (restart)
+    if (!votes.voted.insert(msg.from).second) return;  // duplicate vote
+    if (msg.yes) ++votes.yes;
+    votes.arrived.release();
   });
 }
 
 sim::Task<bool> CommitCoordinator::commit(db::TxnId txn,
                                           std::vector<net::SiteId> participants,
                                           sim::Duration vote_timeout) {
-  ++rounds_;
+  const std::uint64_t epoch = ++rounds_;
   if (participants.empty()) co_return true;  // purely local commit
 
   auto votes = std::make_shared<PendingVotes>(server_.kernel());
+  votes->epoch = epoch;
   votes->total = static_cast<int>(participants.size());
-  pending_.emplace(txn.value, votes);
+  pending_[txn.value] = votes;
   struct Deregister {
     CommitCoordinator* self;
     std::uint64_t txn;
@@ -46,7 +98,7 @@ sim::Task<bool> CommitCoordinator::commit(db::TxnId txn,
 
   for (const net::SiteId site : participants) {
     assert(site != server_.site());
-    server_.send(site, PrepareMsg{txn.value, server_.site()});
+    server_.send(site, PrepareMsg{txn.value, epoch, server_.site()});
   }
 
   // Gather all votes or give up at the timeout (missing vote == NO).
@@ -60,11 +112,12 @@ sim::Task<bool> CommitCoordinator::commit(db::TxnId txn,
     if (status == sim::WakeStatus::kTimeout) break;
     ++received;
   }
+  if (received < votes->total) ++vote_timeouts_;
   if (received < votes->total || votes->yes < votes->total) all_yes = false;
 
   if (!all_yes) ++aborts_;
   for (const net::SiteId site : participants) {
-    server_.send(site, DecisionMsg{txn.value, all_yes});
+    server_.send(site, DecisionMsg{txn.value, epoch, all_yes});
   }
   co_return all_yes;
 }

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "db/types.hpp"
@@ -20,23 +21,35 @@ namespace rtdb::txn {
 // globally"). Used by the global-ceiling distributed scheme, whose update
 // transactions write primary copies at several sites.
 //
-// Wire messages (sent through the per-site MessageServer):
+// Wire messages (sent through the per-site MessageServer). Every message
+// carries the coordinator round (`epoch`): a restarted transaction reuses
+// its TxnId, so under message jitter a vote from a previous attempt could
+// otherwise be credited to the current round.
 struct PrepareMsg {
   std::uint64_t txn = 0;
+  std::uint64_t epoch = 0;
   net::SiteId coordinator = 0;
 };
 struct VoteMsg {
   std::uint64_t txn = 0;
+  std::uint64_t epoch = 0;
   net::SiteId from = 0;
   bool yes = false;
 };
 struct DecisionMsg {
   std::uint64_t txn = 0;
+  std::uint64_t epoch = 0;
   bool commit = false;
 };
 
 // Participant side: the application registers callbacks deciding the vote
 // and applying the decision for a given transaction.
+//
+// Fault tolerance: handlers are idempotent under message duplication (a
+// re-delivered prepare just re-votes; a re-delivered decision is ignored),
+// and an optional decision timeout implements presumed abort — a
+// participant that voted yes and then hears nothing (lost decision,
+// crashed coordinator) aborts unilaterally once the timeout expires.
 class CommitParticipant {
  public:
   struct Callbacks {
@@ -45,21 +58,48 @@ class CommitParticipant {
     // Apply the global decision locally.
     std::function<void(db::TxnId, bool commit)> decide;
   };
+  struct Options {
+    // How long to wait for the decision after voting yes before presuming
+    // abort; zero waits forever (the pre-fault-injection behaviour).
+    sim::Duration decision_timeout{};
+  };
 
-  CommitParticipant(net::MessageServer& server, Callbacks callbacks);
+  CommitParticipant(net::MessageServer& server, Callbacks callbacks)
+      : CommitParticipant(server, std::move(callbacks), Options{}) {}
+  CommitParticipant(net::MessageServer& server, Callbacks callbacks,
+                    Options options);
+  ~CommitParticipant();
+
+  CommitParticipant(const CommitParticipant&) = delete;
+  CommitParticipant& operator=(const CommitParticipant&) = delete;
 
   std::uint64_t prepares_handled() const { return prepares_; }
+  // Yes-votes aborted unilaterally because the decision never arrived.
+  std::uint64_t presumed_aborts() const { return presumed_aborts_; }
 
  private:
+  struct AwaitingDecision {
+    std::uint64_t epoch = 0;
+    sim::EventId timeout{};
+  };
+
+  void handle_prepare(PrepareMsg msg);
+  void handle_decision(DecisionMsg msg);
+  void presume_abort(std::uint64_t txn, std::uint64_t epoch);
+
   net::MessageServer& server_;
   Callbacks callbacks_;
+  Options options_;
+  // Yes-votes whose decision is still outstanding (timeout armed).
+  std::unordered_map<std::uint64_t, AwaitingDecision> awaiting_;
   std::uint64_t prepares_ = 0;
+  std::uint64_t presumed_aborts_ = 0;
 };
 
 // Coordinator side: drives prepare/vote/decision for one transaction at a
 // time per call. Votes are gathered in parallel (one round trip), with a
 // timeout treated as a NO vote (a down participant must not block the
-// coordinator forever).
+// coordinator forever). Duplicate and stale-epoch votes are ignored.
 class CommitCoordinator {
  public:
   explicit CommitCoordinator(net::MessageServer& server);
@@ -71,10 +111,14 @@ class CommitCoordinator {
 
   std::uint64_t rounds() const { return rounds_; }
   std::uint64_t aborts() const { return aborts_; }
+  // Rounds aborted because some vote never arrived in time.
+  std::uint64_t vote_timeouts() const { return vote_timeouts_; }
 
  private:
   struct PendingVotes {
     sim::Semaphore arrived;
+    std::uint64_t epoch = 0;
+    std::unordered_set<net::SiteId> voted;
     int yes = 0;
     int total = 0;
     explicit PendingVotes(sim::Kernel& k) : arrived(k, 0) {}
@@ -84,6 +128,7 @@ class CommitCoordinator {
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingVotes>> pending_;
   std::uint64_t rounds_ = 0;
   std::uint64_t aborts_ = 0;
+  std::uint64_t vote_timeouts_ = 0;
 };
 
 }  // namespace rtdb::txn

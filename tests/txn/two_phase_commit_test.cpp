@@ -123,6 +123,89 @@ TEST(TwoPhaseCommitTest, DownParticipantTimesOutAsNo) {
   EXPECT_EQ((c.decisions[{1, 3}]), false);  // survivor told to abort
 }
 
+TEST(TwoPhaseCommitTest, DroppedPrepareTimesOutCoordinatorIntoAbort) {
+  Cluster c;
+  net::FaultSpec drop_all;
+  drop_all.drop_rate = 1.0;
+  c.net.install_faults(drop_all, sim::RandomStream{5});
+  bool committed = true;
+  double done_at = -1;
+  c.k.spawn("coord", [](Cluster& c, bool& committed, double& at) -> Task<void> {
+    std::vector<net::SiteId> participants{1, 2};
+    committed = co_await c.coordinator.commit(db::TxnId{4}, participants, tu(10));
+    at = c.k.now().as_units();
+  }(c, committed, done_at));
+  c.k.run();
+  EXPECT_FALSE(committed);
+  EXPECT_EQ(done_at, 10.0);  // waited out the vote window
+  EXPECT_EQ(c.coordinator.vote_timeouts(), 1u);
+  EXPECT_EQ(c.coordinator.aborts(), 1u);
+  EXPECT_TRUE(c.decisions.empty());  // prepares never arrived
+}
+
+TEST(TwoPhaseCommitTest, DuplicatedMessagesDoNotDoubleCountVotes) {
+  Cluster c;
+  net::FaultSpec dup_all;
+  dup_all.dup_rate = 1.0;
+  c.net.install_faults(dup_all, sim::RandomStream{5});
+  bool committed = false;
+  c.k.spawn("coord", [](Cluster& c, bool& committed) -> Task<void> {
+    std::vector<net::SiteId> participants{1, 2};
+    // Every prepare arrives twice (participants re-vote), every vote
+    // arrives twice (the coordinator must count each site once), and every
+    // decision arrives twice (participants must apply it idempotently).
+    committed = co_await c.coordinator.commit(db::TxnId{6}, participants, tu(100));
+  }(c, committed));
+  c.k.run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ((c.decisions[{1, 6}]), true);
+  EXPECT_EQ((c.decisions[{2, 6}]), true);
+  EXPECT_EQ(c.coordinator.aborts(), 0u);
+}
+
+TEST(TwoPhaseCommitTest, ParticipantPresumesAbortWhenDecisionNeverArrives) {
+  Kernel k;
+  net::Network net{k, 2, tu(2)};
+  net::MessageServer ms0{k, net, 0};
+  net::MessageServer ms1{k, net, 1};
+  std::map<std::uint64_t, bool> decisions;
+  CommitParticipant participant{
+      ms1,
+      CommitParticipant::Callbacks{
+          [](db::TxnId) { return true; },
+          [&decisions](db::TxnId t, bool c) { decisions[t.value] = c; }},
+      CommitParticipant::Options{tu(20)}};
+  ms0.start();
+  ms1.start();
+  // A prepare whose coordinator then goes silent (no decision ever sent).
+  ms0.send(1, PrepareMsg{11, 1, 0});
+  k.run();
+  EXPECT_EQ(participant.prepares_handled(), 1u);
+  EXPECT_EQ(participant.presumed_aborts(), 1u);
+  EXPECT_EQ(decisions[11], false);
+}
+
+TEST(TwoPhaseCommitTest, DecisionInTimeCancelsPresumedAbort) {
+  Kernel k;
+  net::Network net{k, 2, tu(2)};
+  net::MessageServer ms0{k, net, 0};
+  net::MessageServer ms1{k, net, 1};
+  std::map<std::uint64_t, bool> decisions;
+  CommitParticipant participant{
+      ms1,
+      CommitParticipant::Callbacks{
+          [](db::TxnId) { return true; },
+          [&decisions](db::TxnId t, bool c) { decisions[t.value] = c; }},
+      CommitParticipant::Options{tu(20)}};
+  ms0.start();
+  ms1.start();
+  ms0.send(1, PrepareMsg{12, 1, 0});
+  k.schedule_in(tu(10), [&] { ms0.send(1, DecisionMsg{12, 1, true}); });
+  k.run();
+  EXPECT_EQ(participant.presumed_aborts(), 0u);
+  EXPECT_EQ(decisions[12], true);
+}
+
 TEST(TwoPhaseCommitTest, SequentialTransactionsDoNotInterfere) {
   Cluster c;
   std::vector<bool> results;
