@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 
 #include "cc/txn_ctx.hpp"
@@ -52,6 +53,15 @@ class ConcurrencyController {
   virtual void on_end(CcTxn& txn) { (void)txn; }
 
   virtual std::string_view name() const = 0;
+
+  // Post-run invariant hook: with every transaction drained the protocol
+  // should hold no locks, queue no waiters, and have reset any derived
+  // state (ceilings). Protocols override to audit their internals; `why`
+  // (when given) receives a description of the first violation.
+  virtual bool quiescent(std::string* why = nullptr) const {
+    (void)why;
+    return true;
+  }
 
   // ---- aggregate counters ----
   std::uint64_t grants() const { return grants_; }

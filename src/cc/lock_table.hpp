@@ -77,6 +77,9 @@ class LockTable {
 
   std::size_t held_objects(const CcTxn& txn) const;
   std::size_t waiting_requests() const { return waiting_; }
+  // Objects with any lock state at all (held or queued); idle entries are
+  // erased eagerly, so a drained system must report zero.
+  std::size_t locked_objects() const { return locks_.size(); }
 
  private:
   struct ObjectLock {

@@ -118,6 +118,51 @@ std::string_view PriorityCeiling::name() const {
   return options_.exclusive_only ? "PCP-X" : "PCP";
 }
 
+bool PriorityCeiling::holds(const CcTxn& txn, db::ObjectId object,
+                            LockMode mode) const {
+  auto it = locks_.find(object);
+  if (it == locks_.end()) return false;
+  const LockState& lock = it->second;
+  if (lock.writer == &txn) return true;  // a write lock covers reads too
+  if (effective_mode(mode) == LockMode::kWrite) return false;
+  return std::find(lock.readers.begin(), lock.readers.end(), &txn) !=
+         lock.readers.end();
+}
+
+void PriorityCeiling::adopt(CcTxn& txn, db::ObjectId object, LockMode mode) {
+  assert(object < object_count_);
+  assert(active_.contains(txn.id) && "adopt before on_begin");
+  if (holds(txn, object, mode)) return;
+  // The old manager already ran the grant rule for this lock; re-install
+  // it directly and settle inheritance/ceilings around the restored state.
+  grant(txn, object, effective_mode(mode));
+  stabilize();
+}
+
+bool PriorityCeiling::quiescent(std::string* why) const {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = "PCP: " + reason;
+    return false;
+  };
+  if (!active_.empty()) {
+    return fail(std::to_string(active_.size()) + " transactions still active");
+  }
+  if (!locks_.empty()) {
+    return fail("lock table still holds " + std::to_string(locks_.size()) +
+                " object(s), first=" + std::to_string(locks_.begin()->first));
+  }
+  if (!waiters_.empty()) {
+    return fail(std::to_string(waiters_.size()) + " waiters still queued");
+  }
+  for (db::ObjectId o = 0; o < object_count_; ++o) {
+    if (write_ceiling_[o] != Priority::lowest() ||
+        abs_ceiling_[o] != Priority::lowest()) {
+      return fail("stale ceiling on object " + std::to_string(o));
+    }
+  }
+  return true;
+}
+
 Priority PriorityCeiling::write_ceiling(db::ObjectId object) const {
   assert(object < object_count_);
   return options_.exclusive_only ? abs_ceiling_[object]

@@ -69,6 +69,17 @@ class PriorityCeiling : public ConcurrencyController {
   void release_all(CcTxn& txn) override;
   void on_end(CcTxn& txn) override;
   std::string_view name() const override;
+  bool quiescent(std::string* why = nullptr) const override;
+
+  // True when `txn` already holds a lock on `object` satisfying `mode`
+  // (a held write lock satisfies a read request, not vice versa). Used by
+  // the failover path to make re-issued acquire requests idempotent.
+  bool holds(const CcTxn& txn, db::ObjectId object, LockMode mode) const;
+  // Failover state reconstruction: installs a lock the transaction was
+  // already granted by the failed manager, without the grant rule (the old
+  // manager applied it when the lock was first given out). No-op when the
+  // lock is already held. `txn` must be active (on_begin seen).
+  void adopt(CcTxn& txn, db::ObjectId object, LockMode mode);
 
   // ---- introspection (tests, monitors) ----
   sim::Priority write_ceiling(db::ObjectId object) const;

@@ -91,6 +91,25 @@ std::string_view TwoPhaseLocking::name() const {
              : "2PL";
 }
 
+bool TwoPhaseLocking::quiescent(std::string* why) const {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = "2PL: " + reason;
+    return false;
+  };
+  if (!active_.empty()) {
+    return fail(std::to_string(active_.size()) + " transactions still active");
+  }
+  if (table_.waiting_requests() != 0) {
+    return fail(std::to_string(table_.waiting_requests()) +
+                " requests still waiting");
+  }
+  if (table_.locked_objects() != 0) {
+    return fail(std::to_string(table_.locked_objects()) +
+                " objects still locked");
+  }
+  return true;
+}
+
 void TwoPhaseLocking::refresh_edges(db::ObjectId object) {
   for (LockTable::Request* request : table_.queued_requests(object)) {
     wfg_.clear_waits_of(request->txn->id);

@@ -42,6 +42,7 @@ class TwoPhaseLocking : public ConcurrencyController {
   void release_all(CcTxn& txn) override;
   void on_end(CcTxn& txn) override;
   std::string_view name() const override;
+  bool quiescent(std::string* why = nullptr) const override;
 
   const Options& options() const { return options_; }
   std::uint64_t deadlocks() const { return deadlocks_; }

@@ -15,6 +15,11 @@ namespace rtdb::cc {
 // fields and maintain the dynamic blocking/inheritance fields.
 struct CcTxn {
   db::TxnId id{};
+  // 1-based attempt number stamped by the transaction manager; 0 for
+  // contexts built outside it (unit tests, legacy callers). Distributed
+  // protocols stamp it into control messages so a retransmitted message
+  // from an aborted attempt can't corrupt the state of the current one.
+  std::uint32_t attempt = 0;
   // Assigned once at arrival (earliest deadline = highest priority); fixed
   // for the transaction's lifetime as the ceiling protocol requires.
   sim::Priority base_priority{};

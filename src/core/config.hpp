@@ -80,6 +80,20 @@ struct SystemConfig {
   // hardcoded, keeping fault-free runs byte-identical.
   sim::Duration commit_vote_timeout = sim::Duration::units(10000);
 
+  // ---- resilience (distributed schemes; engaged only when faults.active())
+  // Ceiling-manager failover: every site hosts a standby manager plus a
+  // heartbeat-driven FailoverCoordinator; when the elected manager crashes,
+  // the next live site by id promotes itself and rebuilds the lock state
+  // from the clients' re-registrations.
+  bool enable_failover = true;
+  sim::Duration heartbeat_interval = sim::Duration::units(20);
+  // Missed heartbeat intervals before the manager is declared dead.
+  std::uint32_t heartbeat_miss_threshold = 3;
+  // Reliable control channel (acked, retransmitting): retries per message
+  // and the base of the exponential retransmission backoff.
+  int retransmit_max = 5;
+  sim::Duration backoff_base = sim::Duration::units(8);
+
   // ---- load characteristics ----
   workload::WorkloadConfig workload;
 

@@ -73,6 +73,32 @@ constexpr RunScalar kRunScalars[] = {
      [](const RunResult& r) {
        return static_cast<double>(r.versions_recovered);
      }},
+    // Appended by the resilience work (failover, reliable channel, 2PC
+    // cooperative termination) — again new columns only, stable order.
+    {"retransmissions",
+     [](const RunResult& r) {
+       return static_cast<double>(r.retransmissions);
+     }},
+    {"backoff_wait_units",
+     [](const RunResult& r) { return r.backoff_wait_units; }},
+    {"failovers",
+     [](const RunResult& r) { return static_cast<double>(r.failovers); }},
+    {"termination_queries",
+     [](const RunResult& r) {
+       return static_cast<double>(r.termination_queries);
+     }},
+    {"termination_resolutions",
+     [](const RunResult& r) {
+       return static_cast<double>(r.termination_resolutions);
+     }},
+    {"orphan_locks_reclaimed",
+     [](const RunResult& r) {
+       return static_cast<double>(r.orphan_locks_reclaimed);
+     }},
+    {"invariant_violations",
+     [](const RunResult& r) {
+       return static_cast<double>(r.invariant_violations);
+     }},
 };
 
 }  // namespace
@@ -109,6 +135,15 @@ RunResult ExperimentRunner::run_once(const SystemConfig& config) {
   result.crashes = system.crashes();
   result.crash_kills = system.total_crash_kills();
   result.versions_recovered = system.total_versions_recovered();
+  result.retransmissions = system.total_retransmissions();
+  result.backoff_wait_units = system.total_backoff_wait().as_units();
+  result.failovers = system.total_failovers();
+  result.termination_queries = system.total_termination_queries();
+  result.termination_resolutions = system.total_termination_resolutions();
+  result.orphan_locks_reclaimed = system.total_orphan_locks_reclaimed();
+  if (config.faults.active()) {
+    result.invariant_violations = system.invariant_violations();
+  }
   return result;
 }
 

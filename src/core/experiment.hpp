@@ -34,6 +34,17 @@ struct RunResult {
   std::uint64_t crashes = 0;
   std::uint64_t crash_kills = 0;
   std::uint64_t versions_recovered = 0;
+  // Resilience counters (reliable channel / failover / cooperative
+  // termination; all 0 in fault-free runs).
+  std::uint64_t retransmissions = 0;
+  double backoff_wait_units = 0.0;
+  std::uint64_t failovers = 0;
+  std::uint64_t termination_queries = 0;
+  std::uint64_t termination_resolutions = 0;
+  std::uint64_t orphan_locks_reclaimed = 0;
+  // Post-run audit failures (faulty runs only; see
+  // System::invariant_violations). Anything nonzero is a bug.
+  std::uint64_t invariant_violations = 0;
 };
 
 // A named per-run scalar — the catalog below is the single list the text

@@ -14,6 +14,11 @@ const char* kProtocolNames[] = {"2PL",     "2PL-P",  "PCP",    "PCP-X",
                                 "2PL-PIP", "2PL-HP", "TSO",    "2PL-WD",
                                 "2PL-WW"};
 
+// Per-site fork ids for the reliable channels' retransmission jitter:
+// disjoint from the workload stream (raw seed) and the fault stream (0xFA),
+// so enabling retries perturbs neither.
+constexpr std::uint64_t kChannelStream = 0xCA00;
+
 db::Placement placement_for(const SystemConfig& config) {
   switch (config.scheme) {
     case DistScheme::kSingleSite:
@@ -159,27 +164,83 @@ void System::build_global_ceiling() {
   network_ = std::make_unique<net::Network>(kernel_, config_.sites,
                                             config_.comm_delay);
   constexpr net::SiteId kManagerSite = 0;
+  const bool faulty = config_.faults.active();
+  const bool failover = faulty && config_.enable_failover;
   for (net::SiteId id = 0; id < config_.sites; ++id) {
     Site site = make_site_base(id, schema_.placement());
     site.server = std::make_unique<net::MessageServer>(kernel_, *network_, id);
+    // Ceiling control messages, replica updates, and recovery sync rounds
+    // ride the reliable channel. Fault-free it is disabled — a verbatim
+    // passthrough, keeping those runs bit-identical to earlier versions.
+    site.channel = std::make_unique<net::ReliableChannel>(
+        *site.server,
+        net::ReliableChannel::Options{faulty, config_.retransmit_max,
+                                      config_.backoff_base},
+        sim::RandomStream{config_.seed}.fork(kChannelStream + id));
     site.rpc_client = std::make_unique<net::RpcClient>(*site.server);
     site.rpc_dispatcher = std::make_unique<net::RpcDispatcher>(*site.server);
     // Presumed abort only matters once faults can lose the decision; the
     // fault-free default (zero timeout = wait forever) keeps runs
-    // byte-identical to earlier artifact versions.
+    // byte-identical to earlier artifact versions. Under faults the
+    // participant also terminates cooperatively: it queries the round's
+    // peers before presuming abort.
     const sim::Duration decision_timeout =
-        config_.faults.active() ? config_.commit_vote_timeout * 2
-                                : sim::Duration::zero();
+        faulty ? config_.commit_vote_timeout * 2 : sim::Duration::zero();
     site.data_server = std::make_unique<dist::DataServer>(
-        *site.server, *site.rpc_dispatcher, *site.rm, decision_timeout);
+        *site.server, *site.rpc_dispatcher, *site.rm,
+        txn::CommitParticipant::Options{decision_timeout, faulty});
     site.coordinator = std::make_unique<txn::CommitCoordinator>(*site.server);
+    // Peer outcome queries are also answered from the co-located
+    // coordinator's record — it knows the decision even when every
+    // DecisionMsg of the round was lost.
+    site.data_server->participant().set_outcome_source(
+        [coordinator = site.coordinator.get()](std::uint64_t txn,
+                                               std::uint64_t epoch) {
+          return coordinator->outcome(txn, epoch);
+        });
     if (schema_.placement() == db::Placement::kFullyReplicated) {
-      // Replica catch-up after an outage (shared with the local scheme).
-      site.recovery =
-          std::make_unique<dist::RecoveryManager>(*site.server, *site.rm);
+      // Replica catch-up after an outage (shared with the local scheme);
+      // under faults, silent sites are re-asked.
+      site.recovery = std::make_unique<dist::RecoveryManager>(
+          *site.server, *site.rm,
+          dist::RecoveryManager::Options{
+              faulty ? 3 : 1,
+              faulty ? config_.heartbeat_interval * 2 : sim::Duration::zero()},
+          site.channel.get());
     }
+    // Under faults an acquire RPC can die with the manager; the per-try
+    // timeout re-issues it (at the new manager once failover completes).
+    // The window covers detection plus one failover round.
+    const sim::Duration acquire_timeout =
+        faulty ? config_.heartbeat_interval *
+                     static_cast<std::int64_t>(
+                         config_.heartbeat_miss_threshold + 2)
+               : sim::Duration::zero();
     auto client = std::make_unique<dist::GlobalCeilingClient>(
-        kernel_, *site.server, *site.rpc_client, kManagerSite);
+        kernel_, *site.server, *site.rpc_client,
+        dist::GlobalCeilingClient::Options{kManagerSite, acquire_timeout},
+        site.channel.get());
+    // Site 0 hosts the initially active manager; with failover every site
+    // hosts a standby instance the election can activate.
+    if (id == kManagerSite || failover) {
+      site.manager = std::make_unique<dist::GlobalCeilingManager>(
+          *site.server, *site.rpc_dispatcher, config_.db_objects,
+          site.channel.get(), id == kManagerSite);
+    }
+    if (failover) {
+      site.failover = std::make_unique<dist::FailoverCoordinator>(
+          *site.server,
+          dist::FailoverCoordinator::Options{config_.heartbeat_interval,
+                                             config_.heartbeat_miss_threshold,
+                                             kManagerSite, config_.sites},
+          dist::FailoverCoordinator::Hooks{
+              [manager = site.manager.get()] { manager->activate(); },
+              [manager = site.manager.get()] { manager->deactivate(); },
+              [client = client.get()](net::SiteId manager) {
+                client->set_manager(manager);
+              },
+              [this] { return !drained(); }});
+    }
     site.executor = std::make_unique<dist::GlobalExecutor>(
         dist::GlobalExecutor::Services{
             &kernel_, site.cpu.get(), site.rm.get(), &schema_, client.get(),
@@ -196,21 +257,28 @@ void System::build_global_ceiling() {
     site.server->start();
     sites_.push_back(std::move(site));
   }
-  global_manager_ = std::make_unique<dist::GlobalCeilingManager>(
-      *sites_[kManagerSite].server, *sites_[kManagerSite].rpc_dispatcher,
-      config_.db_objects);
 }
 
 void System::build_local_ceiling() {
   network_ = std::make_unique<net::Network>(kernel_, config_.sites,
                                             config_.comm_delay);
+  const bool faulty = config_.faults.active();
   for (net::SiteId id = 0; id < config_.sites; ++id) {
     Site site = make_site_base(id, db::Placement::kFullyReplicated);
     site.server = std::make_unique<net::MessageServer>(kernel_, *network_, id);
-    site.replication =
-        std::make_unique<dist::ReplicationManager>(*site.server, *site.rm);
-    site.recovery =
-        std::make_unique<dist::RecoveryManager>(*site.server, *site.rm);
+    site.channel = std::make_unique<net::ReliableChannel>(
+        *site.server,
+        net::ReliableChannel::Options{faulty, config_.retransmit_max,
+                                      config_.backoff_base},
+        sim::RandomStream{config_.seed}.fork(kChannelStream + id));
+    site.replication = std::make_unique<dist::ReplicationManager>(
+        *site.server, *site.rm, site.channel.get());
+    site.recovery = std::make_unique<dist::RecoveryManager>(
+        *site.server, *site.rm,
+        dist::RecoveryManager::Options{
+            faulty ? 3 : 1,
+            faulty ? config_.heartbeat_interval * 2 : sim::Duration::zero()},
+        site.channel.get());
     site.cc = std::make_unique<cc::PriorityCeiling>(
         kernel_, config_.db_objects,
         cc::PriorityCeiling::Options{false, config_.pcp_deadlock_backstop});
@@ -264,12 +332,17 @@ void System::crash_site(net::SiteId site) {
     s.server->stop();
     network_->inbox(site).clear();  // undispatched inbox dies with the site
   }
+  if (s.channel != nullptr) s.channel->on_crash();
   if (s.data_server != nullptr) s.data_server->on_crash();
+  if (s.failover != nullptr) s.failover->on_crash();
+  if (s.manager != nullptr) s.manager->on_crash();
   s.tm->crash();
   // Idealized instantaneous failure detection at the lock manager: free
   // whatever the dead site's transactions held so survivors are not
-  // blocked behind a corpse.
-  if (global_manager_ != nullptr) global_manager_->abort_site(site);
+  // blocked behind a corpse. (Standby managers hold no mirrors — no-op.)
+  for (Site& other : sites_) {
+    if (other.manager != nullptr) other.manager->abort_site(site);
+  }
 }
 
 void System::restore_site(net::SiteId site) {
@@ -279,6 +352,7 @@ void System::restore_site(net::SiteId site) {
   Site& s = sites_[site];
   if (s.server != nullptr) s.server->start();
   s.tm->restore();
+  if (s.failover != nullptr) s.failover->on_restore();
   if (s.recovery != nullptr) s.recovery->request_catch_up();
 }
 
@@ -291,6 +365,17 @@ void System::start() {
   if (started_) return;
   started_ = true;
   generator_->start();
+  for (Site& site : sites_) {
+    if (site.failover != nullptr) site.failover->start();
+  }
+}
+
+bool System::drained() const {
+  if (generator_ == nullptr || !generator_->finished()) return false;
+  for (const Site& site : sites_) {
+    if (site.tm->live_count() > 0) return false;
+  }
+  return true;
 }
 
 void System::run_to_completion() {
@@ -319,9 +404,11 @@ std::uint64_t System::total_deadline_kills() const {
 
 std::uint64_t System::total_protocol_aborts() const {
   std::uint64_t n = 0;
-  for (const Site& site : sites_) n += site.cc->protocol_aborts();
-  if (global_manager_ != nullptr) {
-    n += global_manager_->protocol().protocol_aborts();
+  for (const Site& site : sites_) {
+    n += site.cc->protocol_aborts();
+    if (site.manager != nullptr) {
+      n += site.manager->protocol().protocol_aborts();
+    }
   }
   return n;
 }
@@ -332,9 +419,9 @@ std::uint64_t System::total_ceiling_denials() const {
     if (const auto* pcp = dynamic_cast<const cc::PriorityCeiling*>(site.cc.get())) {
       n += pcp->ceiling_denials();
     }
-  }
-  if (global_manager_ != nullptr) {
-    n += global_manager_->protocol().ceiling_denials();
+    if (site.manager != nullptr) {
+      n += site.manager->protocol().ceiling_denials();
+    }
   }
   return n;
 }
@@ -345,9 +432,9 @@ std::uint64_t System::total_dynamic_deadlocks() const {
     if (const auto* pcp = dynamic_cast<const cc::PriorityCeiling*>(site.cc.get())) {
       n += pcp->dynamic_deadlocks();
     }
-  }
-  if (global_manager_ != nullptr) {
-    n += global_manager_->protocol().dynamic_deadlocks();
+    if (site.manager != nullptr) {
+      n += site.manager->protocol().dynamic_deadlocks();
+    }
   }
   return n;
 }
@@ -394,6 +481,90 @@ std::uint64_t System::total_versions_recovered() const {
   std::uint64_t n = 0;
   for (const Site& site : sites_) {
     if (site.recovery != nullptr) n += site.recovery->versions_recovered();
+  }
+  return n;
+}
+
+std::uint64_t System::total_retransmissions() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.channel != nullptr) n += site.channel->retransmissions();
+  }
+  return n;
+}
+
+sim::Duration System::total_backoff_wait() const {
+  sim::Duration total{};
+  for (const Site& site : sites_) {
+    if (site.channel != nullptr) total += site.channel->backoff_wait();
+  }
+  return total;
+}
+
+std::uint64_t System::total_failovers() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.failover != nullptr) n += site.failover->promotions();
+  }
+  return n;
+}
+
+std::uint64_t System::total_termination_queries() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.data_server != nullptr) n += site.data_server->termination_queries();
+  }
+  return n;
+}
+
+std::uint64_t System::total_termination_resolutions() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.data_server != nullptr) {
+      n += site.data_server->termination_resolutions();
+    }
+  }
+  return n;
+}
+
+std::uint64_t System::total_orphan_locks_reclaimed() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.manager != nullptr) n += site.manager->orphan_locks_reclaimed();
+  }
+  return n;
+}
+
+std::uint64_t System::invariant_violations(std::string* why) const {
+  std::uint64_t n = 0;
+  auto fail = [&](std::string reason) {
+    ++n;
+    if (why != nullptr && n == 1) *why = std::move(reason);
+  };
+  for (std::size_t id = 0; id < sites_.size(); ++id) {
+    const Site& site = sites_[id];
+    std::string reason;
+    if (!site.cc->quiescent(&reason)) {
+      fail("site " + std::to_string(id) + " controller not quiescent: " +
+           reason);
+    }
+    if (site.manager != nullptr) {
+      if (site.manager->live_mirrors() != 0) {
+        fail("site " + std::to_string(id) + " manager holds " +
+             std::to_string(site.manager->live_mirrors()) + " live mirrors");
+      }
+      reason.clear();
+      if (!site.manager->protocol().quiescent(&reason)) {
+        fail("site " + std::to_string(id) +
+             " manager protocol not quiescent: " + reason);
+      }
+    }
+  }
+  if (config_.record_history) {
+    std::string reason;
+    if (!history_.conflict_serializable(&reason)) {
+      fail("history not conflict-serializable: " + reason);
+    }
   }
   return n;
 }

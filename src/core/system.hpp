@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cc/controller.hpp"
@@ -9,11 +10,13 @@
 #include "core/config.hpp"
 #include "db/database.hpp"
 #include "db/resource_manager.hpp"
+#include "dist/failover.hpp"
 #include "dist/global_ceiling.hpp"
 #include "dist/local_ceiling.hpp"
 #include "dist/recovery.hpp"
 #include "dist/replication.hpp"
 #include "net/message_server.hpp"
+#include "net/reliable.hpp"
 #include "net/network.hpp"
 #include "net/rpc.hpp"
 #include "sched/cpu.hpp"
@@ -64,6 +67,7 @@ class System {
   // ---- per-site access (tests, examples) ----
   struct Site {
     std::unique_ptr<net::MessageServer> server;
+    std::unique_ptr<net::ReliableChannel> channel;
     std::unique_ptr<net::RpcClient> rpc_client;
     std::unique_ptr<net::RpcDispatcher> rpc_dispatcher;
     std::unique_ptr<sched::PreemptiveCpu> cpu;
@@ -73,6 +77,10 @@ class System {
     std::unique_ptr<dist::ReplicationManager> replication;
     std::unique_ptr<dist::RecoveryManager> recovery;
     std::unique_ptr<dist::DataServer> data_server;
+    // Global scheme: site 0 hosts the initially active ceiling manager;
+    // under failover every site hosts a standby one plus a coordinator.
+    std::unique_ptr<dist::GlobalCeilingManager> manager;
+    std::unique_ptr<dist::FailoverCoordinator> failover;
     std::unique_ptr<txn::CommitCoordinator> coordinator;
     std::unique_ptr<txn::TxnExecutor> executor;
     std::unique_ptr<txn::TransactionManager> tm;
@@ -82,8 +90,10 @@ class System {
     return static_cast<std::uint32_t>(sites_.size());
   }
   net::Network* network() { return network_.get(); }
+  // The initially elected manager (site 0's instance). After a failover the
+  // authoritative state lives at site(failover target).manager.
   const dist::GlobalCeilingManager* global_manager() const {
-    return global_manager_.get();
+    return sites_.empty() ? nullptr : sites_[0].manager.get();
   }
   const workload::TransactionGenerator& generator() const {
     return *generator_;
@@ -114,6 +124,21 @@ class System {
   std::uint64_t total_vote_timeouts() const;
   std::uint64_t total_presumed_aborts() const;
   std::uint64_t total_versions_recovered() const;
+  // Resilience counters (0 in fault-free runs, where the reliable channel
+  // is a passthrough and no failover machinery is built).
+  std::uint64_t total_retransmissions() const;
+  sim::Duration total_backoff_wait() const;
+  std::uint64_t total_failovers() const;
+  std::uint64_t total_termination_queries() const;
+  std::uint64_t total_termination_resolutions() const;
+  std::uint64_t total_orphan_locks_reclaimed() const;
+
+  // Post-run invariant audit: every controller quiescent (no live
+  // transactions, empty lock tables, ceilings reset), every manager drained
+  // of mirrors, and — when record_history is on — the committed history
+  // conflict-serializable. Returns the number of violated invariants; the
+  // first violation's description lands in `why` when non-null.
+  std::uint64_t invariant_violations(std::string* why = nullptr) const;
 
  private:
   void build_single_site();
@@ -126,13 +151,15 @@ class System {
     return config_.protocol != Protocol::kTwoPhase;
   }
   void submit(txn::TransactionSpec spec);
+  // Workload generated and every transaction finished — the heartbeat
+  // loops' stop condition, so the kernel's event queue can drain.
+  bool drained() const;
 
   SystemConfig config_;
   sim::Kernel kernel_;
   db::Database schema_;
   std::unique_ptr<net::Network> network_;
   std::vector<Site> sites_;
-  std::unique_ptr<dist::GlobalCeilingManager> global_manager_;
   cc::HistoryRecorder history_;
   stats::PerformanceMonitor monitor_;
   std::unique_ptr<workload::TransactionGenerator> generator_;

@@ -1,0 +1,121 @@
+#include "dist/failover.hpp"
+
+#include <cassert>
+
+namespace rtdb::dist {
+
+using net::SiteId;
+
+FailoverCoordinator::FailoverCoordinator(net::MessageServer& server,
+                                         Options options, Hooks hooks)
+    : server_(server),
+      options_(options),
+      hooks_(std::move(hooks)),
+      manager_(options.initial_manager),
+      last_heard_(options.site_count, sim::TimePoint::origin()) {
+  assert(options_.site_count > 0);
+  server_.on<HeartbeatMsg>([this](SiteId from, HeartbeatMsg msg) {
+    handle_heartbeat(from, msg);
+  });
+  server_.on<ManagerElectedMsg>([this](SiteId from, ManagerElectedMsg msg) {
+    handle_elected(from, msg);
+  });
+}
+
+void FailoverCoordinator::start() {
+  assert(!started_);
+  started_ = true;
+  const sim::TimePoint now = server_.kernel().now();
+  for (sim::TimePoint& t : last_heard_) t = now;
+  loop_ = server_.kernel().spawn(
+      "failover-" + std::to_string(server_.site()), beat_loop());
+}
+
+void FailoverCoordinator::on_crash() {
+  if (started_ && server_.kernel().alive(loop_)) server_.kernel().kill(loop_);
+}
+
+void FailoverCoordinator::on_restore() {
+  if (!started_) return;
+  // Fresh grace period: nobody is declared dead on stale pre-crash stamps.
+  const sim::TimePoint now = server_.kernel().now();
+  for (sim::TimePoint& t : last_heard_) t = now;
+  loop_ = server_.kernel().spawn(
+      "failover-" + std::to_string(server_.site()), beat_loop());
+}
+
+sim::Task<void> FailoverCoordinator::beat_loop() {
+  while (true) {
+    co_await server_.kernel().delay(options_.heartbeat_interval);
+    if (hooks_.keep_running && !hooks_.keep_running()) co_return;
+    for (SiteId site = 0; site < options_.site_count; ++site) {
+      if (site == server_.site()) continue;
+      server_.send(site, HeartbeatMsg{term_, manager_});
+    }
+    check_manager();
+  }
+}
+
+bool FailoverCoordinator::recently_heard(SiteId site,
+                                         sim::TimePoint now) const {
+  return now - last_heard_[site] <=
+         options_.heartbeat_interval *
+             static_cast<std::int64_t>(options_.miss_threshold);
+}
+
+void FailoverCoordinator::check_manager() {
+  if (manager_ == server_.site()) return;  // we are the manager
+  const sim::TimePoint now = server_.kernel().now();
+  if (recently_heard(manager_, now)) return;
+
+  // Manager declared dead: the successor is the lowest-id site still heard
+  // from (ourselves always counting as live). Every live site computes the
+  // same successor from the same heartbeat history; only the successor
+  // acts, the rest wait for its announcement (or its own failure).
+  for (SiteId site = 0; site < options_.site_count; ++site) {
+    if (site == manager_) continue;
+    if (site != server_.site() && !recently_heard(site, now)) continue;
+    if (site != server_.site()) return;  // a lower-id live site will promote
+    term_ += 1;
+    manager_ = server_.site();
+    ++promotions_;
+    if (hooks_.promote) hooks_.promote();
+    if (hooks_.manager_changed) hooks_.manager_changed(manager_);
+    broadcast_elected();
+    return;
+  }
+}
+
+void FailoverCoordinator::broadcast_elected() {
+  for (SiteId site = 0; site < options_.site_count; ++site) {
+    if (site == server_.site()) continue;
+    server_.send(site, ManagerElectedMsg{term_, manager_});
+  }
+}
+
+void FailoverCoordinator::handle_heartbeat(SiteId from, HeartbeatMsg msg) {
+  last_heard_[from] = server_.kernel().now();
+  if (msg.term > term_ ||
+      (msg.term == term_ && msg.manager < manager_)) {
+    adopt(msg.term, msg.manager);
+  }
+}
+
+void FailoverCoordinator::handle_elected(SiteId from, ManagerElectedMsg msg) {
+  last_heard_[from] = server_.kernel().now();
+  if (msg.term > term_ ||
+      (msg.term == term_ && msg.manager < manager_)) {
+    adopt(msg.term, msg.manager);
+  }
+}
+
+void FailoverCoordinator::adopt(std::uint64_t term, SiteId manager) {
+  term_ = term;
+  if (manager == manager_) return;
+  const bool was_me = manager_ == server_.site();
+  manager_ = manager;
+  if (was_me && hooks_.demote) hooks_.demote();
+  if (hooks_.manager_changed) hooks_.manager_changed(manager_);
+}
+
+}  // namespace rtdb::dist

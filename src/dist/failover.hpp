@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/message_server.hpp"
+#include "sim/kernel.hpp"
+#include "sim/task.hpp"
+
+namespace rtdb::dist {
+
+// Periodic liveness beacon; every site broadcasts one per interval. It
+// carries the sender's view of the election so a site that missed the
+// (unreliable, once-off) ManagerElectedMsg converges on the next beat.
+struct HeartbeatMsg {
+  std::uint64_t term = 0;
+  net::SiteId manager = 0;
+};
+// Announced once by a site that promoted itself; heartbeats repair losses.
+struct ManagerElectedMsg {
+  std::uint64_t term = 0;
+  net::SiteId manager = 0;
+};
+
+// Deterministic ceiling-manager failover: every site runs one of these,
+// exchanging heartbeats. When the current manager misses `miss_threshold`
+// consecutive intervals, the next live site by id promotes itself, bumps
+// the term, and announces. Ties (two sites promoting in the same term)
+// resolve toward the lower site id. The hooks wire the election into the
+// global-ceiling machinery: promote/demote flip the co-located manager's
+// active flag, manager_changed re-targets the local client (which
+// re-registers its live transactions, rebuilding the lock state).
+//
+// Everything is driven by the virtual clock and the deterministic message
+// order, so a run's failover history is a pure function of (config, seed).
+class FailoverCoordinator {
+ public:
+  struct Options {
+    sim::Duration heartbeat_interval = sim::Duration::units(20);
+    // Missed intervals before the manager is declared dead.
+    std::uint32_t miss_threshold = 3;
+    net::SiteId initial_manager = 0;
+    std::uint32_t site_count = 0;
+  };
+  struct Hooks {
+    // This site became / stopped being the manager.
+    std::function<void()> promote;
+    std::function<void()> demote;
+    // The (possibly remote) manager changed; re-target and re-register.
+    std::function<void(net::SiteId)> manager_changed;
+    // Heartbeating continues only while this returns true; when the system
+    // has drained the loops exit so the kernel's event queue can empty.
+    std::function<bool()> keep_running;
+  };
+
+  FailoverCoordinator(net::MessageServer& server, Options options,
+                      Hooks hooks);
+
+  FailoverCoordinator(const FailoverCoordinator&) = delete;
+  FailoverCoordinator& operator=(const FailoverCoordinator&) = delete;
+
+  // Spawns the heartbeat loop; call once after the servers are started.
+  void start();
+  // Site failure: the loop dies with the site (timers are volatile).
+  void on_crash();
+  // Site restart: rejoin with a fresh grace period. The site keeps its
+  // (possibly stale) term and re-learns the current election from the
+  // first heartbeat that outranks it.
+  void on_restore();
+
+  net::SiteId manager() const { return manager_; }
+  std::uint64_t term() const { return term_; }
+  // Times *this site* promoted itself to manager.
+  std::uint64_t promotions() const { return promotions_; }
+
+ private:
+  sim::Task<void> beat_loop();
+  void check_manager();
+  void handle_heartbeat(net::SiteId from, HeartbeatMsg msg);
+  void handle_elected(net::SiteId from, ManagerElectedMsg msg);
+  // Accepts (term, manager) as the new election state; fires demote /
+  // manager_changed hooks on an actual change.
+  void adopt(std::uint64_t term, net::SiteId manager);
+  void broadcast_elected();
+  bool recently_heard(net::SiteId site, sim::TimePoint now) const;
+
+  net::MessageServer& server_;
+  Options options_;
+  Hooks hooks_;
+  std::uint64_t term_ = 0;
+  net::SiteId manager_ = 0;
+  std::vector<sim::TimePoint> last_heard_;
+  sim::ProcessId loop_{};
+  bool started_ = false;
+  std::uint64_t promotions_ = 0;
+};
+
+}  // namespace rtdb::dist

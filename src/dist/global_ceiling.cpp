@@ -11,8 +11,13 @@ using net::SiteId;
 
 GlobalCeilingManager::GlobalCeilingManager(net::MessageServer& server,
                                            net::RpcDispatcher& rpc,
-                                           std::uint32_t object_count)
-    : server_(server), pcp_(server.kernel(), object_count) {
+                                           std::uint32_t object_count,
+                                           net::ReliableChannel* channel,
+                                           bool active)
+    : server_(server),
+      pcp_(server.kernel(), object_count),
+      channel_(channel),
+      active_(active) {
   pcp_.set_hooks(cc::ControllerHooks{
       [this](db::TxnId victim, cc::AbortReason reason) {
         abort_mirror(victim, reason);
@@ -20,15 +25,26 @@ GlobalCeilingManager::GlobalCeilingManager(net::MessageServer& server,
       // Inherited priorities are not propagated to remote CPUs (the
       // grant/wake ordering at the manager still honours them).
       [](const cc::CcTxn&) {}});
-  server_.on<RegisterTxnMsg>([this](SiteId from, RegisterTxnMsg message) {
+  // Through the channel when given (registers the raw handlers too), so
+  // retransmitted control messages arrive deduplicated.
+  auto on_register = [this](SiteId from, RegisterTxnMsg message) {
     handle_register(from, std::move(message));
-  });
-  server_.on<ReleaseAllMsg>([this](SiteId /*from*/, ReleaseAllMsg message) {
-    handle_release(message.txn);
-  });
-  server_.on<EndTxnMsg>([this](SiteId /*from*/, EndTxnMsg message) {
-    handle_end(message.txn);
-  });
+  };
+  auto on_release = [this](SiteId /*from*/, ReleaseAllMsg message) {
+    handle_release(message);
+  };
+  auto on_end = [this](SiteId /*from*/, EndTxnMsg message) {
+    handle_end(message);
+  };
+  if (channel_ != nullptr) {
+    channel_->on<RegisterTxnMsg>(on_register);
+    channel_->on<ReleaseAllMsg>(on_release);
+    channel_->on<EndTxnMsg>(on_end);
+  } else {
+    server_.on<RegisterTxnMsg>(on_register);
+    server_.on<ReleaseAllMsg>(on_release);
+    server_.on<EndTxnMsg>(on_end);
+  }
   rpc.on<AcquireReq>([this](SiteId /*from*/, AcquireReq request,
                             net::RpcServer::Responder respond) {
     handle_acquire(std::move(request), std::move(respond));
@@ -37,31 +53,51 @@ GlobalCeilingManager::GlobalCeilingManager(net::MessageServer& server,
 
 void GlobalCeilingManager::handle_register(SiteId from,
                                            RegisterTxnMsg message) {
+  if (!active_) return;  // not the manager; the client will re-target
+  if (message.attempt > 0) {
+    // A finished attempt's retransmitted Register must not resurrect it.
+    if (auto t = ended_.find(message.txn);
+        t != ended_.end() && t->second >= message.attempt) {
+      return;
+    }
+  }
   auto it = mirrors_.find(message.txn);
   if (it != mirrors_.end()) {
-    // Duplicated register for the live attempt: ignore. An *aborted* mirror
-    // still present means the attempt's EndTxn was lost (dropped message or
-    // home-site crash) and this is the restarted attempt re-registering:
-    // the old mirror already released everything in finish_abort, so just
-    // replace it.
-    if (!it->second->aborted) return;
-    mirrors_.erase(it);
+    Mirror& existing = *it->second;
+    if (message.attempt > 0 && existing.attempt > 0) {
+      // Attempt-stamped traffic: a duplicate or stale Register is ignored;
+      // a newer attempt's Register means the old attempt ended but its
+      // EndTxn is still in flight (or lost) — tear the old mirror down.
+      if (existing.attempt >= message.attempt) return;
+      remove_mirror(it);
+    } else {
+      // Legacy heuristic (unstamped senders): ignore duplicates for the
+      // live attempt; an *aborted* mirror still present means the EndTxn
+      // was lost and this is the restarted attempt re-registering.
+      if (!existing.aborted) return;
+      mirrors_.erase(it);
+    }
   }
   auto mirror = std::make_unique<Mirror>();
   mirror->ctx.id = db::TxnId{message.txn};
+  mirror->ctx.attempt = message.attempt;
   mirror->home = from;
+  mirror->attempt = message.attempt;
   mirror->ctx.base_priority =
       sim::Priority{message.priority_key, message.priority_tie};
   mirror->ctx.access = cc::AccessSet::from_operations(message.operations);
   pcp_.on_begin(mirror->ctx);
+  // Failover re-registration: adopt the locks the previous manager had
+  // already granted this attempt.
+  for (const cc::Operation& op : message.held) {
+    pcp_.adopt(mirror->ctx, op.object, op.mode);
+    ++orphans_reclaimed_;
+  }
   mirrors_.emplace(message.txn, std::move(mirror));
   ++registrations_;
 }
 
-void GlobalCeilingManager::handle_release(std::uint64_t txn) {
-  auto it = mirrors_.find(txn);
-  if (it == mirrors_.end()) return;
-  Mirror& mirror = *it->second;
+void GlobalCeilingManager::cancel_pending(Mirror& mirror) {
   // Cancel grants still waiting (e.g. the home site hit the deadline while
   // the request was queued here); each replies "denied" on unwind, which
   // the (dead) caller ignores.
@@ -70,28 +106,49 @@ void GlobalCeilingManager::handle_release(std::uint64_t txn) {
   for (const sim::ProcessId pid : pending) {
     if (server_.kernel().alive(pid)) server_.kernel().kill(pid);
   }
-  if (!mirror.aborted) pcp_.release_all(mirror.ctx);
 }
 
-void GlobalCeilingManager::handle_end(std::uint64_t txn) {
-  auto it = mirrors_.find(txn);
-  if (it == mirrors_.end()) return;
+void GlobalCeilingManager::remove_mirror(
+    std::unordered_map<std::uint64_t, std::unique_ptr<Mirror>>::iterator it) {
   Mirror& mirror = *it->second;
-  // Under message jitter the EndTxn can overtake the ReleaseAll (and under
-  // drops the ReleaseAll may never arrive): cancel waiting grants and drop
-  // held locks before deregistering, so no CcTxn pointer survives in the
-  // lock table. release_all is idempotent, so the common ordered path is
-  // unchanged.
-  auto pending = mirror.pending;
-  mirror.pending.clear();
-  for (const sim::ProcessId pid : pending) {
-    if (server_.kernel().alive(pid)) server_.kernel().kill(pid);
-  }
+  cancel_pending(mirror);
   if (!mirror.aborted) {
     pcp_.release_all(mirror.ctx);
     pcp_.on_end(mirror.ctx);
   }
   mirrors_.erase(it);
+}
+
+void GlobalCeilingManager::handle_release(const ReleaseAllMsg& message) {
+  if (!active_) return;
+  auto it = mirrors_.find(message.txn);
+  if (it == mirrors_.end()) return;
+  Mirror& mirror = *it->second;
+  // A stale attempt's (retransmitted) release must not strip the locks of
+  // the attempt now registered.
+  if (message.attempt > 0 && mirror.attempt > 0 &&
+      mirror.attempt != message.attempt) {
+    return;
+  }
+  cancel_pending(mirror);
+  if (!mirror.aborted) pcp_.release_all(mirror.ctx);
+}
+
+void GlobalCeilingManager::handle_end(const EndTxnMsg& message) {
+  if (!active_) return;
+  if (message.attempt > 0) {
+    auto [t, inserted] = ended_.try_emplace(message.txn, message.attempt);
+    if (!inserted && t->second < message.attempt) t->second = message.attempt;
+  }
+  auto it = mirrors_.find(message.txn);
+  if (it == mirrors_.end()) return;
+  // Under message jitter the EndTxn can overtake the ReleaseAll (and under
+  // drops the ReleaseAll may never arrive): cancel waiting grants and drop
+  // held locks before deregistering, so no CcTxn pointer survives in the
+  // lock table. release_all is idempotent, so the common ordered path is
+  // unchanged. A stale attempt's EndTxn leaves the newer mirror alone.
+  if (message.attempt > 0 && it->second->attempt > message.attempt) return;
+  remove_mirror(it);
 }
 
 void GlobalCeilingManager::abort_site(net::SiteId site) {
@@ -108,16 +165,58 @@ void GlobalCeilingManager::abort_site(net::SiteId site) {
   }
 }
 
+void GlobalCeilingManager::deactivate() {
+  if (!active_) return;
+  active_ = false;
+  std::vector<std::uint64_t> victims;
+  victims.reserve(mirrors_.size());
+  for (const auto& [txn, mirror] : mirrors_) {
+    (void)mirror;
+    victims.push_back(txn);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const std::uint64_t txn : victims) {
+    auto it = mirrors_.find(txn);
+    finish_abort(*it->second);
+    mirrors_.erase(it);
+  }
+}
+
+void GlobalCeilingManager::on_crash() {
+  // Same teardown as losing an election — every mirror is volatile state
+  // (finish_abort's denials go to the network, which drops a down sender's
+  // messages) — plus the tombstones, which are volatile too.
+  deactivate();
+  ended_.clear();
+}
+
 void GlobalCeilingManager::handle_acquire(AcquireReq request,
                                           net::RpcServer::Responder respond) {
   ++acquire_requests_;
   auto it = mirrors_.find(request.txn);
-  if (it == mirrors_.end() || it->second->aborted) {
+  if (!active_ || it == mirrors_.end() || it->second->aborted ||
+      (request.attempt > 0 && it->second->attempt > 0 &&
+       it->second->attempt != request.attempt)) {
     ++denials_;
     respond(std::any{AcquireResp{false}});
     return;
   }
   Mirror& mirror = *it->second;
+  // Re-issued request for a lock this attempt already holds (the grant's
+  // reply was lost): answer immediately, idempotently.
+  if (pcp_.holds(mirror.ctx, request.object, request.mode)) {
+    respond(std::any{AcquireResp{true}});
+    return;
+  }
+  // Re-issued request while the original grant is still being served:
+  // piggyback on its outcome rather than double-acquiring.
+  if (auto inflight = mirror.inflight.find(request.object);
+      inflight != mirror.inflight.end()) {
+    inflight->second.push_back(std::move(respond));
+    return;
+  }
+  mirror.inflight.emplace(request.object,
+                          std::vector<net::RpcServer::Responder>{});
   const sim::ProcessId pid = server_.kernel().spawn(
       "gcm-acquire-" + std::to_string(request.txn),
       serve_acquire(mirror, request, std::move(respond)));
@@ -127,11 +226,13 @@ void GlobalCeilingManager::handle_acquire(AcquireReq request,
 sim::Task<void> GlobalCeilingManager::serve_acquire(
     Mirror& mirror, AcquireReq request, net::RpcServer::Responder respond) {
   // Reply on every exit path; a kill (release/abort racing in) replies
-  // "denied" from the destructor.
+  // "denied" from the destructor. Re-issued requests that piggybacked on
+  // this grant (mirror->inflight) get the same answer.
   struct ReplyGuard {
     net::RpcServer::Responder respond;
     GlobalCeilingManager* self;
     Mirror* mirror;
+    db::ObjectId object;
     sim::ProcessId pid;
     bool granted = false;
     bool sent = false;
@@ -141,9 +242,17 @@ sim::Task<void> GlobalCeilingManager::serve_acquire(
       std::erase(mirror->pending, pid);
       if (!granted) ++self->denials_;
       respond(std::any{AcquireResp{granted}});
+      if (auto it = mirror->inflight.find(object);
+          it != mirror->inflight.end()) {
+        auto extras = std::move(it->second);
+        mirror->inflight.erase(it);
+        for (net::RpcServer::Responder& extra : extras) {
+          extra(std::any{AcquireResp{granted}});
+        }
+      }
     }
     ~ReplyGuard() { send(); }
-  } reply{std::move(respond), this, &mirror,
+  } reply{std::move(respond), this, &mirror, request.object,
           server_.kernel().current()->id()};
 
   try {
@@ -195,21 +304,25 @@ void GlobalCeilingManager::finish_abort(Mirror& mirror) {
 
 GlobalCeilingClient::GlobalCeilingClient(sim::Kernel& kernel,
                                          net::MessageServer& server,
-                                         net::RpcClient& rpc,
-                                         net::SiteId manager_site)
+                                         net::RpcClient& rpc, Options options,
+                                         net::ReliableChannel* channel)
     : cc::ConcurrencyController(kernel),
       server_(server),
       rpc_(rpc),
-      manager_site_(manager_site) {}
+      manager_site_(options.manager_site),
+      acquire_timeout_(options.acquire_timeout),
+      channel_(channel) {}
 
 void GlobalCeilingClient::on_begin(cc::CcTxn& txn) {
   RegisterTxnMsg message;
   message.txn = txn.id.value;
+  message.attempt = txn.attempt;
   message.priority_key = txn.base_priority.key();
   message.priority_tie = txn.base_priority.tie();
   const auto ops = txn.access.operations();
   message.operations.assign(ops.begin(), ops.end());
-  server_.send(manager_site_, std::move(message));
+  registered_[txn.id.value] = Registration{message};
+  send_control(std::move(message));
 }
 
 sim::Task<void> GlobalCeilingClient::acquire(cc::CcTxn& txn,
@@ -224,29 +337,64 @@ sim::Task<void> GlobalCeilingClient::acquire(cc::CcTxn& txn,
     cc::CcTxn* txn;
     ~EndBlock() { self->end_block(*txn); }
   } guard{this, &txn};
-  auto response = co_await rpc_.call(
-      manager_site_, std::any{AcquireReq{txn.id.value, object, mode}});
-  assert(response.has_value());  // no client-side timeout in use
+  const AcquireReq request{txn.id.value, txn.attempt, object, mode};
+  std::optional<std::any> response;
+  if (acquire_timeout_.is_zero()) {
+    response = co_await rpc_.call(manager_site_, std::any{request});
+    assert(response.has_value());  // no client-side timeout in use
+  } else {
+    // Faulty runs: the manager may have crashed (no reply ever) or the
+    // request/reply may have been dropped. Re-issue until an answer comes
+    // back — after a failover, manager_site_ already points at the
+    // successor. The manager side makes re-issues idempotent; the attempt
+    // deadline watchdog bounds the loop.
+    while (true) {
+      response = co_await rpc_.call(manager_site_, std::any{request},
+                                    acquire_timeout_);
+      if (response.has_value()) break;
+      ++acquire_retries_;
+    }
+  }
   if (!std::any_cast<AcquireResp>(*response).granted) {
     count_protocol_abort();
     throw cc::TxnAborted{cc::AbortReason::kDeadlockVictim};
+  }
+  // Track the held set for failover re-registration.
+  if (auto it = registered_.find(txn.id.value); it != registered_.end()) {
+    it->second.msg.held.push_back(cc::Operation{object, mode});
   }
   count_grant();
 }
 
 void GlobalCeilingClient::release_all(cc::CcTxn& txn) {
-  server_.send(manager_site_, ReleaseAllMsg{txn.id.value});
+  if (auto it = registered_.find(txn.id.value); it != registered_.end()) {
+    it->second.msg.held.clear();
+  }
+  send_control(ReleaseAllMsg{txn.id.value, txn.attempt});
 }
 
 void GlobalCeilingClient::on_end(cc::CcTxn& txn) {
-  server_.send(manager_site_, EndTxnMsg{txn.id.value});
+  registered_.erase(txn.id.value);
+  send_control(EndTxnMsg{txn.id.value, txn.attempt});
+}
+
+void GlobalCeilingClient::set_manager(net::SiteId manager) {
+  if (manager == manager_site_) return;
+  manager_site_ = manager;
+  // Rebuild the new manager's state: re-register every live local
+  // transaction with its current held set (std::map order keeps the
+  // replay deterministic).
+  for (const auto& [txn, registration] : registered_) {
+    (void)txn;
+    send_control(registration.msg);
+  }
 }
 
 // ---- DataServer ----
 
 DataServer::DataServer(net::MessageServer& server, net::RpcDispatcher& rpc,
                        db::ResourceManager& rm,
-                       sim::Duration decision_timeout)
+                       txn::CommitParticipant::Options participant_options)
     : server_(server),
       rm_(rm),
       participant_(
@@ -282,7 +430,7 @@ DataServer::DataServer(net::MessageServer& server, net::RpcDispatcher& rpc,
                       ++counter;
                     }(rm_, txn, std::move(staged.objects), applied_commits_));
               }},
-          txn::CommitParticipant::Options{decision_timeout}) {
+          participant_options) {
   server_.on<WriteSetMsg>([this](SiteId /*from*/, WriteSetMsg message) {
     staged_[message.txn] = std::move(message);
   });

@@ -12,6 +12,7 @@
 #include "db/database.hpp"
 #include "db/resource_manager.hpp"
 #include "net/message_server.hpp"
+#include "net/reliable.hpp"
 #include "net/rpc.hpp"
 #include "sched/cpu.hpp"
 #include "sim/kernel.hpp"
@@ -22,21 +23,31 @@ namespace rtdb::dist {
 
 // ---- wire messages of the global ceiling scheme ----
 
+// Control messages carry the 1-based attempt number of the sending attempt
+// (0 = legacy sender): with retransmission in play, a duplicate from an
+// aborted attempt must not corrupt the state of the current one.
 struct RegisterTxnMsg {
   std::uint64_t txn = 0;
+  std::uint32_t attempt = 0;
   std::int64_t priority_key = 0;
   std::uint32_t priority_tie = 0;
   std::vector<cc::Operation> operations;
+  // Locks the attempt already holds (failover re-registration only): the
+  // successor manager adopts them instead of re-running the grant rule.
+  std::vector<cc::Operation> held;
 };
 struct ReleaseAllMsg {
   std::uint64_t txn = 0;
+  std::uint32_t attempt = 0;
 };
 struct EndTxnMsg {
   std::uint64_t txn = 0;
+  std::uint32_t attempt = 0;
 };
 // RPC request/response for lock acquisition.
 struct AcquireReq {
   std::uint64_t txn = 0;
+  std::uint32_t attempt = 0;
   db::ObjectId object = 0;
   cc::LockMode mode = cc::LockMode::kRead;
 };
@@ -70,7 +81,15 @@ struct WriteSetMsg {
 class GlobalCeilingManager {
  public:
   GlobalCeilingManager(net::MessageServer& server, net::RpcDispatcher& rpc,
-                       std::uint32_t object_count);
+                       std::uint32_t object_count)
+      : GlobalCeilingManager(server, rpc, object_count, nullptr, true) {}
+  // With failover, every site hosts a manager instance but only the
+  // elected one is `active`; control messages optionally travel over the
+  // site's ReliableChannel. An inactive manager ignores registrations and
+  // denies acquires (the client retries against the real manager).
+  GlobalCeilingManager(net::MessageServer& server, net::RpcDispatcher& rpc,
+                       std::uint32_t object_count,
+                       net::ReliableChannel* channel, bool active);
 
   GlobalCeilingManager(const GlobalCeilingManager&) = delete;
   GlobalCeilingManager& operator=(const GlobalCeilingManager&) = delete;
@@ -79,8 +98,21 @@ class GlobalCeilingManager {
   std::uint64_t registrations() const { return registrations_; }
   std::uint64_t acquire_requests() const { return acquire_requests_; }
   std::uint64_t denials() const { return denials_; }
+  // Locks re-installed from failover re-registrations (`held` sets): locks
+  // that would otherwise have been orphaned at the dead manager.
+  std::uint64_t orphan_locks_reclaimed() const { return orphans_reclaimed_; }
   // Transactions currently registered here; 0 once the system drains.
   std::size_t live_mirrors() const { return mirrors_.size(); }
+  bool active() const { return active_; }
+
+  // Failover: this site was elected manager; start accepting state.
+  void activate() { active_ = true; }
+  // Failover: a peer outranked this manager (stale restored site). Drops
+  // every mirror — the authoritative state now lives at the new manager,
+  // rebuilt from the clients' re-registrations.
+  void deactivate();
+  // Site failure: all volatile manager state dies with the site.
+  void on_crash();
 
   // Failure-detector hook: aborts and deregisters every mirror homed at
   // `site` (the site crashed — its transactions will never send their
@@ -92,26 +124,42 @@ class GlobalCeilingManager {
   struct Mirror {
     cc::CcTxn ctx;
     net::SiteId home = 0;
+    std::uint32_t attempt = 0;
     std::vector<sim::ProcessId> pending;
+    // Re-issued acquires for an object already being served: the extra
+    // responders piggyback on the in-flight grant's result (answering a
+    // retried RPC's live correlation; the first reply is dropped as late).
+    std::map<db::ObjectId, std::vector<net::RpcServer::Responder>> inflight;
     bool aborted = false;
   };
 
   void handle_register(net::SiteId from, RegisterTxnMsg message);
-  void handle_release(std::uint64_t txn);
-  void handle_end(std::uint64_t txn);
+  void handle_release(const ReleaseAllMsg& message);
+  void handle_end(const EndTxnMsg& message);
   void handle_acquire(AcquireReq request, net::RpcServer::Responder respond);
   sim::Task<void> serve_acquire(Mirror& mirror, AcquireReq request,
                                 net::RpcServer::Responder respond);
+  // Kills waiting grants and releases everything; shared teardown of
+  // handle_release / handle_end.
+  void cancel_pending(Mirror& mirror);
+  void remove_mirror(std::unordered_map<
+                     std::uint64_t, std::unique_ptr<Mirror>>::iterator it);
   // PCP backstop hook (dynamic-arrival deadlock at the manager).
   void abort_mirror(db::TxnId victim, cc::AbortReason reason);
   void finish_abort(Mirror& mirror);
 
   net::MessageServer& server_;
   cc::PriorityCeiling pcp_;
+  net::ReliableChannel* channel_ = nullptr;
+  bool active_ = true;
   std::unordered_map<std::uint64_t, std::unique_ptr<Mirror>> mirrors_;
+  // Highest attempt known to have ended, per transaction: a retransmitted
+  // Register of a finished attempt must not resurrect its mirror.
+  std::unordered_map<std::uint64_t, std::uint32_t> ended_;
   std::uint64_t registrations_ = 0;
   std::uint64_t acquire_requests_ = 0;
   std::uint64_t denials_ = 0;
+  std::uint64_t orphans_reclaimed_ = 0;
 };
 
 // The client-side controller each site runs: every protocol step is a
@@ -120,8 +168,21 @@ class GlobalCeilingManager {
 // the transaction) surfaces as TxnAborted, restarting the attempt.
 class GlobalCeilingClient : public cc::ConcurrencyController {
  public:
+  struct Options {
+    net::SiteId manager_site = 0;
+    // Per-try deadline on the acquire RPC; on expiry the request is
+    // re-issued (possibly to a new manager after a failover). Zero waits
+    // forever — the fault-free behaviour, where a response is guaranteed.
+    sim::Duration acquire_timeout{};
+  };
+
   GlobalCeilingClient(sim::Kernel& kernel, net::MessageServer& server,
-                      net::RpcClient& rpc, net::SiteId manager_site);
+                      net::RpcClient& rpc, net::SiteId manager_site)
+      : GlobalCeilingClient(kernel, server, rpc, Options{manager_site, {}},
+                            nullptr) {}
+  GlobalCeilingClient(sim::Kernel& kernel, net::MessageServer& server,
+                      net::RpcClient& rpc, Options options,
+                      net::ReliableChannel* channel);
 
   void on_begin(cc::CcTxn& txn) override;
   sim::Task<void> acquire(cc::CcTxn& txn, db::ObjectId object,
@@ -130,10 +191,37 @@ class GlobalCeilingClient : public cc::ConcurrencyController {
   void on_end(cc::CcTxn& txn) override;
   std::string_view name() const override { return "PCP-global"; }
 
+  net::SiteId manager_site() const { return manager_site_; }
+  // Failover: re-target the manager and re-register every live local
+  // transaction there (including the locks it already holds, which the new
+  // manager adopts). In-flight acquires re-issue themselves on their next
+  // timeout.
+  void set_manager(net::SiteId manager);
+  // Acquire RPCs re-issued after a timeout.
+  std::uint64_t acquire_retries() const { return acquire_retries_; }
+
  private:
+  // Everything needed to (re-)register a live transaction with a manager.
+  struct Registration {
+    RegisterTxnMsg msg;  // held kept current as locks are granted
+  };
+
+  template <typename T>
+  void send_control(T message) {
+    if (channel_ != nullptr) {
+      channel_->send(manager_site_, std::move(message));
+    } else {
+      server_.send(manager_site_, std::move(message));
+    }
+  }
+
   net::MessageServer& server_;
   net::RpcClient& rpc_;
   net::SiteId manager_site_;
+  sim::Duration acquire_timeout_{};
+  net::ReliableChannel* channel_ = nullptr;
+  std::map<std::uint64_t, Registration> registered_;
+  std::uint64_t acquire_retries_ = 0;
 };
 
 // Per-site data service for the partitioned database: answers remote
@@ -143,11 +231,16 @@ class DataServer {
  public:
   DataServer(net::MessageServer& server, net::RpcDispatcher& rpc,
              db::ResourceManager& rm)
-      : DataServer(server, rpc, rm, sim::Duration::zero()) {}
+      : DataServer(server, rpc, rm, txn::CommitParticipant::Options{}) {}
   // `decision_timeout` > 0 arms presumed abort on the embedded 2PC
   // participant (see txn::CommitParticipant::Options).
   DataServer(net::MessageServer& server, net::RpcDispatcher& rpc,
-             db::ResourceManager& rm, sim::Duration decision_timeout);
+             db::ResourceManager& rm, sim::Duration decision_timeout)
+      : DataServer(server, rpc, rm,
+                   txn::CommitParticipant::Options{decision_timeout}) {}
+  DataServer(net::MessageServer& server, net::RpcDispatcher& rpc,
+             db::ResourceManager& rm,
+             txn::CommitParticipant::Options participant_options);
 
   DataServer(const DataServer&) = delete;
   DataServer& operator=(const DataServer&) = delete;
@@ -156,10 +249,20 @@ class DataServer {
   // with the site.
   void on_crash() { staged_.clear(); }
 
+  // The embedded 2PC participant (wire an outcome source for cooperative
+  // termination).
+  txn::CommitParticipant& participant() { return participant_; }
+
   std::uint64_t remote_reads() const { return remote_reads_; }
   std::uint64_t applied_commits() const { return applied_commits_; }
   std::uint64_t presumed_aborts() const {
     return participant_.presumed_aborts();
+  }
+  std::uint64_t termination_queries() const {
+    return participant_.termination_queries();
+  }
+  std::uint64_t termination_resolutions() const {
+    return participant_.termination_resolutions();
   }
 
  private:

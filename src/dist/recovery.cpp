@@ -3,23 +3,63 @@
 namespace rtdb::dist {
 
 RecoveryManager::RecoveryManager(net::MessageServer& server,
-                                 db::ResourceManager& rm)
-    : server_(server), rm_(rm) {
-  server_.on<SyncRequestMsg>([this](net::SiteId from, SyncRequestMsg) {
+                                 db::ResourceManager& rm, Options options,
+                                 net::ReliableChannel* channel)
+    : server_(server), rm_(rm), options_(options), channel_(channel) {
+  auto on_request = [this](net::SiteId from, SyncRequestMsg) {
     serve_sync_request(from);
-  });
-  server_.on<SyncReplyMsg>([this](net::SiteId /*from*/, SyncReplyMsg reply) {
-    apply_sync_reply(std::move(reply));
-  });
+  };
+  auto on_reply = [this](net::SiteId from, SyncReplyMsg reply) {
+    apply_sync_reply(from, std::move(reply));
+  };
+  if (channel_ != nullptr) {
+    channel_->on<SyncRequestMsg>(on_request);
+    channel_->on<SyncReplyMsg>(on_reply);
+  } else {
+    server_.on<SyncRequestMsg>(on_request);
+    server_.on<SyncReplyMsg>(on_reply);
+  }
+}
+
+RecoveryManager::~RecoveryManager() {
+  if (retry_timer_.valid()) server_.kernel().cancel_event(retry_timer_);
 }
 
 void RecoveryManager::request_catch_up() {
   ++catch_ups_;
+  if (retry_timer_.valid()) {
+    server_.kernel().cancel_event(retry_timer_);
+    retry_timer_ = {};
+  }
+  pending_.clear();
+  attempts_ = 1;
   const std::uint32_t sites = server_.network().site_count();
   for (net::SiteId site = 0; site < sites; ++site) {
     if (site == server_.site()) continue;
-    server_.send(site, SyncRequestMsg{});
+    pending_.insert(site);
+    send_control(site, SyncRequestMsg{});
   }
+  arm_retry_timer();
+}
+
+void RecoveryManager::arm_retry_timer() {
+  if (pending_.empty() || attempts_ >= options_.max_attempts ||
+      options_.retry_timeout.is_zero()) {
+    return;
+  }
+  retry_timer_ = server_.kernel().schedule_in(options_.retry_timeout,
+                                              [this] { on_retry_timer(); });
+}
+
+void RecoveryManager::on_retry_timer() {
+  retry_timer_ = {};
+  if (pending_.empty()) return;
+  ++attempts_;
+  for (const net::SiteId site : pending_) {
+    ++retries_;
+    send_control(site, SyncRequestMsg{});
+  }
+  arm_retry_timer();
 }
 
 void RecoveryManager::serve_sync_request(net::SiteId requester) {
@@ -28,10 +68,11 @@ void RecoveryManager::serve_sync_request(net::SiteId requester) {
   for (const db::ObjectId object : rm_.schema().primaries_at(server_.site())) {
     reply.updates.push_back(ReplicaUpdateMsg{object, rm_.current(object)});
   }
-  server_.send(requester, std::move(reply));
+  send_control(requester, std::move(reply));
 }
 
-void RecoveryManager::apply_sync_reply(SyncReplyMsg reply) {
+void RecoveryManager::apply_sync_reply(net::SiteId from, SyncReplyMsg reply) {
+  pending_.erase(from);
   for (const ReplicaUpdateMsg& update : reply.updates) {
     // Initial (sequence 0) versions carry no information; the monotonic
     // apply would reject them anyway, but skip the call for clarity.

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "db/resource_manager.hpp"
 #include "dist/replication.hpp"
 #include "net/message_server.hpp"
+#include "net/reliable.hpp"
 
 namespace rtdb::dist {
 
@@ -28,30 +30,65 @@ struct SyncReplyMsg {
 
 class RecoveryManager {
  public:
-  RecoveryManager(net::MessageServer& server, db::ResourceManager& rm);
+  struct Options {
+    // Total tries per sync round (first request + retries) for a site that
+    // has not replied. 1 reproduces the fire-and-forget behaviour.
+    int max_attempts = 1;
+    // How long to wait for a site's SyncReply before re-requesting; zero
+    // disables retries regardless of max_attempts.
+    sim::Duration retry_timeout{};
+  };
+
+  RecoveryManager(net::MessageServer& server, db::ResourceManager& rm)
+      : RecoveryManager(server, rm, Options{}, nullptr) {}
+  RecoveryManager(net::MessageServer& server, db::ResourceManager& rm,
+                  Options options, net::ReliableChannel* channel);
+  ~RecoveryManager();
 
   RecoveryManager(const RecoveryManager&) = delete;
   RecoveryManager& operator=(const RecoveryManager&) = delete;
 
   // Starts one catch-up round: a SyncRequest to every other site. Replies
   // apply asynchronously as they arrive (one communication round trip per
-  // site). Call after the site rejoins the network.
+  // site); silent sites are re-asked up to Options::max_attempts times.
+  // Call after the site rejoins the network.
   void request_catch_up();
 
   std::uint64_t catch_ups_started() const { return catch_ups_; }
   std::uint64_t sync_requests_served() const { return served_; }
   // Versions applied from sync replies that were newer than our copy.
   std::uint64_t versions_recovered() const { return recovered_; }
+  // Re-sent SyncRequests to sites whose reply never came.
+  std::uint64_t sync_retries() const { return retries_; }
+  std::size_t awaiting_replies() const { return pending_.size(); }
 
  private:
   void serve_sync_request(net::SiteId requester);
-  void apply_sync_reply(SyncReplyMsg reply);
+  void apply_sync_reply(net::SiteId from, SyncReplyMsg reply);
+  void on_retry_timer();
+  void arm_retry_timer();
+  template <typename T>
+  void send_control(net::SiteId to, T message) {
+    if (channel_ != nullptr) {
+      channel_->send(to, std::move(message));
+    } else {
+      server_.send(to, std::move(message));
+    }
+  }
 
   net::MessageServer& server_;
   db::ResourceManager& rm_;
+  Options options_;
+  net::ReliableChannel* channel_ = nullptr;
+  // Sites of the current round that have not replied yet (ordered so the
+  // retry pass is deterministic).
+  std::set<net::SiteId> pending_;
+  int attempts_ = 0;
+  sim::EventId retry_timer_{};
   std::uint64_t catch_ups_ = 0;
   std::uint64_t served_ = 0;
   std::uint64_t recovered_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace rtdb::dist

@@ -5,12 +5,22 @@
 namespace rtdb::dist {
 
 ReplicationManager::ReplicationManager(net::MessageServer& server,
-                                       db::ResourceManager& rm)
-    : server_(server), rm_(rm) {
-  server_.on<ReplicaUpdateMsg>(
-      [this](net::SiteId /*from*/, ReplicaUpdateMsg message) {
-        apply(message);
-      });
+                                       db::ResourceManager& rm,
+                                       net::ReliableChannel* channel)
+    : server_(server), rm_(rm), channel_(channel) {
+  // channel->on also registers the raw handler, so legacy senders and the
+  // disabled-channel path keep working unchanged.
+  if (channel_ != nullptr) {
+    channel_->on<ReplicaUpdateMsg>(
+        [this](net::SiteId /*from*/, ReplicaUpdateMsg message) {
+          apply(message);
+        });
+  } else {
+    server_.on<ReplicaUpdateMsg>(
+        [this](net::SiteId /*from*/, ReplicaUpdateMsg message) {
+          apply(message);
+        });
+  }
 }
 
 void ReplicationManager::propagate(std::span<const db::ObjectId> objects,
@@ -21,7 +31,11 @@ void ReplicationManager::propagate(std::span<const db::ObjectId> objects,
     assert(rm_.schema().is_primary(server_.site(), objects[i]));
     for (net::SiteId site = 0; site < sites; ++site) {
       if (site == server_.site()) continue;
-      server_.send(site, ReplicaUpdateMsg{objects[i], versions[i]});
+      if (channel_ != nullptr) {
+        channel_->send(site, ReplicaUpdateMsg{objects[i], versions[i]});
+      } else {
+        server_.send(site, ReplicaUpdateMsg{objects[i], versions[i]});
+      }
       ++sent_;
     }
   }

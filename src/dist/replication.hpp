@@ -7,6 +7,7 @@
 #include "db/resource_manager.hpp"
 #include "db/types.hpp"
 #include "net/message_server.hpp"
+#include "net/reliable.hpp"
 
 namespace rtdb::dist {
 
@@ -27,7 +28,12 @@ struct ReplicaUpdateMsg {
 // The manager measures that staleness (the "time lag" of §4).
 class ReplicationManager {
  public:
-  ReplicationManager(net::MessageServer& server, db::ResourceManager& rm);
+  // With `channel` given (and enabled), replica updates travel acked and
+  // retransmitted instead of fire-and-forget — a lost update then delays
+  // convergence by a backoff instead of waiting for the next write or a
+  // recovery round.
+  ReplicationManager(net::MessageServer& server, db::ResourceManager& rm,
+                     net::ReliableChannel* channel = nullptr);
 
   ReplicationManager(const ReplicationManager&) = delete;
   ReplicationManager& operator=(const ReplicationManager&) = delete;
@@ -54,6 +60,7 @@ class ReplicationManager {
 
   net::MessageServer& server_;
   db::ResourceManager& rm_;
+  net::ReliableChannel* channel_ = nullptr;
   std::uint64_t sent_ = 0;
   std::uint64_t applied_ = 0;
   std::uint64_t stale_ = 0;

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/message_server.hpp"
+#include "sim/random.hpp"
+
+namespace rtdb::net {
+
+// Sequence-numbered wrapper around an application payload. The receiver
+// acks every copy it sees (the first ack may itself be lost) and delivers
+// the payload to the registered typed handler exactly once.
+struct ReliableMsg {
+  std::uint64_t seq = 0;
+  std::any payload;
+};
+struct ReliableAckMsg {
+  std::uint64_t seq = 0;
+};
+
+// At-most-once-delivery networks lose control messages for good; the
+// ReliableChannel turns the per-site MessageServer into an acked,
+// retransmitting endpoint for the protocol messages that must not vanish
+// (ceiling registrations/releases, replica updates, recovery sync rounds).
+//
+// Retransmission is bounded (Options::retransmit_max) with exponential
+// backoff; the per-retry jitter is drawn from a stream forked off the run
+// seed, so the whole retransmission schedule is a pure function of
+// (config, seed) and the sweep engine's --jobs N byte-identity survives.
+//
+// A disabled channel (Options::enabled == false, the fault-free default)
+// forwards sends verbatim to the raw MessageServer and registers handlers
+// for the unwrapped types only — bit-identical to a build without it.
+// Intra-site sends always bypass wrapping (they bypass the network too).
+//
+// At most one ReliableChannel per MessageServer (it owns the ReliableMsg
+// and ReliableAckMsg handler slots).
+class ReliableChannel {
+ public:
+  struct Options {
+    bool enabled = false;
+    // Retransmissions per message before giving up (the original send is
+    // not counted).
+    int retransmit_max = 5;
+    // First retransmission fires after backoff_base (+ jitter); each
+    // further one doubles the wait.
+    sim::Duration backoff_base = sim::Duration::units(8);
+  };
+
+  ReliableChannel(MessageServer& server, Options options,
+                  sim::RandomStream stream);
+  ~ReliableChannel();
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  // Registers the handler for payloads of type T, arriving either raw
+  // (disabled channel / legacy sender) or wrapped in a ReliableMsg. One
+  // handler per type, shared with the underlying server's registry.
+  template <typename T>
+  void on(std::function<void(SiteId from, T message)> handler) {
+    auto shared = std::make_shared<std::function<void(SiteId, T)>>(
+        std::move(handler));
+    server_.on<T>(
+        [shared](SiteId from, T message) { (*shared)(from, std::move(message)); });
+    wrapped_handlers_.emplace(
+        std::type_index{typeid(T)},
+        [shared](SiteId from, std::any payload) {
+          (*shared)(from, std::any_cast<T>(std::move(payload)));
+        });
+  }
+
+  // Fire-and-forget from the caller's point of view; the channel keeps
+  // retransmitting until acked or the retry budget is exhausted.
+  template <typename T>
+  void send(SiteId to, T message) {
+    if (!options_.enabled || to == server_.site()) {
+      server_.send(to, std::move(message));
+      return;
+    }
+    send_reliable(to, std::any{std::move(message)});
+  }
+
+  // Site failure: un-acked transmissions and their timers are volatile
+  // state and die with the site. (Receive-side dedup survives: sequence
+  // numbers are never reused, so remembering them is always safe.)
+  void on_crash();
+
+  bool enabled() const { return options_.enabled; }
+  std::size_t in_flight() const { return pending_.size(); }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  // Total virtual time spent waiting in backoff before a retransmission.
+  sim::Duration backoff_wait() const { return backoff_wait_; }
+  // Messages abandoned after the retry budget (receiver down for longer
+  // than the whole backoff schedule).
+  std::uint64_t gave_up() const { return gave_up_; }
+  std::uint64_t duplicates_suppressed() const { return duplicates_; }
+
+ private:
+  struct Pending {
+    SiteId to = 0;
+    std::any payload;
+    int attempts = 0;  // retransmissions sent so far
+    sim::Duration waited{};
+    sim::EventId timer{};
+  };
+
+  void send_reliable(SiteId to, std::any payload);
+  void arm_timer(std::uint64_t seq, Pending& pending);
+  void on_timer(std::uint64_t seq);
+  void handle_wrapped(SiteId from, ReliableMsg message);
+  void handle_ack(std::uint64_t seq);
+
+  MessageServer& server_;
+  Options options_;
+  sim::RandomStream stream_;
+  std::unordered_map<std::type_index, std::function<void(SiteId, std::any)>>
+      wrapped_handlers_;
+  std::uint64_t next_seq_ = 1;
+  // Ordered so crash teardown walks it deterministically.
+  std::map<std::uint64_t, Pending> pending_;
+  std::unordered_map<SiteId, std::unordered_set<std::uint64_t>> seen_;
+  std::uint64_t retransmissions_ = 0;
+  sim::Duration backoff_wait_{};
+  std::uint64_t gave_up_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t unroutable_ = 0;
+};
+
+}  // namespace rtdb::net

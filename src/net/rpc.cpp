@@ -10,7 +10,13 @@ RpcClient::RpcClient(MessageServer& server) : server_(server) {
 
 void RpcClient::on_response(RpcResponseMsg message) {
   auto it = pending_.find(message.correlation);
-  if (it == pending_.end()) return;  // caller timed out or was killed
+  if (it == pending_.end()) {
+    // Caller timed out or was killed; account the late arrival so retry
+    // loops can be audited, and make sure it can't be confused with a
+    // response to a newer call.
+    if (expired_.erase(message.correlation) > 0) ++late_responses_;
+    return;
+  }
   it->second->response = std::move(message.payload);
   it->second->arrived.release();
 }
@@ -30,7 +36,10 @@ sim::Task<std::optional<std::any>> RpcClient::call(
   server_.send(to, RpcRequestMsg{correlation, server_.site(), std::move(request)});
   if (timeout.has_value()) {
     const sim::WakeStatus status = co_await pending->arrived.acquire_for(*timeout);
-    if (status != sim::WakeStatus::kOk) co_return std::nullopt;
+    if (status != sim::WakeStatus::kOk) {
+      expired_.insert(correlation);
+      co_return std::nullopt;
+    }
   } else {
     co_await pending->arrived.acquire();
   }

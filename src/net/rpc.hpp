@@ -53,6 +53,9 @@ class RpcClient {
       std::optional<sim::Duration> timeout = std::nullopt);
 
   std::size_t pending_calls() const { return pending_.size(); }
+  // Responses that arrived after their caller's timeout and were discarded
+  // by correlation id (instead of waking a stale or reused waiter).
+  std::uint64_t late_responses() const { return late_responses_; }
 
  private:
   struct Pending {
@@ -66,6 +69,10 @@ class RpcClient {
   MessageServer& server_;
   std::uint64_t next_correlation_ = 1;
   std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  // Correlations whose caller gave up on a timeout: the response may still
+  // be in flight and must be dropped on arrival, not treated as unknown.
+  std::unordered_set<std::uint64_t> expired_;
+  std::uint64_t late_responses_ = 0;
 };
 
 class RpcServer {

@@ -74,6 +74,7 @@ void TransactionManager::start_attempt(Live& live) {
   // Fresh cc view per attempt; identity and priority are stable.
   live.attempt = AttemptContext{};
   live.attempt.ctx.id = live.spec.id;
+  live.attempt.ctx.attempt = live.attempts + 1;  // 1-based; 0 = unstamped
   live.attempt.ctx.base_priority = live.spec.priority;
   live.attempt.ctx.access = live.spec.access;
   live.pid = kernel_.spawn("txn-" + std::to_string(live.spec.id.value),

@@ -13,6 +13,12 @@ CommitParticipant::CommitParticipant(net::MessageServer& server,
   server_.on<DecisionMsg>([this](net::SiteId /*from*/, DecisionMsg msg) {
     handle_decision(std::move(msg));
   });
+  server_.on<DecisionQueryMsg>([this](net::SiteId from, DecisionQueryMsg msg) {
+    handle_query(from, std::move(msg));
+  });
+  server_.on<DecisionInfoMsg>([this](net::SiteId /*from*/, DecisionInfoMsg msg) {
+    handle_info(std::move(msg));
+  });
 }
 
 CommitParticipant::~CommitParticipant() {
@@ -36,10 +42,12 @@ void CommitParticipant::handle_prepare(PrepareMsg msg) {
       }
       AwaitingDecision waiting;
       waiting.epoch = msg.epoch;
+      waiting.coordinator = msg.coordinator;
+      waiting.peers = msg.peers;
       waiting.timeout = server_.kernel().schedule_in(
           options_.decision_timeout,
           [this, txn = msg.txn, epoch = msg.epoch] {
-            presume_abort(txn, epoch);
+            on_decision_timer(txn, epoch);
           });
       awaiting_[msg.txn] = waiting;
     }
@@ -56,7 +64,68 @@ void CommitParticipant::handle_decision(DecisionMsg msg) {
     }
     awaiting_.erase(it);
   }
+  // Remember the outcome: a peer's decision timer may still fire and ask.
+  Decided& record = decided_[msg.txn];
+  if (msg.epoch >= record.epoch) record = Decided{msg.epoch, msg.commit};
   if (callbacks_.decide) callbacks_.decide(db::TxnId{msg.txn}, msg.commit);
+}
+
+std::optional<bool> CommitParticipant::known_outcome(std::uint64_t txn,
+                                                     std::uint64_t epoch) const {
+  if (auto it = decided_.find(txn); it != decided_.end()) {
+    // A newer round of the same transaction implies the queried round was
+    // aborted (a restart only happens after an abort).
+    if (it->second.epoch == epoch) return it->second.commit;
+    if (it->second.epoch > epoch) return false;
+  }
+  if (outcome_source_) return outcome_source_(txn, epoch);
+  return std::nullopt;
+}
+
+void CommitParticipant::handle_query(net::SiteId from, DecisionQueryMsg msg) {
+  const std::optional<bool> outcome = known_outcome(msg.txn, msg.epoch);
+  // Stay silent when the outcome is unknown: an uncertain peer answering
+  // "abort" would re-introduce the blind presumption the query exists to
+  // avoid.
+  if (!outcome.has_value()) return;
+  server_.send(from, DecisionInfoMsg{msg.txn, msg.epoch, *outcome});
+}
+
+void CommitParticipant::handle_info(DecisionInfoMsg msg) {
+  auto it = awaiting_.find(msg.txn);
+  if (it == awaiting_.end() || it->second.epoch != msg.epoch) return;
+  if (it->second.timeout.valid()) {
+    server_.kernel().cancel_event(it->second.timeout);
+  }
+  awaiting_.erase(it);
+  ++termination_resolutions_;
+  Decided& record = decided_[msg.txn];
+  if (msg.epoch >= record.epoch) record = Decided{msg.epoch, msg.commit};
+  if (callbacks_.decide) callbacks_.decide(db::TxnId{msg.txn}, msg.commit);
+}
+
+void CommitParticipant::on_decision_timer(std::uint64_t txn,
+                                          std::uint64_t epoch) {
+  auto it = awaiting_.find(txn);
+  if (it == awaiting_.end() || it->second.epoch != epoch) return;
+  AwaitingDecision& waiting = it->second;
+  if (!options_.cooperative || waiting.queries_sent >= options_.query_rounds) {
+    presume_abort(txn, epoch);
+    return;
+  }
+  // Cooperative termination: ask everyone who could know the outcome, then
+  // wait one more decision_timeout for an answer.
+  ++waiting.queries_sent;
+  ++termination_queries_;
+  const DecisionQueryMsg query{txn, epoch, server_.site()};
+  server_.send(waiting.coordinator, query);
+  for (const net::SiteId peer : waiting.peers) {
+    if (peer == server_.site() || peer == waiting.coordinator) continue;
+    server_.send(peer, query);
+  }
+  waiting.timeout = server_.kernel().schedule_in(
+      options_.decision_timeout,
+      [this, txn, epoch] { on_decision_timer(txn, epoch); });
 }
 
 void CommitParticipant::presume_abort(std::uint64_t txn, std::uint64_t epoch) {
@@ -98,7 +167,7 @@ sim::Task<bool> CommitCoordinator::commit(db::TxnId txn,
 
   for (const net::SiteId site : participants) {
     assert(site != server_.site());
-    server_.send(site, PrepareMsg{txn.value, epoch, server_.site()});
+    server_.send(site, PrepareMsg{txn.value, epoch, server_.site(), participants});
   }
 
   // Gather all votes or give up at the timeout (missing vote == NO).
@@ -116,10 +185,21 @@ sim::Task<bool> CommitCoordinator::commit(db::TxnId txn,
   if (received < votes->total || votes->yes < votes->total) all_yes = false;
 
   if (!all_yes) ++aborts_;
+  Decided& record = decided_[txn.value];
+  if (epoch >= record.epoch) record = Decided{epoch, all_yes};
   for (const net::SiteId site : participants) {
     server_.send(site, DecisionMsg{txn.value, epoch, all_yes});
   }
   co_return all_yes;
+}
+
+std::optional<bool> CommitCoordinator::outcome(std::uint64_t txn,
+                                               std::uint64_t epoch) const {
+  auto it = decided_.find(txn);
+  if (it == decided_.end()) return std::nullopt;
+  if (it->second.epoch == epoch) return it->second.commit;
+  if (it->second.epoch > epoch) return false;  // superseded round: aborted
+  return std::nullopt;
 }
 
 }  // namespace rtdb::txn

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -29,6 +30,10 @@ struct PrepareMsg {
   std::uint64_t txn = 0;
   std::uint64_t epoch = 0;
   net::SiteId coordinator = 0;
+  // All participant sites of this round (cooperative termination: a
+  // participant that loses the coordinator asks the others). Empty for
+  // legacy senders; recipients filter themselves out.
+  std::vector<net::SiteId> peers;
 };
 struct VoteMsg {
   std::uint64_t txn = 0;
@@ -37,6 +42,19 @@ struct VoteMsg {
   bool yes = false;
 };
 struct DecisionMsg {
+  std::uint64_t txn = 0;
+  std::uint64_t epoch = 0;
+  bool commit = false;
+};
+// Cooperative termination (decision timer fired without a decision): ask
+// the coordinator and the peer participants what happened to the round.
+struct DecisionQueryMsg {
+  std::uint64_t txn = 0;
+  std::uint64_t epoch = 0;
+  net::SiteId from = 0;
+};
+// Answer to a DecisionQueryMsg; only sent when the outcome is known.
+struct DecisionInfoMsg {
   std::uint64_t txn = 0;
   std::uint64_t epoch = 0;
   bool commit = false;
@@ -62,6 +80,13 @@ class CommitParticipant {
     // How long to wait for the decision after voting yes before presuming
     // abort; zero waits forever (the pre-fault-injection behaviour).
     sim::Duration decision_timeout{};
+    // Cooperative termination: when the decision timer fires, query the
+    // coordinator and the round's peers for the outcome (up to
+    // query_rounds times, one decision_timeout apart) before presuming
+    // abort. A coordinator crash after a unanimous yes then no longer
+    // aborts a committable transaction as long as any peer saw the commit.
+    bool cooperative = false;
+    int query_rounds = 2;
   };
 
   CommitParticipant(net::MessageServer& server, Callbacks callbacks)
@@ -76,24 +101,57 @@ class CommitParticipant {
   std::uint64_t prepares_handled() const { return prepares_; }
   // Yes-votes aborted unilaterally because the decision never arrived.
   std::uint64_t presumed_aborts() const { return presumed_aborts_; }
+  // Cooperative-termination traffic: outcome queries sent, and rounds
+  // resolved by a peer's answer instead of a presumption.
+  std::uint64_t termination_queries() const { return termination_queries_; }
+  std::uint64_t termination_resolutions() const {
+    return termination_resolutions_;
+  }
+
+  // Extra source of decided outcomes consulted when answering a peer's
+  // DecisionQueryMsg (typically the co-located coordinator's record).
+  // Returns nullopt when unknown.
+  using OutcomeSource =
+      std::function<std::optional<bool>(std::uint64_t txn, std::uint64_t epoch)>;
+  void set_outcome_source(OutcomeSource source) {
+    outcome_source_ = std::move(source);
+  }
 
  private:
   struct AwaitingDecision {
     std::uint64_t epoch = 0;
     sim::EventId timeout{};
+    net::SiteId coordinator = 0;
+    std::vector<net::SiteId> peers;
+    int queries_sent = 0;
+  };
+  struct Decided {
+    std::uint64_t epoch = 0;
+    bool commit = false;
   };
 
   void handle_prepare(PrepareMsg msg);
   void handle_decision(DecisionMsg msg);
+  void handle_query(net::SiteId from, DecisionQueryMsg msg);
+  void handle_info(DecisionInfoMsg msg);
+  void on_decision_timer(std::uint64_t txn, std::uint64_t epoch);
   void presume_abort(std::uint64_t txn, std::uint64_t epoch);
+  std::optional<bool> known_outcome(std::uint64_t txn,
+                                    std::uint64_t epoch) const;
 
   net::MessageServer& server_;
   Callbacks callbacks_;
   Options options_;
   // Yes-votes whose decision is still outstanding (timeout armed).
   std::unordered_map<std::uint64_t, AwaitingDecision> awaiting_;
+  // Last *received* decision per transaction (presumptions are guesses and
+  // are never served to peers).
+  std::unordered_map<std::uint64_t, Decided> decided_;
+  OutcomeSource outcome_source_;
   std::uint64_t prepares_ = 0;
   std::uint64_t presumed_aborts_ = 0;
+  std::uint64_t termination_queries_ = 0;
+  std::uint64_t termination_resolutions_ = 0;
 };
 
 // Coordinator side: drives prepare/vote/decision for one transaction at a
@@ -114,6 +172,12 @@ class CommitCoordinator {
   // Rounds aborted because some vote never arrived in time.
   std::uint64_t vote_timeouts() const { return vote_timeouts_; }
 
+  // The recorded outcome of a finished round, for cooperative termination:
+  // the exact epoch's decision, `false` for an epoch superseded by a newer
+  // round of the same transaction (the old round can only have aborted),
+  // nullopt when this coordinator knows nothing about it.
+  std::optional<bool> outcome(std::uint64_t txn, std::uint64_t epoch) const;
+
  private:
   struct PendingVotes {
     sim::Semaphore arrived;
@@ -124,8 +188,16 @@ class CommitCoordinator {
     explicit PendingVotes(sim::Kernel& k) : arrived(k, 0) {}
   };
 
+  struct Decided {
+    std::uint64_t epoch = 0;
+    bool commit = false;
+  };
+
   net::MessageServer& server_;
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingVotes>> pending_;
+  // Highest finished round per transaction, served to cooperative
+  // terminators that lost the DecisionMsg.
+  std::unordered_map<std::uint64_t, Decided> decided_;
   std::uint64_t rounds_ = 0;
   std::uint64_t aborts_ = 0;
   std::uint64_t vote_timeouts_ = 0;

@@ -1,0 +1,104 @@
+// RecoveryManager bounded retry: a catch-up round re-asks sites whose
+// SyncReply never came (request or reply lost to an outage), up to
+// Options::max_attempts tries, then stops so the run can drain.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "dist/recovery.hpp"
+#include "sim/kernel.hpp"
+
+namespace rtdb::dist {
+namespace {
+
+using sim::Duration;
+using sim::Kernel;
+using sim::Priority;
+using sim::Task;
+
+Duration tu(std::int64_t n) { return Duration::units(n); }
+
+struct Cluster {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{6, 2, db::Placement::kFullyReplicated}};
+  net::Network net{k, 2, tu(5)};
+  net::MessageServer ms0{k, net, 0};
+  net::MessageServer ms1{k, net, 1};
+  sched::IoSubsystem io0{k}, io1{k};
+  db::ResourceManager rm0{k, schema, 0, io0, Duration::zero()};
+  db::ResourceManager rm1{k, schema, 1, io1, Duration::zero()};
+  ReplicationManager rep0{ms0, rm0};
+  ReplicationManager rep1{ms1, rm1};
+  RecoveryManager rec0;
+  RecoveryManager rec1;
+
+  explicit Cluster(RecoveryManager::Options options)
+      : rec0(ms0, rm0, options, nullptr), rec1(ms1, rm1, options, nullptr) {
+    ms0.start();
+    ms1.start();
+  }
+
+  // Commit one write at site 0 (object 0 is primary there) and propagate.
+  Task<void> write_at_0(std::uint64_t txn) {
+    const std::array<db::ObjectId, 1> objs{0};
+    auto versions =
+        co_await rm0.commit_writes(db::TxnId{txn}, objs, Priority::highest());
+    rep0.propagate(objs, versions);
+  }
+};
+
+TEST(RecoveryRetryTest, SilentSiteIsReAskedUntilItAnswers) {
+  Cluster c{RecoveryManager::Options{3, tu(30)}};
+  c.k.spawn("driver", [](Cluster& c) -> Task<void> {
+    co_await c.write_at_0(1);
+    co_await c.k.delay(tu(10));
+    // Site 0 goes silent: the first request (t=10) and the first retry
+    // (t=40) are both lost; it comes back before the second retry (t=70).
+    c.net.set_operational(0, false);
+    c.rec1.request_catch_up();
+    co_await c.k.delay(tu(50));
+    c.net.set_operational(0, true);
+  }(c));
+  c.k.run();
+  EXPECT_EQ(c.rec1.sync_retries(), 2u);
+  EXPECT_EQ(c.rec1.awaiting_replies(), 0u);  // the last retry got through
+  EXPECT_EQ(c.rec0.sync_requests_served(), 1u);
+  EXPECT_EQ(c.rm1.current(0).sequence, 1u);  // and recovered the version
+}
+
+TEST(RecoveryRetryTest, RetryBudgetIsBoundedSoTheRunDrains) {
+  Cluster c{RecoveryManager::Options{3, tu(30)}};
+  c.net.set_operational(0, false);  // down for good
+  c.rec1.request_catch_up();
+  c.k.run();  // drains: no timer is re-armed past the budget
+  EXPECT_EQ(c.rec1.sync_retries(), 2u);  // max_attempts - 1 re-asks
+  EXPECT_EQ(c.rec1.awaiting_replies(), 1u);
+  EXPECT_EQ(c.rec0.sync_requests_served(), 0u);
+}
+
+TEST(RecoveryRetryTest, PromptReplyCancelsTheRetry) {
+  Cluster c{RecoveryManager::Options{3, tu(30)}};
+  c.k.spawn("driver", [](Cluster& c) -> Task<void> {
+    co_await c.write_at_0(1);
+    co_await c.k.delay(tu(10));
+    c.rec1.request_catch_up();
+    co_return;
+  }(c));
+  c.k.run();
+  EXPECT_EQ(c.rec1.sync_retries(), 0u);
+  EXPECT_EQ(c.rec1.awaiting_replies(), 0u);
+  EXPECT_EQ(c.rec0.sync_requests_served(), 1u);
+}
+
+TEST(RecoveryRetryTest, DefaultOptionsReproduceFireAndForget) {
+  Cluster c{RecoveryManager::Options{}};
+  c.net.set_operational(0, false);
+  c.rec1.request_catch_up();
+  c.k.run();
+  EXPECT_EQ(c.rec1.sync_retries(), 0u);  // one try, no timer
+  EXPECT_EQ(c.rec1.awaiting_replies(), 1u);
+}
+
+}  // namespace
+}  // namespace rtdb::dist

@@ -98,6 +98,28 @@ TEST(RpcTest, LateResponseAfterTimeoutIsDropped) {
   h.k.schedule_in(tu(30), [&] { saved(std::any{7}); });  // long after timeout
   h.k.run();
   EXPECT_EQ(h.client.pending_calls(), 0u);  // no leak, no crash
+  // The straggler is recognized as the answer to a timed-out call (not an
+  // unknown correlation) and counted — it was discarded, not misdelivered.
+  EXPECT_EQ(h.client.late_responses(), 1u);
+}
+
+TEST(RpcTest, KilledCallerResponseIsNotCountedLate) {
+  Harness h;
+  RpcServer::Responder saved;
+  RpcServer server{h.ms1, [&](SiteId, std::any, RpcServer::Responder respond) {
+    saved = std::move(respond);
+  }};
+  ProcessId caller = h.k.spawn("caller", [](Harness& h) -> Task<void> {
+    co_await h.client.call(1, std::any{1});
+    ADD_FAILURE() << "caller must not complete";
+  }(h));
+  h.k.schedule_in(tu(4), [&] { h.k.kill(caller); });
+  h.k.schedule_in(tu(30), [&] { saved(std::any{7}); });
+  h.k.run();
+  // A killed caller abandoned the call; only timeout-expired correlations
+  // count as late responses.
+  EXPECT_EQ(h.client.late_responses(), 0u);
+  EXPECT_EQ(h.client.pending_calls(), 0u);
 }
 
 TEST(RpcTest, KilledCallerDeregisters) {

@@ -1,0 +1,126 @@
+// 2PC cooperative termination: a participant whose decision timer fires
+// queries the coordinator and its peer participants for the round's
+// outcome before falling back to presumed abort, so a lost DecisionMsg (or
+// a dead coordinator) no longer aborts a transaction some peer saw commit.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/message_server.hpp"
+#include "net/network.hpp"
+#include "sim/kernel.hpp"
+#include "txn/two_phase_commit.hpp"
+
+namespace rtdb::txn {
+namespace {
+
+using sim::Duration;
+using sim::Kernel;
+
+Duration tu(std::int64_t n) { return Duration::units(n); }
+
+// Site 0 plays coordinator (by hand), sites 1 and 2 host participants.
+struct Cluster {
+  Kernel k;
+  net::Network net{k, 3, tu(2)};
+  net::MessageServer ms0{k, net, 0};
+  net::MessageServer ms1{k, net, 1};
+  net::MessageServer ms2{k, net, 2};
+  std::map<net::SiteId, bool> decisions;  // site -> applied decision
+  CommitParticipant p1;
+  CommitParticipant p2;
+
+  explicit Cluster(CommitParticipant::Options options)
+      : p1(ms1, callbacks(1), options), p2(ms2, callbacks(2), options) {
+    ms0.start();
+    ms1.start();
+    ms2.start();
+  }
+
+  CommitParticipant::Callbacks callbacks(net::SiteId site) {
+    return CommitParticipant::Callbacks{
+        [](db::TxnId) { return true; },
+        [this, site](db::TxnId, bool commit) { decisions[site] = commit; }};
+  }
+
+  void prepare_both(std::uint64_t txn, std::uint64_t epoch) {
+    ms0.send(1, PrepareMsg{txn, epoch, 0, {1, 2}});
+    ms0.send(2, PrepareMsg{txn, epoch, 0, {1, 2}});
+  }
+};
+
+TEST(CooperativeTerminationTest, PeerAnswersWhenTheDecisionWasLost) {
+  Cluster c{CommitParticipant::Options{tu(20), true, 2}};
+  c.prepare_both(9, 1);
+  // The commit decision reaches participant 1 only; 2's copy is "lost".
+  c.k.schedule_in(tu(10), [&c] { c.ms0.send(1, DecisionMsg{9, 1, true}); });
+  c.k.run();
+  // 2's decision timer fired, queried 0 (silent: no participant there) and
+  // peer 1, and adopted the commit 1 remembered — no blind abort.
+  EXPECT_EQ(c.decisions[1], true);
+  EXPECT_EQ(c.decisions[2], true);
+  EXPECT_EQ(c.p2.termination_queries(), 1u);
+  EXPECT_EQ(c.p2.termination_resolutions(), 1u);
+  EXPECT_EQ(c.p2.presumed_aborts(), 0u);
+}
+
+TEST(CooperativeTerminationTest, AllUncertainFallsBackToPresumedAbort) {
+  Cluster c{CommitParticipant::Options{tu(20), true, 2}};
+  c.prepare_both(9, 1);
+  // No decision is ever sent: both participants query, nobody knows, and
+  // after query_rounds silent rounds each presumes abort.
+  c.k.run();
+  EXPECT_EQ(c.decisions[1], false);
+  EXPECT_EQ(c.decisions[2], false);
+  EXPECT_EQ(c.p1.termination_queries(), 2u);
+  EXPECT_EQ(c.p1.presumed_aborts(), 1u);
+  EXPECT_EQ(c.p2.presumed_aborts(), 1u);
+  EXPECT_EQ(c.p1.termination_resolutions(), 0u);
+}
+
+TEST(CooperativeTerminationTest, OutcomeSourceAnswersForACoLocatedCoordinator) {
+  Cluster c{CommitParticipant::Options{tu(20), true, 2}};
+  // Participant 1 sits next to a coordinator record that knows round 1 of
+  // transaction 9 committed (the DecisionMsg itself died on every link).
+  c.p1.set_outcome_source(
+      [](std::uint64_t txn, std::uint64_t epoch) -> std::optional<bool> {
+        if (txn == 9 && epoch == 1) return true;
+        return std::nullopt;
+      });
+  // No DecisionMsg reaches anyone: participant 1's answer can only come
+  // from the source.
+  c.prepare_both(9, 1);
+  c.k.run();
+  EXPECT_EQ(c.decisions[2], true);
+  EXPECT_EQ(c.p2.termination_resolutions(), 1u);
+  // Participant 1 itself resolves on a later round, once 2 knows.
+  EXPECT_EQ(c.decisions[1], true);
+  EXPECT_EQ(c.p1.presumed_aborts(), 0u);
+}
+
+TEST(CooperativeTerminationTest, SupersededEpochIsReportedAborted) {
+  Cluster c{CommitParticipant::Options{tu(20), true, 2}};
+  c.prepare_both(9, 1);
+  // Participant 1 learns a *newer* round of the same transaction decided:
+  // round 1 can only have aborted, and it says so when queried.
+  c.k.schedule_in(tu(10), [&c] { c.ms0.send(1, DecisionMsg{9, 2, true}); });
+  c.k.run();
+  EXPECT_EQ(c.decisions[2], false);
+  EXPECT_EQ(c.p2.termination_resolutions(), 1u);
+  EXPECT_EQ(c.p2.presumed_aborts(), 0u);
+}
+
+TEST(CooperativeTerminationTest, NonCooperativeStillPresumesAbortImmediately) {
+  Cluster c{CommitParticipant::Options{tu(20), false, 2}};
+  c.prepare_both(9, 1);
+  c.k.schedule_in(tu(10), [&c] { c.ms0.send(1, DecisionMsg{9, 1, true}); });
+  c.k.run();
+  // Without cooperation 2 never asks: the first timer expiry aborts.
+  EXPECT_EQ(c.decisions[2], false);
+  EXPECT_EQ(c.p2.termination_queries(), 0u);
+  EXPECT_EQ(c.p2.presumed_aborts(), 1u);
+}
+
+}  // namespace
+}  // namespace rtdb::txn

@@ -178,7 +178,7 @@ TEST(TwoPhaseCommitTest, ParticipantPresumesAbortWhenDecisionNeverArrives) {
   ms0.start();
   ms1.start();
   // A prepare whose coordinator then goes silent (no decision ever sent).
-  ms0.send(1, PrepareMsg{11, 1, 0});
+  ms0.send(1, PrepareMsg{11, 1, 0, {}});
   k.run();
   EXPECT_EQ(participant.prepares_handled(), 1u);
   EXPECT_EQ(participant.presumed_aborts(), 1u);
@@ -199,7 +199,7 @@ TEST(TwoPhaseCommitTest, DecisionInTimeCancelsPresumedAbort) {
       CommitParticipant::Options{tu(20)}};
   ms0.start();
   ms1.start();
-  ms0.send(1, PrepareMsg{12, 1, 0});
+  ms0.send(1, PrepareMsg{12, 1, 0, {}});
   k.schedule_in(tu(10), [&] { ms0.send(1, DecisionMsg{12, 1, true}); });
   k.run();
   EXPECT_EQ(participant.presumed_aborts(), 0u);
