@@ -60,8 +60,8 @@ void BM_ProcessSpawnDelayComplete(benchmark::State& state) {
   for (auto _ : state) {
     Kernel k;
     for (int i = 0; i < 32; ++i) {
-      k.spawn("p", [](Kernel& k) -> Task<void> {
-        for (int j = 0; j < 8; ++j) co_await k.delay(Duration::units(1));
+      k.spawn("p", [](Kernel& kern) -> Task<void> {
+        for (int j = 0; j < 8; ++j) co_await kern.delay(Duration::units(1));
       }(k));
     }
     k.run();
@@ -75,16 +75,16 @@ void BM_SemaphorePingPong(benchmark::State& state) {
     Kernel k;
     sim::Semaphore a{k, 0};
     sim::Semaphore b{k, 0};
-    k.spawn("ping", [](sim::Semaphore& a, sim::Semaphore& b) -> Task<void> {
+    k.spawn("ping", [](sim::Semaphore& ping, sim::Semaphore& pong) -> Task<void> {
       for (int i = 0; i < 64; ++i) {
-        b.release();
-        co_await a.acquire();
+        pong.release();
+        co_await ping.acquire();
       }
     }(a, b));
-    k.spawn("pong", [](sim::Semaphore& a, sim::Semaphore& b) -> Task<void> {
+    k.spawn("pong", [](sim::Semaphore& ping, sim::Semaphore& pong) -> Task<void> {
       for (int i = 0; i < 64; ++i) {
-        co_await b.acquire();
-        a.release();
+        co_await pong.acquire();
+        ping.release();
       }
     }(a, b));
     k.run();
@@ -97,11 +97,11 @@ void BM_CpuPreemptionStorm(benchmark::State& state) {
     Kernel k;
     sched::PreemptiveCpu cpu{k};
     for (int i = 0; i < 32; ++i) {
-      k.spawn("j", [](Kernel& k, sched::PreemptiveCpu& cpu, int i) -> Task<void> {
-        co_await k.delay(Duration::units(i));
+      k.spawn("j", [](Kernel& kern, sched::PreemptiveCpu& unit, int job) -> Task<void> {
+        co_await kern.delay(Duration::units(job));
         // Descending keys: every arrival preempts the previous job.
-        co_await cpu.execute(Duration::units(40),
-                             sim::Priority{100 - i, static_cast<std::uint32_t>(i)});
+        co_await unit.execute(Duration::units(40),
+                              sim::Priority{100 - job, static_cast<std::uint32_t>(job)});
       }(k, cpu, i));
     }
     k.run();

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "cc/observer.hpp"
 #include "cc/txn_ctx.hpp"
 #include "cc/types.hpp"
 #include "db/types.hpp"
@@ -46,11 +47,33 @@ class ConcurrencyController {
 
   void set_hooks(ControllerHooks hooks) { hooks_ = std::move(hooks); }
 
-  virtual void on_begin(CcTxn& txn) { (void)txn; }
+  // Attach a conformance observer (nullptr detaches). Observation is
+  // purely passive: with no observer every notify_* helper is a single
+  // null-pointer check, so the protocol paths are unchanged.
+  void set_observer(CcObserver* observer) { observer_ = observer; }
+  CcObserver* observer() const { return observer_; }
+
+  // Lifecycle entry points (template methods): the public face notifies
+  // the observer around the protocol-specific do_* hooks, so no protocol
+  // can forget to report a begin/release/end event. The notification comes
+  // first: the do_* body may synchronously grant queued waiters (PCP's
+  // stabilize()), and those grant events must see the lifecycle transition
+  // already applied — the same order the protocol's own state changes in.
+  void on_begin(CcTxn& txn) {
+    if (observer_ != nullptr) observer_->on_txn_begin(txn);
+    do_begin(txn);
+  }
+  void release_all(CcTxn& txn) {
+    if (observer_ != nullptr) observer_->on_release_all(txn);
+    do_release_all(txn);
+  }
+  void on_end(CcTxn& txn) {
+    if (observer_ != nullptr) observer_->on_txn_end(txn);
+    do_end(txn);
+  }
+
   virtual sim::Task<void> acquire(CcTxn& txn, db::ObjectId object,
                                   LockMode mode) = 0;
-  virtual void release_all(CcTxn& txn) = 0;
-  virtual void on_end(CcTxn& txn) { (void)txn; }
 
   virtual std::string_view name() const = 0;
 
@@ -69,7 +92,15 @@ class ConcurrencyController {
   std::uint64_t protocol_aborts() const { return protocol_aborts_; }
 
  protected:
-  // Blocking bookkeeping shared by all protocols.
+  // Protocol-specific lifecycle behaviour behind the public template
+  // methods above.
+  virtual void do_begin(CcTxn& txn) { (void)txn; }
+  virtual void do_release_all(CcTxn& txn) = 0;
+  virtual void do_end(CcTxn& txn) { (void)txn; }
+
+  // Blocking bookkeeping shared by all protocols. end_block doubles as the
+  // single unblock observation point: every exit from a blocked wait —
+  // grant, abort, kill — funnels through it.
   void begin_block(CcTxn& txn) {
     txn.blocked = true;
     txn.blocked_since = kernel_.now();
@@ -80,6 +111,28 @@ class ConcurrencyController {
     if (!txn.blocked) return;
     txn.blocked = false;
     txn.blocked_total += kernel_.now() - txn.blocked_since;
+    if (observer_ != nullptr) observer_->on_unblock(txn);
+  }
+
+  // Event observation helpers for the protocol implementations.
+  void notify_grant(const CcTxn& txn, db::ObjectId object, LockMode mode) {
+    if (observer_ != nullptr) observer_->on_grant(txn, object, mode);
+  }
+  void notify_block(const CcTxn& txn, db::ObjectId object, LockMode mode,
+                    std::span<CcTxn* const> blockers) {
+    if (observer_ != nullptr) observer_->on_block(txn, object, mode, blockers);
+  }
+  void notify_abort(db::TxnId victim, AbortReason reason) {
+    if (observer_ != nullptr) observer_->on_abort(victim, reason);
+  }
+  void notify_adopt(const CcTxn& txn, db::ObjectId object, LockMode mode) {
+    if (observer_ != nullptr) observer_->on_adopt(txn, object, mode);
+  }
+  void notify_tso_access(const CcTxn& txn, db::ObjectId object, LockMode mode,
+                         std::uint64_t ts, bool accepted) {
+    if (observer_ != nullptr) {
+      observer_->on_tso_access(txn, object, mode, ts, accepted);
+    }
   }
 
   // Updates a transaction's inherited priority, notifying the scheduler
@@ -97,6 +150,7 @@ class ConcurrencyController {
 
   sim::Kernel& kernel_;
   ControllerHooks hooks_;
+  CcObserver* observer_ = nullptr;
 
  private:
   std::uint64_t grants_ = 0;

@@ -10,14 +10,17 @@ namespace rtdb::cc {
 HighPriority2PL::HighPriority2PL(sim::Kernel& kernel)
     : ConcurrencyController(kernel),
       table_(LockTable::QueuePolicy::kPriority) {
-  table_.set_grant_observer(
-      [this](LockTable::Request& request) { end_block(*request.txn); });
+  table_.set_grant_observer([this](LockTable::Request& request) {
+    end_block(*request.txn);
+    notify_grant(*request.txn, request.object, request.mode);
+  });
 }
 
 sim::Task<void> HighPriority2PL::acquire(CcTxn& txn, db::ObjectId object,
                                          LockMode mode) {
   if (table_.try_grant(txn, object, mode)) {
     count_grant();
+    notify_grant(txn, object, mode);
     co_return;
   }
 
@@ -43,6 +46,7 @@ sim::Task<void> HighPriority2PL::acquire(CcTxn& txn, db::ObjectId object,
 
   std::vector<CcTxn*> blockers = table_.blockers_of(request);
   assert(!blockers.empty());
+  notify_block(txn, object, mode, blockers);
   const bool all_lower = std::all_of(
       blockers.begin(), blockers.end(), [&](const CcTxn* blocker) {
         return txn.effective_priority().higher_than(
@@ -56,6 +60,7 @@ sim::Task<void> HighPriority2PL::acquire(CcTxn& txn, db::ObjectId object,
       if (request.granted) break;  // earlier wounds already freed the lock
       ++wounds_;
       count_protocol_abort();
+      notify_abort(victim->id, AbortReason::kWounded);
       assert(hooks_.abort_txn != nullptr);
       hooks_.abort_txn(victim->id, AbortReason::kWounded);
     }
@@ -66,6 +71,6 @@ sim::Task<void> HighPriority2PL::acquire(CcTxn& txn, db::ObjectId object,
   count_grant();
 }
 
-void HighPriority2PL::release_all(CcTxn& txn) { table_.release_all(txn); }
+void HighPriority2PL::do_release_all(CcTxn& txn) { table_.release_all(txn); }
 
 }  // namespace rtdb::cc

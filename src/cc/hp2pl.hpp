@@ -23,11 +23,13 @@ class HighPriority2PL : public ConcurrencyController {
 
   sim::Task<void> acquire(CcTxn& txn, db::ObjectId object,
                           LockMode mode) override;
-  void release_all(CcTxn& txn) override;
   std::string_view name() const override { return "2PL-HP"; }
 
   std::uint64_t wounds() const { return wounds_; }
   const LockTable& table() const { return table_; }
+
+ protected:
+  void do_release_all(CcTxn& txn) override;
 
  private:
   LockTable table_;

@@ -26,7 +26,7 @@ PriorityCeiling::~PriorityCeiling() {
   assert(waiters_.empty() && "destroyed with blocked transactions");
 }
 
-void PriorityCeiling::on_begin(CcTxn& txn) {
+void PriorityCeiling::do_begin(CcTxn& txn) {
   assert(!active_.contains(txn.id));
   active_.emplace(txn.id, &txn);
   refresh_static_ceilings(txn);
@@ -36,7 +36,7 @@ void PriorityCeiling::on_begin(CcTxn& txn) {
   if (options_.deadlock_backstop) stabilize();
 }
 
-void PriorityCeiling::on_end(CcTxn& txn) {
+void PriorityCeiling::do_end(CcTxn& txn) {
   assert(active_.contains(txn.id));
   active_.erase(txn.id);
   set_inherited(txn, Priority::lowest());
@@ -54,6 +54,7 @@ sim::Task<void> PriorityCeiling::acquire(CcTxn& txn, db::ObjectId object,
   if (can_grant(txn)) {
     grant(txn, object, mode);
     count_grant();
+    notify_grant(txn, object, mode);
     co_return;
   }
 
@@ -77,6 +78,20 @@ sim::Task<void> PriorityCeiling::acquire(CcTxn& txn, db::ObjectId object,
   });
   waiters_.insert(pos, &waiter);
   begin_block(txn);
+  if (observer() != nullptr) {
+    // The transactions blocking this request right now: the holders of the
+    // strongest-ceiling lock (what the transaction semantically waits on).
+    std::vector<CcTxn*> blockers;
+    if (const LockState* blocking = strongest_blocking_lock(txn)) {
+      if (blocking->writer != nullptr && blocking->writer != &txn) {
+        blockers.push_back(blocking->writer);
+      }
+      for (CcTxn* reader : blocking->readers) {
+        if (reader != &txn) blockers.push_back(reader);
+      }
+    }
+    notify_block(txn, object, mode, blockers);
+  }
 
   struct Cleanup {
     PriorityCeiling* self;
@@ -99,7 +114,7 @@ sim::Task<void> PriorityCeiling::acquire(CcTxn& txn, db::ObjectId object,
   count_grant();
 }
 
-void PriorityCeiling::release_all(CcTxn& txn) {
+void PriorityCeiling::do_release_all(CcTxn& txn) {
   for (auto it = locks_.begin(); it != locks_.end();) {
     LockState& lock = it->second;
     if (lock.writer == &txn) lock.writer = nullptr;
@@ -136,6 +151,7 @@ void PriorityCeiling::adopt(CcTxn& txn, db::ObjectId object, LockMode mode) {
   // The old manager already ran the grant rule for this lock; re-install
   // it directly and settle inheritance/ceilings around the restored state.
   grant(txn, object, effective_mode(mode));
+  notify_adopt(txn, object, effective_mode(mode));
   stabilize();
 }
 
@@ -374,6 +390,7 @@ bool PriorityCeiling::resolve_dynamic_deadlock() {
         }
         ++dynamic_deadlocks_;
         count_protocol_abort();
+        notify_abort(victim->id, AbortReason::kDeadlockVictim);
         assert(hooks_.abort_txn != nullptr);
         hooks_.abort_txn(victim->id, AbortReason::kDeadlockVictim);
         return true;
@@ -437,6 +454,7 @@ bool PriorityCeiling::grant_pass() {
     grant(*waiter->txn, waiter->object, waiter->mode);
     waiter->granted = true;
     end_block(*waiter->txn);
+    notify_grant(*waiter->txn, waiter->object, waiter->mode);
     waiter->wakeup->release();
     return true;
   }

@@ -63,11 +63,8 @@ class PriorityCeiling : public ConcurrencyController {
                   Options options);
   ~PriorityCeiling() override;
 
-  void on_begin(CcTxn& txn) override;
   sim::Task<void> acquire(CcTxn& txn, db::ObjectId object,
                           LockMode mode) override;
-  void release_all(CcTxn& txn) override;
-  void on_end(CcTxn& txn) override;
   std::string_view name() const override;
   bool quiescent(std::string* why = nullptr) const override;
 
@@ -105,6 +102,11 @@ class PriorityCeiling : public ConcurrencyController {
   // tests assert it. (One such transaction may hold several blocking
   // locks: its own co-held locks are excluded from its ceiling test.)
   std::size_t lower_priority_blocking_txns(const CcTxn& txn) const;
+
+ protected:
+  void do_begin(CcTxn& txn) override;
+  void do_release_all(CcTxn& txn) override;
+  void do_end(CcTxn& txn) override;
 
  private:
   struct LockState {

@@ -8,7 +8,7 @@ namespace rtdb::cc {
 TimestampOrdering::TimestampOrdering(sim::Kernel& kernel)
     : ConcurrencyController(kernel) {}
 
-void TimestampOrdering::on_begin(CcTxn& txn) {
+void TimestampOrdering::do_begin(CcTxn& txn) {
   // Fresh timestamp per attempt: a restarted attempt re-enters through
   // on_begin after on_end dropped its old timestamp. (Keeping the old
   // timestamp would livelock a rejected reader: the object's write
@@ -34,6 +34,7 @@ sim::Task<void> TimestampOrdering::acquire(CcTxn& txn, db::ObjectId object,
     if (ts < state.write_ts) {
       ++rejections_;
       count_protocol_abort();
+      notify_tso_access(txn, object, mode, ts, false);
       throw TxnAborted{AbortReason::kTimestampOrder};
     }
     state.read_ts = std::max(state.read_ts, ts);
@@ -41,19 +42,21 @@ sim::Task<void> TimestampOrdering::acquire(CcTxn& txn, db::ObjectId object,
     if (ts < state.read_ts || ts < state.write_ts) {
       ++rejections_;
       count_protocol_abort();
+      notify_tso_access(txn, object, mode, ts, false);
       throw TxnAborted{AbortReason::kTimestampOrder};
     }
     state.write_ts = ts;
   }
   count_grant();
+  notify_tso_access(txn, object, mode, ts, true);
   co_return;
 }
 
-void TimestampOrdering::release_all(CcTxn& txn) {
+void TimestampOrdering::do_release_all(CcTxn& txn) {
   // Nothing to release: timestamp ordering holds no locks.
   (void)txn;
 }
 
-void TimestampOrdering::on_end(CcTxn& txn) { forget_timestamp(txn.id); }
+void TimestampOrdering::do_end(CcTxn& txn) { forget_timestamp(txn.id); }
 
 }  // namespace rtdb::cc

@@ -29,11 +29,8 @@ class TimestampOrdering : public ConcurrencyController {
  public:
   explicit TimestampOrdering(sim::Kernel& kernel);
 
-  void on_begin(CcTxn& txn) override;
   sim::Task<void> acquire(CcTxn& txn, db::ObjectId object,
                           LockMode mode) override;
-  void release_all(CcTxn& txn) override;
-  void on_end(CcTxn& txn) override;
   std::string_view name() const override { return "TSO"; }
 
   // Assigns (if absent) or retrieves the timestamp of the current attempt.
@@ -41,6 +38,11 @@ class TimestampOrdering : public ConcurrencyController {
   void forget_timestamp(db::TxnId txn);
 
   std::uint64_t rejections() const { return rejections_; }
+
+ protected:
+  void do_begin(CcTxn& txn) override;
+  void do_release_all(CcTxn& txn) override;
+  void do_end(CcTxn& txn) override;
 
  private:
   struct ObjectTs {

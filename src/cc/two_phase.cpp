@@ -19,10 +19,11 @@ TwoPhaseLocking::TwoPhaseLocking(sim::Kernel& kernel, Options options)
     wfg_.clear_waits_of(request.txn->id);
     waiting_.erase(request.txn->id);
     end_block(*request.txn);
+    notify_grant(*request.txn, request.object, request.mode);
   });
 }
 
-void TwoPhaseLocking::on_begin(CcTxn& txn) {
+void TwoPhaseLocking::do_begin(CcTxn& txn) {
   assert(!active_.contains(txn.id));
   active_.emplace(txn.id, &txn);
 }
@@ -32,6 +33,7 @@ sim::Task<void> TwoPhaseLocking::acquire(CcTxn& txn, db::ObjectId object,
   assert(active_.contains(txn.id) && "acquire before on_begin");
   if (table_.try_grant(txn, object, mode)) {
     count_grant();
+    notify_grant(txn, object, mode);
     co_return;
   }
 
@@ -41,6 +43,9 @@ sim::Task<void> TwoPhaseLocking::acquire(CcTxn& txn, db::ObjectId object,
   waiting_.emplace(txn.id, &request);
   begin_block(txn);
   refresh_edges(object);
+  if (observer() != nullptr) {
+    notify_block(txn, object, mode, table_.blockers_of(request));
+  }
 
   // Unblock bookkeeping on *every* exit: normal grant (already dequeued,
   // granted=true), kill while blocked (ProcessCancelled), or self-abort as
@@ -70,13 +75,13 @@ sim::Task<void> TwoPhaseLocking::acquire(CcTxn& txn, db::ObjectId object,
   count_grant();
 }
 
-void TwoPhaseLocking::release_all(CcTxn& txn) {
+void TwoPhaseLocking::do_release_all(CcTxn& txn) {
   const auto touched = table_.release_all(txn);
   for (db::ObjectId object : touched) refresh_edges(object);
   update_inheritance();
 }
 
-void TwoPhaseLocking::on_end(CcTxn& txn) {
+void TwoPhaseLocking::do_end(CcTxn& txn) {
   assert(!waiting_.contains(txn.id) && "on_end while still waiting");
   wfg_.remove(txn.id);
   active_.erase(txn.id);
@@ -128,6 +133,7 @@ void TwoPhaseLocking::resolve_deadlocks(CcTxn& requester,
     ++deadlocks_;
     count_protocol_abort();
     const db::TxnId victim = pick_victim(cycle, requester.id);
+    notify_abort(victim, AbortReason::kDeadlockVictim);
     if (victim == requester.id) {
       // Cleanup (dequeue, edges, block accounting) runs in the awaiter's
       // RAII guard as the exception unwinds acquire().

@@ -36,11 +36,8 @@ class TwoPhaseLocking : public ConcurrencyController {
 
   TwoPhaseLocking(sim::Kernel& kernel, Options options);
 
-  void on_begin(CcTxn& txn) override;
   sim::Task<void> acquire(CcTxn& txn, db::ObjectId object,
                           LockMode mode) override;
-  void release_all(CcTxn& txn) override;
-  void on_end(CcTxn& txn) override;
   std::string_view name() const override;
   bool quiescent(std::string* why = nullptr) const override;
 
@@ -48,6 +45,11 @@ class TwoPhaseLocking : public ConcurrencyController {
   std::uint64_t deadlocks() const { return deadlocks_; }
   const LockTable& table() const { return table_; }
   const WaitForGraph& wait_for_graph() const { return wfg_; }
+
+ protected:
+  void do_begin(CcTxn& txn) override;
+  void do_release_all(CcTxn& txn) override;
+  void do_end(CcTxn& txn) override;
 
  private:
   // Rebuilds the wait-for edges of every waiter queued on `object`.

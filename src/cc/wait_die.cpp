@@ -13,8 +13,10 @@ AgeBased2PL::AgeBased2PL(sim::Kernel& kernel, Flavour flavour)
       // FIFO queues: age decides who waits at all; among waiters arrival
       // order is the classic treatment.
       table_(LockTable::QueuePolicy::kFifo) {
-  table_.set_grant_observer(
-      [this](LockTable::Request& request) { end_block(*request.txn); });
+  table_.set_grant_observer([this](LockTable::Request& request) {
+    end_block(*request.txn);
+    notify_grant(*request.txn, request.object, request.mode);
+  });
 }
 
 sim::Task<void> AgeBased2PL::acquire(CcTxn& txn, db::ObjectId object,
@@ -22,6 +24,7 @@ sim::Task<void> AgeBased2PL::acquire(CcTxn& txn, db::ObjectId object,
   for (;;) {
     if (table_.try_grant(txn, object, mode)) {
       count_grant();
+      notify_grant(txn, object, mode);
       co_return;
     }
     // Probe who we would wait for.
@@ -39,6 +42,7 @@ sim::Task<void> AgeBased2PL::acquire(CcTxn& txn, db::ObjectId object,
         // Younger than some holder: die (restart with the same age).
         ++dies_;
         count_protocol_abort();
+        notify_abort(txn.id, AbortReason::kAgeBased);
         throw TxnAborted{AbortReason::kAgeBased};
       }
       // Older than everyone in the way: wait.
@@ -50,6 +54,7 @@ sim::Task<void> AgeBased2PL::acquire(CcTxn& txn, db::ObjectId object,
         if (older(txn, *blocker)) {
           ++wounds_;
           count_protocol_abort();
+          notify_abort(blocker->id, AbortReason::kWounded);
           assert(hooks_.abort_txn != nullptr);
           hooks_.abort_txn(blocker->id, AbortReason::kWounded);
           wounded_any = true;
@@ -62,6 +67,7 @@ sim::Task<void> AgeBased2PL::acquire(CcTxn& txn, db::ObjectId object,
     LockTable::Request request{&txn, object, mode, &wakeup, false, 0};
     table_.enqueue(request);
     begin_block(txn);
+    notify_block(txn, object, mode, blockers);
     struct Cleanup {
       AgeBased2PL* self;
       LockTable::Request* request;
@@ -79,6 +85,6 @@ sim::Task<void> AgeBased2PL::acquire(CcTxn& txn, db::ObjectId object,
   }
 }
 
-void AgeBased2PL::release_all(CcTxn& txn) { table_.release_all(txn); }
+void AgeBased2PL::do_release_all(CcTxn& txn) { table_.release_all(txn); }
 
 }  // namespace rtdb::cc

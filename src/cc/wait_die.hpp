@@ -33,7 +33,6 @@ class AgeBased2PL : public ConcurrencyController {
 
   sim::Task<void> acquire(CcTxn& txn, db::ObjectId object,
                           LockMode mode) override;
-  void release_all(CcTxn& txn) override;
   std::string_view name() const override {
     return flavour_ == Flavour::kWaitDie ? "2PL-WD" : "2PL-WW";
   }
@@ -42,6 +41,9 @@ class AgeBased2PL : public ConcurrencyController {
   std::uint64_t dies() const { return dies_; }
   std::uint64_t wounds() const { return wounds_; }
   const LockTable& table() const { return table_; }
+
+ protected:
+  void do_release_all(CcTxn& txn) override;
 
  private:
   static bool older(const CcTxn& a, const CcTxn& b) { return a.id < b.id; }

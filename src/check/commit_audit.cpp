@@ -1,0 +1,133 @@
+#include "check/commit_audit.hpp"
+
+#include <sstream>
+
+#include "check/monitor.hpp"
+
+namespace rtdb::check {
+
+namespace {
+
+const char* to_string(txn::DecisionSource source) {
+  switch (source) {
+    case txn::DecisionSource::kDecision:
+      return "decision";
+    case txn::DecisionSource::kInfo:
+      return "peer-info";
+    case txn::DecisionSource::kPresumed:
+      return "presumed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CommitAudit::CommitAudit(ConformanceMonitor& monitor) : monitor_(monitor) {}
+
+void CommitAudit::on_round(db::TxnId txn, std::uint64_t epoch,
+                           net::SiteId coordinator,
+                           std::span<const net::SiteId> participants) {
+  monitor_.record({{},
+                   "2pc-round",
+                   txn.value,
+                   0,
+                   static_cast<std::int64_t>(epoch),
+                   static_cast<std::int64_t>(coordinator)});
+  Round& round = txns_[txn.value].rounds[epoch];
+  round.participants.assign(participants.begin(), participants.end());
+}
+
+void CommitAudit::on_vote(db::TxnId txn, std::uint64_t epoch, net::SiteId site,
+                          bool yes) {
+  monitor_.record({{},
+                   yes ? "2pc-vote-yes" : "2pc-vote-no",
+                   txn.value,
+                   0,
+                   static_cast<std::int64_t>(epoch),
+                   static_cast<std::int64_t>(site)});
+  Round& round = txns_[txn.value].rounds[epoch];
+  if (yes) {
+    round.voted_yes.insert(site);
+  } else {
+    round.voted_no.insert(site);
+  }
+}
+
+void CommitAudit::on_decision(db::TxnId txn, std::uint64_t epoch, bool commit) {
+  monitor_.record({{},
+                   commit ? "2pc-commit" : "2pc-abort",
+                   txn.value,
+                   0,
+                   static_cast<std::int64_t>(epoch),
+                   0});
+  TxnState& state = txns_[txn.value];
+  Round& round = state.rounds[epoch];
+  if (round.decided && round.commit != commit) {
+    std::ostringstream detail;
+    detail << "txn " << txn.value << " epoch " << epoch << " decided "
+           << (round.commit ? "commit" : "abort") << " and later "
+           << (commit ? "commit" : "abort");
+    monitor_.report("2pc.decision_conflict", detail.str());
+  }
+  round.decided = true;
+  round.commit = commit;
+  if (!commit) return;
+
+  // A commit requires a unanimous yes. Every vote the coordinator could
+  // have counted was observed at its sender first, so a participant that
+  // voted no for this epoch (and never yes — a duplicated prepare may
+  // legally re-vote) contradicts the decision.
+  for (const net::SiteId site : round.voted_no) {
+    if (round.voted_yes.contains(site)) continue;
+    std::ostringstream detail;
+    detail << "txn " << txn.value << " epoch " << epoch
+           << " committed although site " << site << " voted no";
+    monitor_.report("2pc.commit_without_quorum", detail.str());
+  }
+  if (state.committed && state.committed_epoch != epoch) {
+    std::ostringstream detail;
+    detail << "txn " << txn.value << " committed in epoch "
+           << state.committed_epoch << " and again in epoch " << epoch;
+    monitor_.report("2pc.double_commit", detail.str());
+  }
+  state.committed = true;
+  state.committed_epoch = epoch;
+}
+
+void CommitAudit::on_apply(db::TxnId txn, std::uint64_t epoch, net::SiteId site,
+                           bool commit, txn::DecisionSource source) {
+  monitor_.record({{},
+                   commit ? "2pc-apply-commit" : "2pc-apply-abort",
+                   txn.value,
+                   0,
+                   static_cast<std::int64_t>(epoch),
+                   static_cast<std::int64_t>(site)});
+  if (source == txn::DecisionSource::kPresumed) return;
+  const TxnState& state = txns_[txn.value];
+  auto it = state.rounds.find(epoch);
+  const Round* round = it != state.rounds.end() ? &it->second : nullptr;
+  if (round != nullptr && round->decided) {
+    if (round->commit != commit) {
+      std::ostringstream detail;
+      detail << "site " << site << " applied "
+             << (commit ? "commit" : "abort") << " for txn " << txn.value
+             << " epoch " << epoch << " (" << to_string(source)
+             << ") but the coordinator decided "
+             << (round->commit ? "commit" : "abort");
+      monitor_.report("2pc.apply_mismatch", detail.str());
+    }
+    return;
+  }
+  // No recorded decision for this epoch. A peer answering a termination
+  // query may legally report "abort" for a round superseded before it was
+  // decided — but a commit can only originate from a real decision.
+  if (commit) {
+    std::ostringstream detail;
+    detail << "site " << site << " applied commit for txn " << txn.value
+           << " epoch " << epoch << " (" << to_string(source)
+           << ") with no recorded coordinator decision";
+    monitor_.report("2pc.apply_untraceable", detail.str());
+  }
+}
+
+}  // namespace rtdb::check

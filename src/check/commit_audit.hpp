@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "txn/commit_observer.hpp"
+
+namespace rtdb::check {
+
+class ConformanceMonitor;
+
+// Online audit of the two-phase-commit machinery. One instance is shared
+// by every coordinator and participant of a system, so it sees the global
+// picture regardless of which messages survive the network:
+//   * a commit decision requires a yes vote from every participant — an
+//     epoch with a standing no vote must abort
+//   * decisions are unique per (txn, epoch), and at most one epoch of a
+//     transaction may commit (restart rounds may only abort)
+//   * every applied commit traces back to a recorded coordinator decision
+//     for that exact epoch — across failover terms, a participant must
+//     never apply an outcome no coordinator decided
+// Presumed aborts (DecisionSource::kPresumed) are deliberate guesses and
+// are recorded but never flagged.
+class CommitAudit final : public txn::CommitObserver {
+ public:
+  explicit CommitAudit(ConformanceMonitor& monitor);
+
+  void on_round(db::TxnId txn, std::uint64_t epoch, net::SiteId coordinator,
+                std::span<const net::SiteId> participants) override;
+  void on_vote(db::TxnId txn, std::uint64_t epoch, net::SiteId site,
+               bool yes) override;
+  void on_decision(db::TxnId txn, std::uint64_t epoch, bool commit) override;
+  void on_apply(db::TxnId txn, std::uint64_t epoch, net::SiteId site,
+                bool commit, txn::DecisionSource source) override;
+
+ private:
+  struct Round {
+    std::vector<net::SiteId> participants;
+    std::set<net::SiteId> voted_yes;
+    std::set<net::SiteId> voted_no;
+    bool decided = false;
+    bool commit = false;
+  };
+  struct TxnState {
+    std::map<std::uint64_t, Round> rounds;  // keyed by epoch
+    bool committed = false;
+    std::uint64_t committed_epoch = 0;
+  };
+
+  ConformanceMonitor& monitor_;
+  std::map<std::uint64_t, TxnState> txns_;
+};
+
+}  // namespace rtdb::check

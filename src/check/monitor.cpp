@@ -1,0 +1,49 @@
+#include "check/monitor.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace rtdb::check {
+
+ConformanceMonitor::ConformanceMonitor(sim::Kernel& kernel, Options options)
+    : kernel_(kernel),
+      options_(options),
+      ring_(options.trace_capacity),
+      commit_audit_(*this) {}
+
+void ConformanceMonitor::attach(cc::ConcurrencyController& controller,
+                                ProtocolFamily family) {
+  lock_audits_.push_back(std::make_unique<LockAudit>(*this, family));
+  controller.set_observer(lock_audits_.back().get());
+}
+
+void ConformanceMonitor::attach_timestamp(
+    cc::ConcurrencyController& controller) {
+  lock_audits_.push_back(std::make_unique<TsoAudit>(*this));
+  controller.set_observer(lock_audits_.back().get());
+}
+
+void ConformanceMonitor::report(std::string rule, std::string detail) {
+  ++violations_;
+  if (reports_.size() >= options_.max_reports) return;
+  reports_.push_back(Violation{kernel_.now(), std::move(rule),
+                               std::move(detail),
+                               ring_.window(options_.trace_window)});
+}
+
+std::string ConformanceMonitor::format_reports() const {
+  std::ostringstream out;
+  for (const Violation& violation : reports_) {
+    out << "conformance violation [" << violation.rule << "] at "
+        << violation.at.to_string() << ": " << violation.detail << "\n"
+        << "trace window (oldest first):\n"
+        << violation.trace;
+  }
+  if (violations_ > reports_.size()) {
+    out << "... " << (violations_ - reports_.size())
+        << " further violation(s) not retained\n";
+  }
+  return out.str();
+}
+
+}  // namespace rtdb::check

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/controller.hpp"
+#include "check/commit_audit.hpp"
+#include "check/lock_audit.hpp"
+#include "check/trace_ring.hpp"
+#include "check/tso_audit.hpp"
+#include "check/violation.hpp"
+#include "sim/kernel.hpp"
+
+namespace rtdb::check {
+
+// The conformance subsystem's front door: owns one audit per attached
+// controller, a shared CommitAudit for the 2PC machinery, the shared trace
+// event ring, and the violation reports. Everything is a pure observer —
+// attaching the monitor changes no protocol decision, and a disabled
+// monitor is never constructed at all, so fault-free artifacts stay
+// byte-identical with checking off.
+//
+// All bookkeeping is driven by the deterministic simulation (virtual time,
+// ordered containers), so the scalars it feeds into the artifacts are a
+// pure function of (config, seed) like every other run scalar.
+class ConformanceMonitor {
+ public:
+  struct Options {
+    std::size_t trace_capacity = 256;  // events retained in the ring
+    std::size_t trace_window = 24;     // events dumped per violation
+    std::size_t max_reports = 16;      // full reports retained (count is not capped)
+  };
+
+  explicit ConformanceMonitor(sim::Kernel& kernel)
+      : ConformanceMonitor(kernel, Options{}) {}
+  ConformanceMonitor(sim::Kernel& kernel, Options options);
+
+  ConformanceMonitor(const ConformanceMonitor&) = delete;
+  ConformanceMonitor& operator=(const ConformanceMonitor&) = delete;
+
+  // Creates the family's audit and installs it as `controller`'s observer.
+  // The monitor must outlive the controller's last event.
+  void attach(cc::ConcurrencyController& controller, ProtocolFamily family);
+
+  // Timestamp ordering holds no locks; it gets the timestamp-shadow audit
+  // instead of a lock-family one.
+  void attach_timestamp(cc::ConcurrencyController& controller);
+
+  // The shared 2PC audit, for CommitCoordinator/CommitParticipant::
+  // set_observer. One instance serves every site.
+  txn::CommitObserver* commit_observer() { return &commit_audit_; }
+
+  // ---- run scalars ----
+  std::uint64_t violations() const { return violations_; }
+  std::uint64_t wait_cycles_detected() const { return wait_cycles_; }
+  double max_inversion_span_units() const {
+    return max_inversion_.as_units();
+  }
+
+  const std::vector<Violation>& reports() const { return reports_; }
+  // Every retained report with its trace window, ready for stderr.
+  std::string format_reports() const;
+
+  // ---- sink interface used by the audits ----
+  void record(TraceEvent event) {
+    event.at = kernel_.now();
+    ring_.record(event);
+  }
+  void report(std::string rule, std::string detail);
+  void note_cycle() { ++wait_cycles_; }
+  void note_inversion(sim::Duration span) {
+    if (span > max_inversion_) max_inversion_ = span;
+  }
+  sim::TimePoint now() const { return kernel_.now(); }
+
+ private:
+  sim::Kernel& kernel_;
+  Options options_;
+  TraceRing ring_;
+  std::vector<std::unique_ptr<cc::CcObserver>> lock_audits_;
+  CommitAudit commit_audit_;
+  std::vector<Violation> reports_;
+  std::uint64_t violations_ = 0;
+  std::uint64_t wait_cycles_ = 0;
+  sim::Duration max_inversion_{};
+};
+
+}  // namespace rtdb::check

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rtdb::check {
+
+// One structured entry of the conformance trace. Events are cheap to
+// record (fixed-size, no allocation beyond the ring itself) and are only
+// formatted when a violation report needs a window.
+struct TraceEvent {
+  sim::TimePoint at{};
+  const char* kind = "";    // static string: "grant", "block", "vote", ...
+  std::uint64_t txn = 0;
+  std::uint32_t attempt = 0;
+  // Event-specific context, documented per kind at the record site
+  // (object id, lock mode, site, epoch, ...). Unused slots stay 0.
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+// Fixed-capacity ring of the most recent trace events shared by every
+// audit of one ConformanceMonitor.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : capacity_(capacity) {
+    events_.reserve(capacity_);
+  }
+
+  void record(TraceEvent event) {
+    if (capacity_ == 0) return;
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+    } else {
+      events_[next_] = event;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++recorded_;
+  }
+
+  std::uint64_t recorded() const { return recorded_; }
+
+  // The last `max_events` events, oldest first, one per line.
+  std::string window(std::size_t max_events) const {
+    const std::size_t have = events_.size();
+    const std::size_t take = max_events < have ? max_events : have;
+    std::ostringstream out;
+    for (std::size_t i = 0; i < take; ++i) {
+      // Walk backwards from the slot before `next_`, then emit forwards.
+      const std::size_t slot = (next_ + have - take + i) % have;
+      const TraceEvent& e = events_[slot];
+      out << "  [" << e.at.to_string() << "] " << e.kind << " txn=" << e.txn
+          << "/" << e.attempt;
+      if (e.a != 0 || e.b != 0) out << " a=" << e.a << " b=" << e.b;
+      out << "\n";
+    }
+    return out.str();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::size_t next_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace rtdb::check

@@ -1,0 +1,86 @@
+#include "check/tso_audit.hpp"
+
+#include <sstream>
+
+#include "check/monitor.hpp"
+
+namespace rtdb::check {
+
+TsoAudit::TsoAudit(ConformanceMonitor& monitor) : monitor_(monitor) {}
+
+void TsoAudit::on_txn_begin(const cc::CcTxn& txn) {
+  monitor_.record({{}, "begin", txn.id.value, txn.attempt, 0, 0});
+  ShadowTxn& shadow = txns_[txn.id.value];
+  if (shadow.has_ts) {
+    shadow.prev_ts = shadow.ts;
+    shadow.has_prev = true;
+  }
+  shadow.attempt = txn.attempt;
+  shadow.has_ts = false;
+}
+
+void TsoAudit::on_txn_end(const cc::CcTxn& txn) {
+  monitor_.record({{}, "end", txn.id.value, txn.attempt, 0, 0});
+  // Keep the shadow: a restarted attempt must outrun the timestamps this
+  // one used. (The map stays bounded by the number of distinct TxnIds.)
+}
+
+void TsoAudit::on_tso_access(const cc::CcTxn& txn, db::ObjectId object,
+                             cc::LockMode mode, std::uint64_t ts,
+                             bool accepted) {
+  monitor_.record({{},
+                   accepted ? "tso-accept" : "tso-reject",
+                   txn.id.value,
+                   txn.attempt,
+                   static_cast<std::int64_t>(object),
+                   static_cast<std::int64_t>(ts)});
+  ShadowTxn& shadow = txns_[txn.id.value];
+  if (!shadow.has_ts || shadow.attempt != txn.attempt) {
+    if (shadow.has_ts && shadow.attempt != txn.attempt) {
+      // Missed begin: roll the attempt over here.
+      shadow.prev_ts = shadow.ts;
+      shadow.has_prev = true;
+      shadow.attempt = txn.attempt;
+    }
+    if (shadow.has_prev && ts <= shadow.prev_ts) {
+      std::ostringstream detail;
+      detail << "txn " << txn.id.value << "/" << txn.attempt
+             << " reuses timestamp " << ts << " (an earlier attempt reached "
+             << shadow.prev_ts << "); restarts must draw a fresh timestamp";
+      monitor_.report("tso.stale_timestamp", detail.str());
+    }
+    shadow.ts = ts;
+    shadow.has_ts = true;
+  } else if (ts != shadow.ts) {
+    std::ostringstream detail;
+    detail << "txn " << txn.id.value << "/" << txn.attempt
+           << " switched timestamp mid-attempt: " << shadow.ts << " -> " << ts;
+    monitor_.report("tso.timestamp_drift", detail.str());
+  }
+
+  // Exact replay of the accept/reject rule against the shadow object state.
+  ObjectTs& state = objects_[object];
+  const bool expect_accept =
+      mode == cc::LockMode::kRead
+          ? ts >= state.write_ts
+          : (ts >= state.read_ts && ts >= state.write_ts);
+  if (expect_accept != accepted) {
+    std::ostringstream detail;
+    detail << "txn " << txn.id.value << "/" << txn.attempt << " "
+           << cc::to_string(mode) << " of object " << object << " at ts " << ts
+           << " was " << (accepted ? "accepted" : "rejected")
+           << " but object state (read_ts=" << state.read_ts
+           << ", write_ts=" << state.write_ts << ") requires "
+           << (expect_accept ? "accept" : "reject");
+    monitor_.report("tso.order", detail.str());
+  }
+  if (accepted) {
+    if (mode == cc::LockMode::kRead) {
+      if (ts > state.read_ts) state.read_ts = ts;
+    } else {
+      state.write_ts = ts;
+    }
+  }
+}
+
+}  // namespace rtdb::check

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "cc/observer.hpp"
+
+namespace rtdb::check {
+
+class ConformanceMonitor;
+
+// Online audit of a TimestampOrdering controller: an exact shadow of the
+// per-object read/write timestamps replays every accept/reject decision,
+// and the per-attempt timestamps are checked for stability (one timestamp
+// per attempt) and cross-attempt freshness (a restarted attempt must draw
+// a strictly newer timestamp, or a rejected reader would livelock).
+class TsoAudit final : public cc::CcObserver {
+ public:
+  explicit TsoAudit(ConformanceMonitor& monitor);
+
+  void on_txn_begin(const cc::CcTxn& txn) override;
+  void on_txn_end(const cc::CcTxn& txn) override;
+  void on_tso_access(const cc::CcTxn& txn, db::ObjectId object,
+                     cc::LockMode mode, std::uint64_t ts,
+                     bool accepted) override;
+
+ private:
+  struct ObjectTs {
+    std::uint64_t read_ts = 0;
+    std::uint64_t write_ts = 0;
+  };
+  struct ShadowTxn {
+    std::uint32_t attempt = 0;
+    bool has_ts = false;
+    std::uint64_t ts = 0;
+    // Newest timestamp seen in any earlier attempt of this transaction.
+    bool has_prev = false;
+    std::uint64_t prev_ts = 0;
+  };
+
+  ConformanceMonitor& monitor_;
+  std::map<db::ObjectId, ObjectTs> objects_;
+  std::map<std::uint64_t, ShadowTxn> txns_;
+};
+
+}  // namespace rtdb::check

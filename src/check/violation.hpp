@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rtdb::check {
+
+// One confirmed conformance violation: a protocol invariant the shipped
+// implementation is supposed to uphold was observed broken at `at`.
+// `trace` carries the formatted tail of the event ring at report time so
+// the violation can be diagnosed without re-running under a debugger.
+struct Violation {
+  sim::TimePoint at{};
+  std::string rule;    // dotted rule id, e.g. "pcp.grant_rule"
+  std::string detail;  // human-readable context (txn, object, priorities)
+  std::string trace;   // bounded window of the trace event ring
+};
+
+}  // namespace rtdb::check

@@ -1,0 +1,62 @@
+#include "check/wait_graph.hpp"
+
+#include <algorithm>
+
+namespace rtdb::check {
+
+bool WaitGraph::set_edges(std::uint64_t waiter,
+                          std::vector<std::uint64_t> blockers) {
+  std::erase(blockers, waiter);  // self-edges are never meaningful
+  if (blockers.empty()) {
+    edges_.erase(waiter);
+    return false;
+  }
+  edges_[waiter] = std::move(blockers);
+  return find_cycle(waiter);
+}
+
+void WaitGraph::clear_waiter(std::uint64_t waiter) { edges_.erase(waiter); }
+
+void WaitGraph::remove(std::uint64_t txn) {
+  edges_.erase(txn);
+  for (auto& [waiter, blockers] : edges_) {
+    (void)waiter;
+    std::erase(blockers, txn);
+  }
+}
+
+bool WaitGraph::find_cycle(std::uint64_t start) {
+  // Iterative DFS from `start`; a cycle through any other node would have
+  // been caught when that node's edges were added, so only paths returning
+  // to `start` matter.
+  std::vector<std::uint64_t> path{start};
+  struct Frame {
+    std::uint64_t node;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack{{start}};
+  std::vector<std::uint64_t> visited{start};
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    auto it = edges_.find(frame.node);
+    if (it == edges_.end() || frame.next >= it->second.size()) {
+      path.pop_back();
+      stack.pop_back();
+      continue;
+    }
+    const std::uint64_t next = it->second[frame.next++];
+    if (next == start) {
+      last_cycle_ = path;
+      return true;
+    }
+    if (std::find(visited.begin(), visited.end(), next) != visited.end()) {
+      continue;
+    }
+    visited.push_back(next);
+    path.push_back(next);
+    stack.push_back(Frame{next});
+  }
+  return false;
+}
+
+}  // namespace rtdb::check

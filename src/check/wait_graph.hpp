@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace rtdb::check {
+
+// Live wait-for graph of one controller, maintained from the observer's
+// block/unblock events: an edge waiter -> blocker exists while `waiter` is
+// blocked inside acquire() behind `blocker`. Transaction ids are never
+// reused, so a stale edge pointing at a finished transaction cannot close
+// a cycle (finished transactions have no outgoing edges).
+class WaitGraph {
+ public:
+  // Replaces `waiter`'s outgoing edges. Returns true when the new edges
+  // close a cycle through `waiter`.
+  bool set_edges(std::uint64_t waiter, std::vector<std::uint64_t> blockers);
+
+  // The waiter unblocked (granted, cancelled, or aborted).
+  void clear_waiter(std::uint64_t waiter);
+
+  // The transaction finished: drop it as waiter and as blocker.
+  void remove(std::uint64_t txn);
+
+  // The transactions on the cycle found by the last set_edges() that
+  // returned true, waiter first.
+  const std::vector<std::uint64_t>& last_cycle() const { return last_cycle_; }
+
+  std::size_t waiter_count() const { return edges_.size(); }
+
+ private:
+  bool find_cycle(std::uint64_t start);
+
+  std::map<std::uint64_t, std::vector<std::uint64_t>> edges_;
+  std::vector<std::uint64_t> last_cycle_;
+};
+
+}  // namespace rtdb::check

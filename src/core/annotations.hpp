@@ -1,0 +1,38 @@
+#pragma once
+
+// Clang thread-safety analysis annotations (-Wthread-safety), applied to
+// the one place in the tree with real concurrency: the experiment driver's
+// worker pool (src/exp). The macros expand to nothing under GCC and MSVC,
+// so the annotated code builds everywhere; a clang build (the CI
+// clang-tidy job configures one) gets compile-time lock-discipline checks.
+//
+// Naming follows the usual GUARDED_BY/REQUIRES vocabulary with an RTDB_
+// prefix to avoid colliding with other libraries' copies of these macros.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RTDB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RTDB_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Marks a type as a lock (std::mutex already carries this in libc++; the
+// alias lets wrappers declare it too).
+#define RTDB_CAPABILITY(x) RTDB_THREAD_ANNOTATION(capability(x))
+
+// Data members: which mutex must be held to touch them.
+#define RTDB_GUARDED_BY(x) RTDB_THREAD_ANNOTATION(guarded_by(x))
+#define RTDB_PT_GUARDED_BY(x) RTDB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: lock state they require, acquire, or release.
+#define RTDB_REQUIRES(...) \
+  RTDB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RTDB_ACQUIRE(...) \
+  RTDB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RTDB_RELEASE(...) \
+  RTDB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RTDB_EXCLUDES(...) RTDB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Escape hatch for code the analysis cannot follow (e.g. std::lock_guard
+// already expresses the acquire/release pair).
+#define RTDB_NO_THREAD_SAFETY_ANALYSIS \
+  RTDB_THREAD_ANNOTATION(no_thread_safety_analysis)

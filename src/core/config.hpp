@@ -100,6 +100,16 @@ struct SystemConfig {
   // ---- experiment control ----
   std::uint64_t seed = 1;
   bool record_history = false;  // conflict-serializability oracle
+  // Online protocol conformance auditing (src/check): shadow every
+  // controller and the 2PC machinery and flag invariant violations as they
+  // happen. Off by default — when false the monitor is never constructed
+  // and no protocol code path changes. An RTDB_CHECK build flips the
+  // default so the whole test/bench surface runs audited.
+#ifdef RTDB_CHECK
+  bool conformance_check = true;
+#else
+  bool conformance_check = false;
+#endif
 };
 
 }  // namespace rtdb::core

@@ -1,6 +1,8 @@
 #include "core/experiment.hpp"
 
 #include <cstring>
+#include <iostream>
+#include <mutex>
 
 namespace rtdb::core {
 
@@ -99,6 +101,18 @@ constexpr RunScalar kRunScalars[] = {
      [](const RunResult& r) {
        return static_cast<double>(r.invariant_violations);
      }},
+    // Appended by the conformance checker (--check / RTDB_CHECK); all 0
+    // when the monitor is off.
+    {"conformance_violations",
+     [](const RunResult& r) {
+       return static_cast<double>(r.conformance_violations);
+     }},
+    {"wait_cycles_detected",
+     [](const RunResult& r) {
+       return static_cast<double>(r.wait_cycles_detected);
+     }},
+    {"max_inversion_span_units",
+     [](const RunResult& r) { return r.max_inversion_span_units; }},
 };
 
 }  // namespace
@@ -143,6 +157,20 @@ RunResult ExperimentRunner::run_once(const SystemConfig& config) {
   result.orphan_locks_reclaimed = system.total_orphan_locks_reclaimed();
   if (config.faults.active()) {
     result.invariant_violations = system.invariant_violations();
+  }
+  if (const check::ConformanceMonitor* mon = system.conformance()) {
+    result.conformance_violations = mon->violations();
+    result.wait_cycles_detected = mon->wait_cycles_detected();
+    result.max_inversion_span_units = mon->max_inversion_span_units();
+    if (mon->violations() > 0) {
+      // Sweep workers call run_once concurrently; keep the reports whole.
+      static std::mutex report_mutex;
+      const std::lock_guard<std::mutex> guard(report_mutex);
+      std::cerr << "[check] seed " << config.seed << ", protocol "
+                << to_string(config.protocol) << ", scheme "
+                << to_string(config.scheme) << ":\n"
+                << mon->format_reports();
+    }
   }
   return result;
 }

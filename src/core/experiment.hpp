@@ -45,6 +45,13 @@ struct RunResult {
   // Post-run audit failures (faulty runs only; see
   // System::invariant_violations). Anything nonzero is a bug.
   std::uint64_t invariant_violations = 0;
+  // Online conformance auditing (src/check; populated only when
+  // config.conformance_check). Violations nonzero means a protocol broke
+  // one of its own invariants mid-run — always a bug. Wait cycles and the
+  // inversion span are measurements, not verdicts.
+  std::uint64_t conformance_violations = 0;
+  std::uint64_t wait_cycles_detected = 0;
+  double max_inversion_span_units = 0.0;
 };
 
 // A named per-run scalar — the catalog below is the single list the text

@@ -86,6 +86,7 @@ System::System(SystemConfig config)
       build_local_ceiling();
       break;
   }
+  if (config_.conformance_check) attach_conformance();
   schedule_faults();
 
   generator_ = std::make_unique<workload::TransactionGenerator>(
@@ -294,6 +295,59 @@ void System::build_local_ceiling() {
     site.tm->connect_cpu(*site.cpu);
     site.server->start();
     sites_.push_back(std::move(site));
+  }
+}
+
+void System::attach_conformance() {
+  conformance_ = std::make_unique<check::ConformanceMonitor>(kernel_);
+  // The rule family of the per-site controllers. Under the global scheme
+  // the site controller is the remote ceiling client (structural checks
+  // only — the blockers are at the manager); the manager's own protocol
+  // instance gets the full ceiling audit below.
+  const auto family = [&]() -> check::ProtocolFamily {
+    if (config_.scheme == DistScheme::kGlobalCeiling) {
+      return check::ProtocolFamily::kRemoteClient;
+    }
+    switch (config_.protocol) {
+      case Protocol::kTwoPhase:
+      case Protocol::kTwoPhasePriority:
+      case Protocol::kPriorityInheritance:
+        return check::ProtocolFamily::kTwoPhase;
+      case Protocol::kPriorityCeiling:
+      case Protocol::kPriorityCeilingExclusive:
+        return check::ProtocolFamily::kCeiling;
+      case Protocol::kHighPriority:
+        return check::ProtocolFamily::kHighPriority;
+      case Protocol::kWaitDie:
+        return check::ProtocolFamily::kWaitDie;
+      case Protocol::kWoundWait:
+        return check::ProtocolFamily::kWoundWait;
+      case Protocol::kTimestampOrdering:
+        break;  // handled via attach_timestamp below
+    }
+    return check::ProtocolFamily::kTwoPhase;
+  }();
+  const bool timestamp = config_.scheme != DistScheme::kGlobalCeiling &&
+                         config_.protocol == Protocol::kTimestampOrdering;
+  for (Site& site : sites_) {
+    if (timestamp) {
+      conformance_->attach_timestamp(*site.cc);
+    } else {
+      conformance_->attach(*site.cc, family);
+    }
+    // Every (standby) manager audits as a full ceiling protocol — adoption
+    // after failover included.
+    if (site.manager != nullptr) {
+      conformance_->attach(site.manager->protocol(),
+                           check::ProtocolFamily::kCeiling);
+    }
+    if (site.coordinator != nullptr) {
+      site.coordinator->set_observer(conformance_->commit_observer());
+    }
+    if (site.data_server != nullptr) {
+      site.data_server->participant().set_observer(
+          conformance_->commit_observer());
+    }
   }
 }
 

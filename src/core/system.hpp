@@ -7,6 +7,7 @@
 #include "cc/controller.hpp"
 #include "cc/pcp.hpp"
 #include "cc/serializability.hpp"
+#include "check/monitor.hpp"
 #include "core/config.hpp"
 #include "db/database.hpp"
 #include "db/resource_manager.hpp"
@@ -60,6 +61,10 @@ class System {
   stats::PerformanceMonitor& monitor() { return monitor_; }
   const cc::HistoryRecorder* history() const {
     return config_.record_history ? &history_ : nullptr;
+  }
+  // The conformance monitor; nullptr unless config.conformance_check.
+  const check::ConformanceMonitor* conformance() const {
+    return conformance_.get();
   }
 
   stats::Metrics metrics() const;
@@ -144,6 +149,7 @@ class System {
   void build_single_site();
   void build_global_ceiling();
   void build_local_ceiling();
+  void attach_conformance();
   void schedule_faults();
   Site make_site_base(net::SiteId id, db::Placement placement);
   std::unique_ptr<cc::ConcurrencyController> make_controller();
@@ -162,6 +168,7 @@ class System {
   std::vector<Site> sites_;
   cc::HistoryRecorder history_;
   stats::PerformanceMonitor monitor_;
+  std::unique_ptr<check::ConformanceMonitor> conformance_;
   std::unique_ptr<workload::TransactionGenerator> generator_;
   bool started_ = false;
   std::uint64_t crashes_ = 0;

@@ -313,7 +313,7 @@ GlobalCeilingClient::GlobalCeilingClient(sim::Kernel& kernel,
       acquire_timeout_(options.acquire_timeout),
       channel_(channel) {}
 
-void GlobalCeilingClient::on_begin(cc::CcTxn& txn) {
+void GlobalCeilingClient::do_begin(cc::CcTxn& txn) {
   RegisterTxnMsg message;
   message.txn = txn.id.value;
   message.attempt = txn.attempt;
@@ -332,6 +332,7 @@ sim::Task<void> GlobalCeilingClient::acquire(cc::CcTxn& txn,
   // ceiling blocking — counts as blocked time; it is exactly the
   // synchronization delay the paper attributes to this scheme.
   begin_block(txn);
+  notify_block(txn, object, mode, {});  // blockers unknown: they are remote
   struct EndBlock {
     GlobalCeilingClient* self;
     cc::CcTxn* txn;
@@ -357,6 +358,7 @@ sim::Task<void> GlobalCeilingClient::acquire(cc::CcTxn& txn,
   }
   if (!std::any_cast<AcquireResp>(*response).granted) {
     count_protocol_abort();
+    notify_abort(txn.id, cc::AbortReason::kDeadlockVictim);
     throw cc::TxnAborted{cc::AbortReason::kDeadlockVictim};
   }
   // Track the held set for failover re-registration.
@@ -364,16 +366,17 @@ sim::Task<void> GlobalCeilingClient::acquire(cc::CcTxn& txn,
     it->second.msg.held.push_back(cc::Operation{object, mode});
   }
   count_grant();
+  notify_grant(txn, object, mode);
 }
 
-void GlobalCeilingClient::release_all(cc::CcTxn& txn) {
+void GlobalCeilingClient::do_release_all(cc::CcTxn& txn) {
   if (auto it = registered_.find(txn.id.value); it != registered_.end()) {
     it->second.msg.held.clear();
   }
   send_control(ReleaseAllMsg{txn.id.value, txn.attempt});
 }
 
-void GlobalCeilingClient::on_end(cc::CcTxn& txn) {
+void GlobalCeilingClient::do_end(cc::CcTxn& txn) {
   registered_.erase(txn.id.value);
   send_control(EndTxnMsg{txn.id.value, txn.attempt});
 }
@@ -422,11 +425,11 @@ DataServer::DataServer(net::MessageServer& server, net::RpcDispatcher& rpc,
                 // I/O configuration would also work.
                 server_.kernel().spawn(
                     "apply-" + std::to_string(txn.value),
-                    [](db::ResourceManager& rm, db::TxnId txn,
+                    [](db::ResourceManager& manager, db::TxnId writer,
                        std::vector<db::ObjectId> objects,
                        std::uint64_t& counter) -> sim::Task<void> {
-                      co_await rm.commit_writes(txn, objects,
-                                                sim::Priority::highest());
+                      co_await manager.commit_writes(writer, objects,
+                                                     sim::Priority::highest());
                       ++counter;
                     }(rm_, txn, std::move(staged.objects), applied_commits_));
               }},

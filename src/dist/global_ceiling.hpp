@@ -95,6 +95,8 @@ class GlobalCeilingManager {
   GlobalCeilingManager& operator=(const GlobalCeilingManager&) = delete;
 
   const cc::PriorityCeiling& protocol() const { return pcp_; }
+  // Non-const access for wiring (conformance observer attachment).
+  cc::PriorityCeiling& protocol() { return pcp_; }
   std::uint64_t registrations() const { return registrations_; }
   std::uint64_t acquire_requests() const { return acquire_requests_; }
   std::uint64_t denials() const { return denials_; }
@@ -184,11 +186,8 @@ class GlobalCeilingClient : public cc::ConcurrencyController {
                       net::RpcClient& rpc, Options options,
                       net::ReliableChannel* channel);
 
-  void on_begin(cc::CcTxn& txn) override;
   sim::Task<void> acquire(cc::CcTxn& txn, db::ObjectId object,
                           cc::LockMode mode) override;
-  void release_all(cc::CcTxn& txn) override;
-  void on_end(cc::CcTxn& txn) override;
   std::string_view name() const override { return "PCP-global"; }
 
   net::SiteId manager_site() const { return manager_site_; }
@@ -199,6 +198,11 @@ class GlobalCeilingClient : public cc::ConcurrencyController {
   void set_manager(net::SiteId manager);
   // Acquire RPCs re-issued after a timeout.
   std::uint64_t acquire_retries() const { return acquire_retries_; }
+
+ protected:
+  void do_begin(cc::CcTxn& txn) override;
+  void do_release_all(cc::CcTxn& txn) override;
+  void do_end(cc::CcTxn& txn) override;
 
  private:
   // Everything needed to (re-)register a live transaction with a manager.

@@ -79,6 +79,8 @@ std::optional<Options> parse_options(int argc, char** argv,
       return opts;
     } else if (arg == "--quiet" || arg == "-q") {
       opts.quiet = true;
+    } else if (arg == "--check") {
+      opts.check = true;
     } else if (arg == "--runs") {
       const auto v = value("--runs");
       long long n = 0;
@@ -166,6 +168,10 @@ std::string usage(const std::string& program) {
          "  --csv [PATH] write the aggregate artifact as CSV "
          "(stdout when PATH is omitted)\n"
          "  --quiet      suppress the progress meter\n"
+         "  --check      online conformance auditing: shadow every protocol "
+         "and flag\n"
+         "               invariant violations (conformance_violations scalar; "
+         "reports on stderr)\n"
          "  --help       this message\n"
          "fault injection (distributed schemes; deterministic per seed):\n"
          "  --drop-rate P          drop each inter-site message with "

@@ -21,6 +21,7 @@ struct Options {
   bool csv = false;                      // --csv [PATH]
   std::optional<std::string> csv_path;   // empty optional = stdout
   bool quiet = false;                    // --quiet: no progress meter
+  bool check = false;  // --check: online conformance auditing (src/check)
   bool help = false;
 
   // Fault-injection overlays (--drop-rate/--dup-rate/--jitter/--crash-at);

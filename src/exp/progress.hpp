@@ -8,8 +8,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/annotations.hpp"
 
 namespace rtdb::exp {
 
@@ -46,6 +51,30 @@ class ProgressMeter {
   std::chrono::steady_clock::time_point start_;
   std::thread reporter_;
   bool finished_ = false;
+};
+
+// Mutex-guarded note collection shared by the sweep's worker threads —
+// out-of-band observations (a run flagged by the conformance auditor, a
+// suspicious counter) that must not interleave mid-line on stderr and must
+// not touch the deterministic stdout/artifact path. Lock discipline is
+// machine-checked under clang via the annotations (see core/annotations.hpp).
+class WorkerNotes {
+ public:
+  void add(std::string note) RTDB_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    notes_.push_back(std::move(note));
+  }
+
+  // Drains the collected notes. Callers sort before rendering: arrival
+  // order is worker-interleaving dependent, the contents are not.
+  std::vector<std::string> take() RTDB_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    return std::exchange(notes_, {});
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::string> notes_ RTDB_GUARDED_BY(mutex_);
 };
 
 }  // namespace rtdb::exp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <thread>
 
 #include "exp/progress.hpp"
@@ -28,6 +29,7 @@ SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
   std::vector<core::RunResult> flat(total);
   std::atomic<std::size_t> next{0};
   ProgressMeter meter{spec.name, total, !opts.quiet};
+  WorkerNotes notes;
 
   auto worker = [&] {
     while (true) {
@@ -39,7 +41,15 @@ SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
       config.seed =
           core::ExperimentRunner::seed_for_run(base_seed_of(cell), run);
       opts.apply_faults(&config.faults);
+      if (opts.check) config.conformance_check = true;
       flat[i] = core::ExperimentRunner::run_once(config);
+      if (flat[i].conformance_violations > 0) {
+        notes.add("cell " + std::to_string(cell) + " run " +
+                  std::to_string(run) + " (seed " +
+                  std::to_string(config.seed) + "): " +
+                  std::to_string(flat[i].conformance_violations) +
+                  " conformance violation(s)");
+      }
       meter.tick();
     }
   };
@@ -55,6 +65,14 @@ SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
     for (std::thread& t : pool) t.join();
   }
   meter.finish();
+
+  // Conformance summary (stderr only — the stdout/artifact path stays
+  // byte-identical). Sorted: arrival order depends on worker interleaving.
+  std::vector<std::string> flagged = notes.take();
+  std::sort(flagged.begin(), flagged.end());
+  for (const std::string& note : flagged) {
+    std::fprintf(stderr, "[check] %s: %s\n", spec.name.c_str(), note.c_str());
+  }
 
   result.cells.reserve(n_cells);
   for (std::size_t c = 0; c < n_cells; ++c) {

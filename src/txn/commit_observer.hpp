@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "db/types.hpp"
+#include "net/network.hpp"
+
+namespace rtdb::txn {
+
+// How a participant learned the outcome it applied.
+enum class DecisionSource : std::uint8_t {
+  kDecision,  // the coordinator's DecisionMsg
+  kInfo,      // a peer's DecisionInfoMsg (cooperative termination)
+  kPresumed,  // unilateral presumed abort after the decision timed out
+};
+
+// Narrow observation interface onto the two-phase-commit machinery.
+// Callbacks are pure observations: implementations must not mutate commit
+// state or send messages. One observer instance may be shared by the
+// coordinator and every participant in the system — callbacks carry the
+// site so the observer can tell sources apart.
+class CommitObserver {
+ public:
+  virtual ~CommitObserver() = default;
+
+  // Coordinator starts a round: epoch assigned, prepares about to go out.
+  virtual void on_round(db::TxnId txn, std::uint64_t epoch,
+                        net::SiteId coordinator,
+                        std::span<const net::SiteId> participants) {
+    (void)txn;
+    (void)epoch;
+    (void)coordinator;
+    (void)participants;
+  }
+
+  // A participant computed its vote for an epoch (before sending it).
+  virtual void on_vote(db::TxnId txn, std::uint64_t epoch, net::SiteId site,
+                       bool yes) {
+    (void)txn;
+    (void)epoch;
+    (void)site;
+    (void)yes;
+  }
+
+  // Coordinator recorded the round's outcome (before broadcasting it).
+  virtual void on_decision(db::TxnId txn, std::uint64_t epoch, bool commit) {
+    (void)txn;
+    (void)epoch;
+    (void)commit;
+  }
+
+  // A participant applied an outcome locally.
+  virtual void on_apply(db::TxnId txn, std::uint64_t epoch, net::SiteId site,
+                        bool commit, DecisionSource source) {
+    (void)txn;
+    (void)epoch;
+    (void)site;
+    (void)commit;
+    (void)source;
+  }
+};
+
+}  // namespace rtdb::txn

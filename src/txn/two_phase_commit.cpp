@@ -52,6 +52,9 @@ void CommitParticipant::handle_prepare(PrepareMsg msg) {
       awaiting_[msg.txn] = waiting;
     }
   }
+  if (observer_ != nullptr) {
+    observer_->on_vote(db::TxnId{msg.txn}, msg.epoch, server_.site(), yes);
+  }
   server_.send(msg.coordinator,
                VoteMsg{msg.txn, msg.epoch, server_.site(), yes});
 }
@@ -67,6 +70,10 @@ void CommitParticipant::handle_decision(DecisionMsg msg) {
   // Remember the outcome: a peer's decision timer may still fire and ask.
   Decided& record = decided_[msg.txn];
   if (msg.epoch >= record.epoch) record = Decided{msg.epoch, msg.commit};
+  if (observer_ != nullptr) {
+    observer_->on_apply(db::TxnId{msg.txn}, msg.epoch, server_.site(),
+                        msg.commit, DecisionSource::kDecision);
+  }
   if (callbacks_.decide) callbacks_.decide(db::TxnId{msg.txn}, msg.commit);
 }
 
@@ -101,6 +108,10 @@ void CommitParticipant::handle_info(DecisionInfoMsg msg) {
   ++termination_resolutions_;
   Decided& record = decided_[msg.txn];
   if (msg.epoch >= record.epoch) record = Decided{msg.epoch, msg.commit};
+  if (observer_ != nullptr) {
+    observer_->on_apply(db::TxnId{msg.txn}, msg.epoch, server_.site(),
+                        msg.commit, DecisionSource::kInfo);
+  }
   if (callbacks_.decide) callbacks_.decide(db::TxnId{msg.txn}, msg.commit);
 }
 
@@ -133,6 +144,10 @@ void CommitParticipant::presume_abort(std::uint64_t txn, std::uint64_t epoch) {
   if (it == awaiting_.end() || it->second.epoch != epoch) return;
   awaiting_.erase(it);
   ++presumed_aborts_;
+  if (observer_ != nullptr) {
+    observer_->on_apply(db::TxnId{txn}, epoch, server_.site(), false,
+                        DecisionSource::kPresumed);
+  }
   if (callbacks_.decide) callbacks_.decide(db::TxnId{txn}, false);
 }
 
@@ -165,6 +180,9 @@ sim::Task<bool> CommitCoordinator::commit(db::TxnId txn,
     ~Deregister() { self->pending_.erase(txn); }
   } deregister{this, txn.value};
 
+  if (observer_ != nullptr) {
+    observer_->on_round(txn, epoch, server_.site(), participants);
+  }
   for (const net::SiteId site : participants) {
     assert(site != server_.site());
     server_.send(site, PrepareMsg{txn.value, epoch, server_.site(), participants});
@@ -187,6 +205,7 @@ sim::Task<bool> CommitCoordinator::commit(db::TxnId txn,
   if (!all_yes) ++aborts_;
   Decided& record = decided_[txn.value];
   if (epoch >= record.epoch) record = Decided{epoch, all_yes};
+  if (observer_ != nullptr) observer_->on_decision(txn, epoch, all_yes);
   for (const net::SiteId site : participants) {
     server_.send(site, DecisionMsg{txn.value, epoch, all_yes});
   }

@@ -14,6 +14,7 @@
 #include "sim/kernel.hpp"
 #include "sim/semaphore.hpp"
 #include "sim/task.hpp"
+#include "txn/commit_observer.hpp"
 
 namespace rtdb::txn {
 
@@ -117,6 +118,9 @@ class CommitParticipant {
     outcome_source_ = std::move(source);
   }
 
+  // Optional conformance observer; never consulted for protocol decisions.
+  void set_observer(CommitObserver* observer) { observer_ = observer; }
+
  private:
   struct AwaitingDecision {
     std::uint64_t epoch = 0;
@@ -148,6 +152,7 @@ class CommitParticipant {
   // are never served to peers).
   std::unordered_map<std::uint64_t, Decided> decided_;
   OutcomeSource outcome_source_;
+  CommitObserver* observer_ = nullptr;
   std::uint64_t prepares_ = 0;
   std::uint64_t presumed_aborts_ = 0;
   std::uint64_t termination_queries_ = 0;
@@ -178,6 +183,9 @@ class CommitCoordinator {
   // nullopt when this coordinator knows nothing about it.
   std::optional<bool> outcome(std::uint64_t txn, std::uint64_t epoch) const;
 
+  // Optional conformance observer; never consulted for protocol decisions.
+  void set_observer(CommitObserver* observer) { observer_ = observer; }
+
  private:
   struct PendingVotes {
     sim::Semaphore arrived;
@@ -198,6 +206,7 @@ class CommitCoordinator {
   // Highest finished round per transaction, served to cooperative
   // terminators that lost the DecisionMsg.
   std::unordered_map<std::uint64_t, Decided> decided_;
+  CommitObserver* observer_ = nullptr;
   std::uint64_t rounds_ = 0;
   std::uint64_t aborts_ = 0;
   std::uint64_t vote_timeouts_ = 0;

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/monitor.hpp"
+#include "sim/kernel.hpp"
+#include "txn/commit_observer.hpp"
+
+namespace rtdb::check {
+namespace {
+
+using txn::DecisionSource;
+
+db::TxnId txn1() { return db::TxnId{7}; }
+
+std::span<const net::SiteId> sites(const std::vector<net::SiteId>& v) {
+  return v;
+}
+
+TEST(CommitAuditTest, CleanUnanimousCommitPasses) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  txn::CommitObserver* audit = monitor.commit_observer();
+  const std::vector<net::SiteId> participants{1, 2};
+  audit->on_round(txn1(), 1, 0, sites(participants));
+  audit->on_vote(txn1(), 1, 1, true);
+  audit->on_vote(txn1(), 1, 2, true);
+  audit->on_decision(txn1(), 1, true);
+  audit->on_apply(txn1(), 1, 1, true, DecisionSource::kDecision);
+  audit->on_apply(txn1(), 1, 2, true, DecisionSource::kDecision);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(CommitAuditTest, FlagsCommitOverStandingNoVote) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  txn::CommitObserver* audit = monitor.commit_observer();
+  const std::vector<net::SiteId> participants{1, 2};
+  audit->on_round(txn1(), 1, 0, sites(participants));
+  audit->on_vote(txn1(), 1, 1, true);
+  audit->on_vote(txn1(), 1, 2, false);
+  // Mutation: the coordinator commits anyway.
+  audit->on_decision(txn1(), 1, true);
+  ASSERT_EQ(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "2pc.commit_without_quorum");
+  EXPECT_FALSE(monitor.reports()[0].trace.empty());
+}
+
+TEST(CommitAuditTest, AllowsRevoteAfterDuplicatedPrepare) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  txn::CommitObserver* audit = monitor.commit_observer();
+  const std::vector<net::SiteId> participants{1, 2};
+  audit->on_round(txn1(), 1, 0, sites(participants));
+  // Site 2 first answers no (not yet prepared), then yes on the
+  // retransmitted prepare; only a *standing* no contradicts a commit.
+  audit->on_vote(txn1(), 1, 2, false);
+  audit->on_vote(txn1(), 1, 1, true);
+  audit->on_vote(txn1(), 1, 2, true);
+  audit->on_decision(txn1(), 1, true);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(CommitAuditTest, FlagsSecondCommittingEpoch) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  txn::CommitObserver* audit = monitor.commit_observer();
+  const std::vector<net::SiteId> participants{1};
+  audit->on_round(txn1(), 1, 0, sites(participants));
+  audit->on_vote(txn1(), 1, 1, true);
+  audit->on_decision(txn1(), 1, true);
+  // Mutation: a restarted round commits the same transaction again.
+  audit->on_round(txn1(), 2, 0, sites(participants));
+  audit->on_vote(txn1(), 2, 1, true);
+  audit->on_decision(txn1(), 2, true);
+  ASSERT_EQ(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "2pc.double_commit");
+}
+
+TEST(CommitAuditTest, FlagsConflictingRedecision) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  txn::CommitObserver* audit = monitor.commit_observer();
+  audit->on_decision(txn1(), 1, false);
+  audit->on_decision(txn1(), 1, true);  // mutation: same epoch, flipped
+  ASSERT_GE(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "2pc.decision_conflict");
+}
+
+TEST(CommitAuditTest, FlagsApplyAgainstDecision) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  txn::CommitObserver* audit = monitor.commit_observer();
+  const std::vector<net::SiteId> participants{1};
+  audit->on_round(txn1(), 1, 0, sites(participants));
+  audit->on_vote(txn1(), 1, 1, false);
+  audit->on_decision(txn1(), 1, false);
+  // Mutation: the participant applies commit for an aborted epoch.
+  audit->on_apply(txn1(), 1, 1, true, DecisionSource::kDecision);
+  ASSERT_EQ(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "2pc.apply_mismatch");
+}
+
+TEST(CommitAuditTest, FlagsCommitWithNoRecordedDecision) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  txn::CommitObserver* audit = monitor.commit_observer();
+  // Mutation: a peer's termination answer manufactures a commit no
+  // coordinator ever decided.
+  audit->on_apply(txn1(), 1, 1, true, DecisionSource::kInfo);
+  ASSERT_EQ(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "2pc.apply_untraceable");
+}
+
+TEST(CommitAuditTest, PresumedAbortAndInfoAbortNeverFlagged) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  txn::CommitObserver* audit = monitor.commit_observer();
+  // Presumed abort is a deliberate guess; an abort answer for a round the
+  // coordinator never decided is the legal superseded-epoch case.
+  audit->on_apply(txn1(), 1, 1, false, DecisionSource::kPresumed);
+  audit->on_apply(txn1(), 2, 1, false, DecisionSource::kInfo);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+}  // namespace
+}  // namespace rtdb::check

@@ -1,0 +1,286 @@
+#include "check/lock_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cc/access_set.hpp"
+#include "check/monitor.hpp"
+#include "sim/kernel.hpp"
+
+// Mutation-style fixtures: the audits are driven with hand-built event
+// streams — the shipped protocols' legal traces must pass untouched, and a
+// "broken twin" stream (one mutated event: a grant past release_all, a
+// second writer, a wait against the age order) must be flagged with a
+// non-empty trace window.
+
+namespace rtdb::check {
+namespace {
+
+using cc::LockMode;
+
+cc::CcTxn make_txn(std::uint64_t id, std::int64_t prio_key,
+                   std::uint32_t attempt = 1) {
+  cc::CcTxn txn;
+  txn.id = db::TxnId{id};
+  txn.attempt = attempt;
+  txn.base_priority = sim::Priority{prio_key, static_cast<std::uint32_t>(id)};
+  return txn;
+}
+
+std::span<cc::CcTxn* const> blockers(std::vector<cc::CcTxn*>& v) { return v; }
+
+TEST(LockAuditTest, CleanTwoPhaseRunPasses) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kTwoPhase};
+  cc::CcTxn t1 = make_txn(1, 5);
+  cc::CcTxn t2 = make_txn(2, 7);
+  audit.on_txn_begin(t1);
+  audit.on_txn_begin(t2);
+  audit.on_grant(t1, 10, LockMode::kRead);
+  audit.on_grant(t2, 10, LockMode::kRead);  // read-read sharing is legal
+  audit.on_grant(t1, 11, LockMode::kWrite);
+  audit.on_release_all(t1);
+  audit.on_txn_end(t1);
+  audit.on_grant(t2, 11, LockMode::kWrite);  // free after t1's release
+  audit.on_release_all(t2);
+  audit.on_txn_end(t2);
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.wait_cycles_detected(), 0u);
+}
+
+TEST(LockAuditTest, FlagsGrantAfterReleaseAll) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kTwoPhase};
+  cc::CcTxn t1 = make_txn(1, 5);
+  audit.on_txn_begin(t1);
+  audit.on_grant(t1, 10, LockMode::kWrite);
+  audit.on_release_all(t1);
+  audit.on_grant(t1, 11, LockMode::kWrite);  // mutation: shrink then grow
+  ASSERT_EQ(monitor.violations(), 1u);
+  ASSERT_EQ(monitor.reports().size(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "lock.two_phase");
+  EXPECT_FALSE(monitor.reports()[0].trace.empty())
+      << "a violation must carry its trace window";
+}
+
+TEST(LockAuditTest, FlagsSecondWriterOnObject) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kHighPriority};
+  cc::CcTxn t1 = make_txn(1, 5);
+  cc::CcTxn t2 = make_txn(2, 3);
+  audit.on_txn_begin(t1);
+  audit.on_txn_begin(t2);
+  audit.on_grant(t1, 10, LockMode::kWrite);
+  audit.on_grant(t2, 10, LockMode::kWrite);  // mutation: wound skipped
+  ASSERT_EQ(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "lock.conflict");
+}
+
+TEST(LockAuditTest, FlagsReaderUnderWriter) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kTwoPhase};
+  cc::CcTxn t1 = make_txn(1, 5);
+  cc::CcTxn t2 = make_txn(2, 3);
+  audit.on_txn_begin(t1);
+  audit.on_txn_begin(t2);
+  audit.on_grant(t1, 10, LockMode::kWrite);
+  audit.on_grant(t2, 10, LockMode::kRead);
+  ASSERT_EQ(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "lock.conflict");
+}
+
+TEST(LockAuditTest, FlagsDoubleOwnerAdoption) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kCeiling};
+  cc::CcTxn t1 = make_txn(1, 5);
+  cc::CcTxn t2 = make_txn(2, 3);
+  audit.on_txn_begin(t1);
+  audit.on_txn_begin(t2);
+  audit.on_grant(t1, 10, LockMode::kWrite);
+  // Mutation: failover reconstruction hands the same lock to a second
+  // owner ("orphan-lock adoption leaves no double owner").
+  audit.on_adopt(t2, 10, LockMode::kWrite);
+  ASSERT_EQ(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "lock.conflict");
+  EXPECT_NE(monitor.reports()[0].detail.find("adopted"), std::string::npos);
+}
+
+TEST(LockAuditTest, WaitDieAgeOrientation) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kWaitDie};
+  cc::CcTxn older = make_txn(1, 5);
+  cc::CcTxn younger = make_txn(2, 3);
+  audit.on_txn_begin(older);
+  audit.on_txn_begin(younger);
+  // Legal: the older transaction waits behind the younger one.
+  std::vector<cc::CcTxn*> behind_younger{&younger};
+  audit.on_block(older, 10, LockMode::kWrite, blockers(behind_younger));
+  audit.on_unblock(older);
+  EXPECT_EQ(monitor.violations(), 0u);
+  // Mutation: the younger one waits where wait-die says it must die.
+  std::vector<cc::CcTxn*> behind_older{&older};
+  audit.on_block(younger, 10, LockMode::kWrite, blockers(behind_older));
+  ASSERT_EQ(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "wait_die.age_order");
+}
+
+TEST(LockAuditTest, WoundWaitAgeOrientation) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kWoundWait};
+  cc::CcTxn older = make_txn(1, 5);
+  cc::CcTxn younger = make_txn(2, 3);
+  audit.on_txn_begin(older);
+  audit.on_txn_begin(younger);
+  // Legal: the younger transaction waits behind the older one.
+  std::vector<cc::CcTxn*> behind_older{&older};
+  audit.on_block(younger, 10, LockMode::kWrite, blockers(behind_older));
+  audit.on_unblock(younger);
+  EXPECT_EQ(monitor.violations(), 0u);
+  // Mutation: the older one waits where wound-wait says it must wound.
+  std::vector<cc::CcTxn*> behind_younger{&younger};
+  audit.on_block(older, 10, LockMode::kWrite, blockers(behind_younger));
+  ASSERT_EQ(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "wound_wait.age_order");
+}
+
+TEST(LockAuditTest, WaitCycleIsViolationForAgeProtocols) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kWaitDie};
+  cc::CcTxn t1 = make_txn(1, 5);
+  cc::CcTxn t2 = make_txn(2, 3);
+  audit.on_txn_begin(t1);
+  audit.on_txn_begin(t2);
+  std::vector<cc::CcTxn*> b2{&t2};
+  audit.on_block(t1, 10, LockMode::kWrite, blockers(b2));
+  std::vector<cc::CcTxn*> b1{&t1};
+  audit.on_block(t2, 11, LockMode::kWrite, blockers(b1));
+  EXPECT_EQ(monitor.wait_cycles_detected(), 1u);
+  bool cycle_flagged = false;
+  for (const Violation& v : monitor.reports()) {
+    if (v.rule == "age.wait_cycle") cycle_flagged = true;
+  }
+  EXPECT_TRUE(cycle_flagged)
+      << "a closed cycle under an age-ordered protocol is a bug";
+}
+
+TEST(LockAuditTest, WaitCycleOnlyCountedForTwoPhase) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kTwoPhase};
+  cc::CcTxn t1 = make_txn(1, 5);
+  cc::CcTxn t2 = make_txn(2, 3);
+  audit.on_txn_begin(t1);
+  audit.on_txn_begin(t2);
+  std::vector<cc::CcTxn*> b2{&t2};
+  audit.on_block(t1, 10, LockMode::kWrite, blockers(b2));
+  std::vector<cc::CcTxn*> b1{&t1};
+  audit.on_block(t2, 11, LockMode::kWrite, blockers(b1));
+  EXPECT_EQ(monitor.wait_cycles_detected(), 1u);
+  EXPECT_EQ(monitor.violations(), 0u)
+      << "2PL resolves deadlocks via its detector; a cycle is a statistic";
+}
+
+TEST(LockAuditTest, MeasuresInversionSpan) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kTwoPhase};
+  cc::CcTxn high = make_txn(1, 1);
+  cc::CcTxn low = make_txn(2, 50);
+  audit.on_txn_begin(low);
+  audit.on_txn_begin(high);
+  audit.on_grant(low, 10, LockMode::kWrite);
+  std::vector<cc::CcTxn*> b{&low};
+  audit.on_block(high, 10, LockMode::kWrite, blockers(b));
+  k.run_for(sim::Duration::units(7));
+  audit.on_unblock(high);
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.max_inversion_span_units(), 7.0);
+}
+
+// ---- ceiling family: exact replay of the PCP grant rule ----
+
+cc::CcTxn ceiling_txn(std::uint64_t id, std::int64_t prio_key,
+                      std::vector<cc::Operation> declared) {
+  cc::CcTxn txn = make_txn(id, prio_key);
+  txn.access = cc::AccessSet::from_operations(std::move(declared));
+  return txn;
+}
+
+TEST(LockAuditTest, CeilingGrantRuleAcceptsLegalGrant) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kCeiling};
+  // t1 (weak) declares objects 1 and 2 and holds a write on 1; the ceiling
+  // of both objects is t1's priority (key 10).
+  cc::CcTxn t1 = ceiling_txn(1, 10,
+                             {{1, LockMode::kWrite}, {2, LockMode::kWrite}});
+  cc::CcTxn t2 = ceiling_txn(2, 4, {{3, LockMode::kWrite}});
+  audit.on_txn_begin(t1);
+  audit.on_grant(t1, 1, LockMode::kWrite);
+  audit.on_txn_begin(t2);
+  // t2's base (key 4) is strictly higher than the rw-ceiling (key 10):
+  // the grant is what PCP itself would do.
+  audit.on_grant(t2, 3, LockMode::kWrite);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(LockAuditTest, CeilingGrantRuleFlagsIllegalGrant) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kCeiling};
+  cc::CcTxn t1 = ceiling_txn(1, 10,
+                             {{1, LockMode::kWrite}, {2, LockMode::kWrite}});
+  // Mutation: t3's base (key 20) does NOT exceed object 1's rw-ceiling
+  // (key 10), yet the broken twin grants object 3 anyway.
+  cc::CcTxn t3 = ceiling_txn(3, 20, {{3, LockMode::kWrite}});
+  audit.on_txn_begin(t1);
+  audit.on_grant(t1, 1, LockMode::kWrite);
+  audit.on_txn_begin(t3);
+  audit.on_grant(t3, 3, LockMode::kWrite);
+  ASSERT_EQ(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "pcp.grant_rule");
+  EXPECT_FALSE(monitor.reports()[0].trace.empty());
+}
+
+TEST(LockAuditTest, ReadLockedObjectUsesWriteCeiling) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kCeiling};
+  // Object 1 is declared read-only by everyone, so its *write* ceiling is
+  // lowest() — a read lock on it must not block anybody.
+  cc::CcTxn reader = ceiling_txn(1, 10, {{1, LockMode::kRead}});
+  cc::CcTxn weak = ceiling_txn(2, 30, {{2, LockMode::kWrite}});
+  audit.on_txn_begin(reader);
+  audit.on_grant(reader, 1, LockMode::kRead);
+  audit.on_txn_begin(weak);
+  audit.on_grant(weak, 2, LockMode::kWrite);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(LockAuditTest, AdoptionSkipsCeilingGrantRule) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  LockAudit audit{monitor, ProtocolFamily::kCeiling};
+  cc::CcTxn t1 = ceiling_txn(1, 10,
+                             {{1, LockMode::kWrite}, {2, LockMode::kWrite}});
+  cc::CcTxn t3 = ceiling_txn(3, 20, {{3, LockMode::kWrite}});
+  audit.on_txn_begin(t1);
+  audit.on_grant(t1, 1, LockMode::kWrite);
+  audit.on_txn_begin(t3);
+  // The same install that FlagsIllegalGrant rejects is legal as a failover
+  // adoption: the previous manager already ran the grant rule.
+  audit.on_adopt(t3, 3, LockMode::kWrite);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+}  // namespace
+}  // namespace rtdb::check

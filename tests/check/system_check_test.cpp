@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+
+// The acceptance half of the mutation-style suite: the *shipped* protocol
+// implementations, run end to end with the conformance monitor attached,
+// must produce zero violations — and attaching the monitor must not change
+// a single observable result (pure observation).
+
+namespace rtdb::core {
+namespace {
+
+using sim::Duration;
+
+SystemConfig small_single_site(Protocol protocol, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.protocol = protocol;
+  cfg.db_objects = 40;
+  cfg.workload.size_min = 2;
+  cfg.workload.size_max = 6;
+  cfg.workload.mean_interarrival = Duration::units(20);
+  cfg.workload.transaction_count = 120;
+  cfg.workload.slack_min = 10;
+  cfg.workload.slack_max = 20;
+  cfg.workload.est_time_per_object = Duration::units(4);
+  cfg.workload.read_only_fraction = 0.3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SystemConfig distributed(DistScheme scheme, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.scheme = scheme;
+  cfg.sites = 3;
+  cfg.db_objects = 60;
+  cfg.io_per_object = Duration::zero();
+  cfg.comm_delay = Duration::units(1);
+  cfg.workload.size_min = 3;
+  cfg.workload.size_max = 6;
+  cfg.workload.mean_interarrival = Duration::units(15);
+  cfg.workload.transaction_count = 100;
+  cfg.workload.slack_min = 10;
+  cfg.workload.slack_max = 20;
+  cfg.workload.est_time_per_object = Duration::units(3);
+  cfg.workload.read_only_fraction = 0.5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class ProtocolConformance
+    : public ::testing::TestWithParam<std::tuple<Protocol, std::uint64_t>> {};
+
+TEST_P(ProtocolConformance, ShippedProtocolAuditsClean) {
+  const auto [protocol, seed] = GetParam();
+  SystemConfig cfg = small_single_site(protocol, seed);
+  cfg.conformance_check = true;
+  System system{cfg};
+  system.run_to_completion();
+  ASSERT_NE(system.conformance(), nullptr);
+  EXPECT_EQ(system.conformance()->violations(), 0u)
+      << system.conformance()->format_reports();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolConformance,
+    ::testing::Combine(
+        ::testing::Values(Protocol::kTwoPhase, Protocol::kTwoPhasePriority,
+                          Protocol::kPriorityCeiling,
+                          Protocol::kPriorityCeilingExclusive,
+                          Protocol::kPriorityInheritance,
+                          Protocol::kHighPriority,
+                          Protocol::kTimestampOrdering, Protocol::kWaitDie,
+                          Protocol::kWoundWait),
+        ::testing::Values(1u, 2u)));
+
+class SchemeConformance
+    : public ::testing::TestWithParam<std::tuple<DistScheme, std::uint64_t>> {};
+
+TEST_P(SchemeConformance, DistributedSchemesAuditClean) {
+  const auto [scheme, seed] = GetParam();
+  SystemConfig cfg = distributed(scheme, seed);
+  cfg.conformance_check = true;
+  System system{cfg};
+  system.run_to_completion();
+  ASSERT_NE(system.conformance(), nullptr);
+  EXPECT_EQ(system.conformance()->violations(), 0u)
+      << system.conformance()->format_reports();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothSchemes, SchemeConformance,
+    ::testing::Combine(::testing::Values(DistScheme::kGlobalCeiling,
+                                         DistScheme::kLocalCeiling),
+                       ::testing::Values(1u, 2u)));
+
+TEST(SystemCheckTest, FaultySweepAuditsClean) {
+  // Crash + message loss exercises failover adoption, retransmission-driven
+  // duplicate votes, presumed aborts, and cooperative termination — the
+  // paths the 2PC and adoption rules exist for.
+  SystemConfig cfg = distributed(DistScheme::kGlobalCeiling, 3);
+  cfg.conformance_check = true;
+  cfg.faults.drop_rate = 0.05;
+  cfg.faults.dup_rate = 0.05;
+  cfg.faults.crashes.push_back(
+      {1, Duration::units(300), Duration::units(400)});
+  System system{cfg};
+  system.run_to_completion();
+  ASSERT_NE(system.conformance(), nullptr);
+  EXPECT_EQ(system.conformance()->violations(), 0u)
+      << system.conformance()->format_reports();
+}
+
+TEST(SystemCheckTest, MonitorIsPureObservation) {
+  // Same config, checker on vs off: every run scalar must be identical
+  // (the conformance columns themselves aside, which are 0 when off).
+  for (const Protocol protocol :
+       {Protocol::kPriorityCeiling, Protocol::kHighPriority,
+        Protocol::kTimestampOrdering}) {
+    SystemConfig off = small_single_site(protocol, 5);
+    SystemConfig on = off;
+    on.conformance_check = true;
+    off.conformance_check = false;
+    const RunResult plain = ExperimentRunner::run_once(off);
+    const RunResult audited = ExperimentRunner::run_once(on);
+    for (const RunScalar& scalar : run_scalars()) {
+      if (std::string_view{scalar.name}.starts_with("conformance") ||
+          std::string_view{scalar.name}.starts_with("wait_cycles") ||
+          std::string_view{scalar.name}.starts_with("max_inversion")) {
+        continue;
+      }
+      EXPECT_EQ(scalar.extract(plain), scalar.extract(audited))
+          << to_string(protocol) << ": scalar " << scalar.name
+          << " changed when the monitor attached";
+    }
+  }
+}
+
+TEST(SystemCheckTest, DisabledMonitorIsNeverConstructed) {
+  SystemConfig cfg = small_single_site(Protocol::kTwoPhase, 1);
+  cfg.conformance_check = false;
+  System system{cfg};
+  EXPECT_EQ(system.conformance(), nullptr);
+}
+
+}  // namespace
+}  // namespace rtdb::core

@@ -1,0 +1,53 @@
+#include "check/wait_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::check {
+namespace {
+
+TEST(WaitGraphTest, NoCycleOnChains) {
+  WaitGraph g;
+  EXPECT_FALSE(g.set_edges(1, {2}));
+  EXPECT_FALSE(g.set_edges(2, {3}));
+  EXPECT_FALSE(g.set_edges(3, {}));
+}
+
+TEST(WaitGraphTest, DetectsDirectAndTransitiveCycles) {
+  WaitGraph g;
+  EXPECT_FALSE(g.set_edges(1, {2}));
+  EXPECT_TRUE(g.set_edges(2, {1}));
+  WaitGraph h;
+  EXPECT_FALSE(h.set_edges(1, {2}));
+  EXPECT_FALSE(h.set_edges(2, {3}));
+  EXPECT_TRUE(h.set_edges(3, {1}));
+  EXPECT_FALSE(h.last_cycle().empty());
+}
+
+TEST(WaitGraphTest, ReblockingReplacesEdges) {
+  WaitGraph g;
+  EXPECT_FALSE(g.set_edges(1, {2}));
+  // Waiter 1 wakes and blocks again on someone else; the old edge is gone,
+  // so the would-be cycle through 2 no longer exists.
+  EXPECT_FALSE(g.set_edges(1, {3}));
+  EXPECT_FALSE(g.set_edges(2, {1}));
+  EXPECT_TRUE(g.set_edges(3, {1}));
+}
+
+TEST(WaitGraphTest, ClearAndRemoveDropEdges) {
+  WaitGraph g;
+  EXPECT_FALSE(g.set_edges(1, {2}));
+  // 1's wait ended: 2 can now wait for 1 without closing anything.
+  g.clear_waiter(1);
+  EXPECT_FALSE(g.set_edges(2, {1}));
+  // 2 finished entirely: its edge to 1 is gone too.
+  g.remove(2);
+  EXPECT_FALSE(g.set_edges(1, {2}));
+}
+
+TEST(WaitGraphTest, SelfEdgesIgnored) {
+  WaitGraph g;
+  EXPECT_FALSE(g.set_edges(1, {1, 2}));
+}
+
+}  // namespace
+}  // namespace rtdb::check
