@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Wall-clock performance baseline: times a quick (--runs 1) pass of a
+# representative sweep set plus the micro_kernel suite and writes one
+# BENCH_baseline.json — txns/sec per sweep (simulated transactions pushed
+# through per wall-clock second, i.e. how fast the simulator itself runs)
+# and events/sec per microbenchmark. CI runs this and uploads the file as
+# an artifact so later PRs can show wall-clock deltas against it.
+#
+#   bench/perf_baseline.sh [build-dir] [output-json]
+#
+# Requires jq. The numbers are machine-dependent by nature; compare only
+# runs from the same runner class.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+output="${2:-$repo/BENCH_baseline.json}"
+jobs="$(nproc 2>/dev/null || echo 1)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Representative and quick: one single-site figure, one distributed
+# figure, one ablation. --runs 1 keeps the whole pass under a minute.
+sweeps="fig2_throughput fig4_throughput_ratio ablation_granularity"
+
+now() { date +%s.%N; }
+
+entries="[]"
+for name in $sweeps; do
+  bin="$build/bench/$name"
+  [ -x "$bin" ] || { echo "missing $bin (build first)" >&2; exit 1; }
+  echo "== $name ==" >&2
+  start="$(now)"
+  "$bin" --quiet --runs 1 --jobs "$jobs" --json "$tmp/$name.json" >/dev/null
+  end="$(now)"
+  wall="$(echo "$end $start" | awk '{printf "%.6f", $1 - $2}')"
+  # Total simulated transactions executed across the sweep: each cell's
+  # per-run arrived mean times its run count.
+  txns="$(jq '[.cells[].metrics.arrived | .mean * .n] | add' "$tmp/$name.json")"
+  entries="$(jq --arg name "$name" --argjson wall "$wall" --argjson txns "$txns" \
+    '. + [{name: $name, wall_seconds: $wall, txns: $txns,
+           txns_per_sec: (if $wall > 0 then $txns / $wall else 0 end)}]' \
+    <<<"$entries")"
+done
+
+echo "== micro_kernel ==" >&2
+"$build/bench/micro_kernel" --json "$tmp/micro.json" >/dev/null
+# Google-benchmark schema: real_time is ns/iteration for these suites;
+# events/sec = 1e9 / real_time.
+micro="$(jq '[.benchmarks[]
+  | select(.run_type == null or .run_type == "iteration")
+  | {name: .name, ns_per_op: .real_time,
+     events_per_sec: (if .real_time > 0 then 1e9 / .real_time else 0 end)}]' \
+  "$tmp/micro.json")"
+
+jq -n \
+  --argjson sweeps "$entries" \
+  --argjson micro "$micro" \
+  --arg host "$(uname -sr)" \
+  --argjson cores "$(nproc 2>/dev/null || echo 1)" \
+  '{schema_version: 1,
+    host: {os: $host, cores: $cores},
+    sweeps: $sweeps,
+    micro: $micro}' > "$output"
+
+echo "baseline written to $output" >&2

@@ -1,0 +1,144 @@
+// Simulated prediction vs. real hardware: the Fig-2 throughput and Fig-3
+// deadline-miss sweeps run on BOTH execution backends from one binary.
+//
+// Every (size, protocol) cell is executed twice — once on the
+// discrete-event simulation and once on the thread backend (src/rt: real
+// worker threads, priority-queuing spinlock lock table, steady clock
+// mapped onto simulation units) — and the tables put the two side by side.
+// The question the paper's methodology leaves open is whether the
+// simulated protocol ranking survives contact with physical concurrency;
+// the RATIO columns answer it. Expect the thread numbers to sit below the
+// simulation (OS wake latency eats into deadlines that are tens of
+// simulation units long) with the protocol ORDERING preserved.
+//
+// The JSON artifact is the standard sweep artifact (cells keyed by the
+// backend axis, header recording the hardware) plus a "comparison" section
+// pairing each sim cell with its thread twin.
+//
+// Thread cells are physical experiments: the sweep engine runs them one at
+// a time (--jobs is forced to 1) and `--runs` greatly affects wall-clock
+// time. The full default (3 runs) takes on the order of a minute; CI
+// smokes with --runs 1.
+
+#include <cstdio>
+
+#include "exp/json.hpp"
+#include "params.hpp"
+
+namespace {
+
+using namespace rtdb;
+using core::Protocol;
+
+constexpr Protocol kProtocols[] = {Protocol::kPriorityCeiling,
+                                   Protocol::kTwoPhasePriority,
+                                   Protocol::kTwoPhase};
+constexpr std::uint32_t kSizes[] = {4, 8, 12, 16};
+constexpr const char* kBackends[] = {"sim", "threads"};
+
+bool write_json(const std::string& path, const exp::Json& root) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  const std::string text = root.dump(2);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtdb::bench;
+
+  exp::Options opts = exp::parse_options_or_exit(argc, argv);
+
+  exp::SweepSpec spec;
+  spec.name = "rt_shootout";
+  spec.title =
+      "RT shootout: Fig-2 throughput / Fig-3 miss %, simulation vs real "
+      "threads";
+  spec.default_runs = 3;
+  for (const std::uint32_t size : kSizes) {
+    for (const Protocol p : kProtocols) {
+      for (const char* backend : kBackends) {
+        core::SystemConfig config = fig23_config(p, size, 1);
+        config.backend = backend == std::string_view{"threads"}
+                             ? core::BackendKind::kThreads
+                             : core::BackendKind::kSim;
+        spec.add_cell({{"size", std::to_string(size)},
+                       {"protocol", curve_label(p)},
+                       {"backend", backend}},
+                      config);
+      }
+    }
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
+
+  // Cells appear in add_cell order: size-major, then protocol, then
+  // backend — cell(i) pairs with cell(i + 1).
+  stats::Table throughput{{"size", "C sim", "C thr", "P sim", "P thr",
+                           "L sim", "L thr", "thr/sim C", "thr/sim P",
+                           "thr/sim L"}};
+  stats::Table missed{{"size", "C sim %", "C thr %", "P sim %", "P thr %",
+                       "L sim %", "L thr %"}};
+  exp::Json comparison = exp::Json::array();
+
+  std::size_t cell = 0;
+  for (const std::uint32_t size : kSizes) {
+    std::vector<std::string> tp_row{std::to_string(size)};
+    std::vector<std::string> tp_ratios;
+    std::vector<std::string> miss_row{std::to_string(size)};
+    for (const Protocol p : kProtocols) {
+      const exp::CellResult& sim_cell = res.cell(cell++);
+      const exp::CellResult& thr_cell = res.cell(cell++);
+      const double sim_tp = sim_cell.throughput().mean;
+      const double thr_tp = thr_cell.throughput().mean;
+      tp_row.push_back(stats::Table::num(sim_cell.throughput()));
+      tp_row.push_back(stats::Table::num(thr_cell.throughput()));
+      tp_ratios.push_back(
+          stats::Table::num(sim_tp > 0.0 ? thr_tp / sim_tp : 0.0));
+      miss_row.push_back(stats::Table::num(sim_cell.pct_missed(), 1));
+      miss_row.push_back(stats::Table::num(thr_cell.pct_missed(), 1));
+
+      exp::Json pair = exp::Json::object();
+      pair.set("size", exp::Json{static_cast<std::uint64_t>(size)});
+      pair.set("protocol", exp::Json{curve_label(p)});
+      pair.set("sim_throughput", exp::Json{sim_tp});
+      pair.set("threads_throughput", exp::Json{thr_tp});
+      pair.set("throughput_ratio",
+               exp::Json{sim_tp > 0.0 ? thr_tp / sim_tp : 0.0});
+      pair.set("sim_pct_missed", exp::Json{sim_cell.pct_missed().mean});
+      pair.set("threads_pct_missed", exp::Json{thr_cell.pct_missed().mean});
+      pair.set("threads_conformance_violations",
+               exp::Json{thr_cell.mean_of("conformance_violations")});
+      comparison.push_back(std::move(pair));
+    }
+    tp_row.insert(tp_row.end(), tp_ratios.begin(), tp_ratios.end());
+    throughput.add_row(std::move(tp_row));
+    missed.add_row(std::move(miss_row));
+  }
+
+  std::string caption = res.title;
+  if (res.runs_per_cell > 0) {
+    caption += ", " + std::to_string(res.runs_per_cell) + " runs/point";
+  }
+  std::fputs(throughput.to_text(caption).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(missed.to_text("deadline miss %, same cells").c_str(), stdout);
+  std::fputs("\n", stdout);
+
+  bool ok = true;
+  if (opts.json_path) {
+    exp::Json root = exp::artifact_json(res);
+    root.set("comparison", std::move(comparison));
+    ok = write_json(*opts.json_path, root) && ok;
+    opts.json_path.reset();  // written here; keep write_artifacts off it
+  }
+  ok = exp::write_artifacts(res, opts) && ok;
+  std::fflush(stdout);
+  return ok ? 0 : 1;
+}

@@ -23,8 +23,10 @@ cmake --build "$build" -j "$jobs"
 mkdir -p "$out"
 
 failed=()
+# Auto-discover bench binaries: regular executable files only (skips the
+# CMakeFiles/ directory and any stray non-binary the build drops there).
 for bin in "$build"/bench/*; do
-  [ -x "$bin" ] || continue
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
   name="$(basename "$bin")"
   echo "== $name =="
   if [ "$name" = micro_kernel ]; then

@@ -35,6 +35,17 @@ enum class DistScheme : std::uint8_t {
 
 const char* to_string(DistScheme scheme);
 
+// Execution substrate: the discrete-event simulation (default; virtual
+// time, byte-identical artifacts per seed) or the real-hardware thread
+// backend (src/rt: worker pool + steady clock; statistically
+// reproducible). Single-site scheme only for kThreads.
+enum class BackendKind : std::uint8_t {
+  kSim,
+  kThreads,
+};
+
+const char* to_string(BackendKind backend);
+
 // Everything the User Interface of the prototyping environment lets an
 // experimenter set: system configuration (sites, relative CPU / I/O /
 // communication costs), database configuration, load characteristics, and
@@ -96,6 +107,13 @@ struct SystemConfig {
 
   // ---- load characteristics ----
   workload::WorkloadConfig workload;
+
+  // ---- execution backend ----
+  BackendKind backend = BackendKind::kSim;
+  // Thread backend only: worker pool size (0 = one per hardware core) and
+  // real nanoseconds per simulation time unit (the clock scale).
+  std::uint32_t rt_workers = 0;
+  std::uint64_t rt_unit_nanos = 20'000;
 
   // ---- experiment control ----
   std::uint64_t seed = 1;

@@ -4,6 +4,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "rt/runner.hpp"
+
 namespace rtdb::core {
 
 namespace {
@@ -115,6 +117,44 @@ constexpr RunScalar kRunScalars[] = {
      [](const RunResult& r) { return r.max_inversion_span_units; }},
 };
 
+// Runs the cell on the real-hardware thread backend (src/rt) and maps its
+// result onto the sim-shaped RunResult so tables, artifacts, and
+// aggregation treat both backends uniformly. Fields without a thread-side
+// counterpart (commit protocol, faults, resilience) stay zero — the thread
+// backend is single-site and fault-free by construction.
+RunResult run_once_threaded(const SystemConfig& config) {
+  rt::RtRunnerConfig runner_config;
+  runner_config.workers = config.rt_workers;
+  runner_config.unit_nanos = config.rt_unit_nanos;
+  const rt::RtRunResult rt = rt::run_threaded(config, runner_config);
+
+  RunResult result;
+  result.metrics = stats::Metrics::compute(rt.records, rt.elapsed);
+  result.restarts = rt.restarts;
+  result.deadline_kills = rt.deadline_kills;
+  result.protocol_aborts = rt.locks.protocol_aborts;
+  result.ceiling_denials = rt.locks.ceiling_denials;
+  result.dynamic_deadlocks = rt.locks.pcp_dynamic_deadlocks;
+  result.elapsed = rt.elapsed;
+  result.conformance_violations = rt.conformance_violations;
+  result.wait_cycles_detected = rt.locks.deadlocks;
+  if (rt.conformance_violations > 0) {
+    static std::mutex report_mutex;
+    const std::lock_guard<std::mutex> guard(report_mutex);
+    std::cerr << "[check] threads backend, seed " << config.seed
+              << ", protocol " << to_string(config.protocol) << ": "
+              << rt.conformance_violations << " violation(s)";
+    if (!rt.quiescence_failure.empty()) {
+      std::cerr << " (" << rt.quiescence_failure << ")";
+    }
+    if (rt.body_exceptions > 0) {
+      std::cerr << " (" << rt.body_exceptions << " body exception(s))";
+    }
+    std::cerr << "\n";
+  }
+  return result;
+}
+
 }  // namespace
 
 std::span<const RunScalar> run_scalars() { return kRunScalars; }
@@ -127,6 +167,9 @@ const RunScalar* find_run_scalar(std::string_view name) {
 }
 
 RunResult ExperimentRunner::run_once(const SystemConfig& config) {
+  if (config.backend == BackendKind::kThreads) {
+    return run_once_threaded(config);
+  }
   System system{config};
   system.run_to_completion();
   RunResult result;

@@ -62,6 +62,16 @@ const char* to_string(DistScheme scheme) {
   return "?";
 }
 
+const char* to_string(BackendKind backend) {
+  switch (backend) {
+    case BackendKind::kSim:
+      return "sim";
+    case BackendKind::kThreads:
+      return "threads";
+  }
+  return "?";
+}
+
 System::System(SystemConfig config)
     : config_(config),
       schema_(db::DatabaseConfig{

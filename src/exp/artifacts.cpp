@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "rt/hw_info.hpp"
+
 namespace rtdb::exp {
 
 namespace {
@@ -39,6 +41,20 @@ Json artifact_json(const SweepResult& result) {
   root.set("title", Json{result.title});
   root.set("runs_per_cell", Json{result.runs_per_cell});
   root.set("base_seed", Json{result.base_seed});
+  // Present only when thread-backend cells ran: "real hardware" numbers
+  // are never divorced from the machine that produced them. Sim-only
+  // artifacts omit the fields and stay byte-identical across machines.
+  if (!result.backend.empty()) {
+    root.set("backend", Json{result.backend});
+    const rt::HardwareInfo info = rt::detect_hardware();
+    Json hardware = Json::object();
+    hardware.set("cores", Json{static_cast<std::uint64_t>(info.cores)});
+    hardware.set("clock_source", Json{info.clock_source});
+    hardware.set("clock_tick_nanos", Json{info.clock_tick_nanos});
+    hardware.set("workers", Json{static_cast<std::uint64_t>(result.rt_workers)});
+    hardware.set("unit_nanos", Json{result.rt_unit_nanos});
+    root.set("hardware", std::move(hardware));
+  }
   Json cells = Json::array();
   for (const CellResult& cell : result.cells) {
     Json c = Json::object();

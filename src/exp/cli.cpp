@@ -140,6 +140,17 @@ std::optional<Options> parse_options(int argc, char** argv,
         if (comma == std::string::npos) break;
         start = comma + 1;
       }
+    } else if (arg == "--backend") {
+      const auto v = value("--backend");
+      if (!v || (*v != "sim" && *v != "threads"))
+        return fail("--backend requires 'sim' or 'threads'");
+      opts.backend = *v;
+    } else if (arg == "--rt-workers") {
+      const auto v = value("--rt-workers");
+      long long n = 0;
+      if (!v || !parse_int(*v, &n) || n < 0)
+        return fail("--rt-workers requires a non-negative integer");
+      opts.rt_workers = static_cast<int>(n);
     } else if (arg == "--csv") {
       opts.csv = true;
       // Optional path operand: `--csv out.csv` writes a file, bare `--csv`
@@ -167,6 +178,14 @@ std::string usage(const std::string& program) {
          "(schema_version 1, see EXPERIMENTS.md)\n"
          "  --csv [PATH] write the aggregate artifact as CSV "
          "(stdout when PATH is omitted)\n"
+         "  --backend B  execution substrate: 'sim' (discrete-event, "
+         "byte-identical\n"
+         "               artifacts) or 'threads' (real worker threads; "
+         "single-site only,\n"
+         "               forces --jobs 1, artifact gains backend/hardware "
+         "header)\n"
+         "  --rt-workers N  thread backend pool size "
+         "(default: one per core)\n"
          "  --quiet      suppress the progress meter\n"
          "  --check      online conformance auditing: shadow every protocol "
          "and flag\n"

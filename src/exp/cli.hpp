@@ -24,6 +24,13 @@ struct Options {
   bool check = false;  // --check: online conformance auditing (src/check)
   bool help = false;
 
+  // --backend {sim,threads}: execution substrate override. "threads" runs
+  // every cell on the real-hardware backend (single-site only) and caps
+  // the sweep at one job so cells don't fight over cores; unset leaves
+  // each cell's own config.backend in force.
+  std::optional<std::string> backend;
+  std::optional<int> rt_workers;  // --rt-workers N (thread backend pool)
+
   // Fault-injection overlays (--drop-rate/--dup-rate/--jitter/--crash-at);
   // unset flags leave the bench's own FaultSpec untouched.
   std::optional<double> drop_rate;

@@ -17,12 +17,45 @@ SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
   auto base_seed_of = [&](std::size_t cell) {
     return opts.seed.value_or(spec.cells[cell].config.seed);
   };
+  // --backend / --rt-workers overlays, applied uniformly to every cell
+  // (mirrors apply_faults).
+  auto apply_backend = [&](core::SystemConfig* config) {
+    if (opts.backend) {
+      config->backend = *opts.backend == "threads"
+                            ? core::BackendKind::kThreads
+                            : core::BackendKind::kSim;
+    }
+    if (opts.rt_workers) {
+      config->rt_workers = static_cast<std::uint32_t>(*opts.rt_workers);
+    }
+  };
 
   SweepResult result;
   result.name = spec.name;
   result.title = spec.title;
   result.runs_per_cell = runs;
   result.base_seed = n_cells > 0 ? base_seed_of(0) : opts.seed.value_or(1);
+
+  // Substrate provenance for the artifact header, from the effective
+  // (post-overlay) configs.
+  std::size_t thread_cells = 0;
+  for (const Cell& cell : spec.cells) {
+    core::SystemConfig config = cell.config;
+    apply_backend(&config);
+    if (config.backend == core::BackendKind::kThreads) {
+      ++thread_cells;
+      result.rt_workers = config.rt_workers;
+      result.rt_unit_nanos = config.rt_unit_nanos;
+    }
+  }
+  if (thread_cells > 0) {
+    result.backend = thread_cells == n_cells ? "threads" : "mixed";
+    if (result.rt_workers == 0) {
+      // Record the resolved pool size, not the "pick for me" sentinel.
+      const unsigned hw = std::thread::hardware_concurrency();
+      result.rt_workers = hw > 0 ? hw : 1;
+    }
+  }
 
   // Flat (cell-major) result slots: worker interleaving decides only *when*
   // a slot fills, never *what* or *where* — determinism by construction.
@@ -41,6 +74,7 @@ SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
       config.seed =
           core::ExperimentRunner::seed_for_run(base_seed_of(cell), run);
       opts.apply_faults(&config.faults);
+      apply_backend(&config);
       if (opts.check) config.conformance_check = true;
       flat[i] = core::ExperimentRunner::run_once(config);
       if (flat[i].conformance_violations > 0) {
@@ -54,8 +88,15 @@ SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
     }
   };
 
-  const int jobs = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(opts.effective_jobs()), std::max<std::size_t>(total, 1)));
+  // Thread-backend cells own the whole machine (their worker pool is the
+  // experiment), so the sweep runs them one at a time; sim cells keep the
+  // usual run-level parallelism.
+  const int jobs =
+      thread_cells > 0
+          ? 1
+          : static_cast<int>(std::min<std::size_t>(
+                static_cast<std::size_t>(opts.effective_jobs()),
+                std::max<std::size_t>(total, 1)));
   if (jobs <= 1) {
     worker();
   } else {

@@ -77,6 +77,14 @@ struct SweepResult {
   std::string title;
   int runs_per_cell = 0;
   std::uint64_t base_seed = 0;
+  // Execution-substrate provenance. Empty when every cell ran on the
+  // simulation — the artifact then omits the backend/hardware header
+  // fields, keeping sim artifacts byte-identical with pre-backend ones.
+  // "threads" when every cell ran on real threads, "mixed" otherwise;
+  // rt_workers/rt_unit_nanos describe the thread cells.
+  std::string backend;
+  std::uint32_t rt_workers = 0;
+  std::uint64_t rt_unit_nanos = 0;
   std::vector<CellResult> cells;
 
   const CellResult& cell(std::size_t index) const { return cells.at(index); }

@@ -1,0 +1,95 @@
+#pragma once
+
+// The execution backend abstraction: the narrow clock + scheduling contract
+// that separates protocol logic from the substrate that runs it.
+//
+// Two implementations exist:
+//
+//   * rt::SimBackend (sim_backend.hpp) adapts the discrete-event kernel —
+//     time is virtual, all concurrency is simulated, and every run is a
+//     pure function of the seed (byte-identical artifacts).
+//
+//   * rt::ThreadBackend (thread_backend.hpp) runs on real OS threads over
+//     a fixed worker pool — time is the steady clock mapped onto
+//     simulation units, concurrency is physical, and runs are
+//     statistically (not bitwise) reproducible.
+//
+// The contract is deliberately tiny: now / advance / spawn / block / wake
+// / run. Anything a protocol or executor needs beyond that (priority
+// scheduling, I/O models, message passing) stays substrate-specific and
+// lives behind its own interface.
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace rtdb::rt {
+
+// A one-shot wake flag a blocked execution context waits on. The embedded
+// mutex/condvar pair is used by the thread backend to park real threads;
+// the sim backend (single-threaded) only reads the flag. Reusable via
+// reset() between waits.
+class WaitToken {
+ public:
+  WaitToken() = default;
+  WaitToken(const WaitToken&) = delete;
+  WaitToken& operator=(const WaitToken&) = delete;
+
+  void reset() {
+    const std::lock_guard<std::mutex> guard(mutex);
+    signaled = false;
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool signaled = false;
+};
+
+// The clock + scheduling interface both backends implement. All times are
+// simulation TimePoints/Durations; each backend defines how they map onto
+// its notion of time (virtual ticks vs. scaled steady-clock nanoseconds).
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  ExecutionBackend() = default;
+  ExecutionBackend(const ExecutionBackend&) = delete;
+  ExecutionBackend& operator=(const ExecutionBackend&) = delete;
+
+  // "sim" or "threads" — recorded in artifact headers.
+  virtual std::string_view name() const = 0;
+
+  // The current time, in simulation units.
+  virtual sim::TimePoint now() const = 0;
+
+  // Consumes `d` of execution time on the calling context: the simulation
+  // backend advances the virtual clock; the thread backend occupies the
+  // calling worker for the mapped real-time span (sleep for the bulk,
+  // spin for the tail). Models a CPU/I-O burst of known length.
+  virtual void advance(sim::Duration d) = 0;
+
+  // Launches a unit of execution. The thread backend enqueues the body on
+  // its worker pool (FIFO); the sim backend schedules it as an immediate
+  // event on the kernel.
+  virtual void spawn(std::string name, std::function<void()> body) = 0;
+
+  // Parks the calling context until wake(token) or until the clock
+  // reaches `until`, whichever is first. Returns true when woken by
+  // wake(), false on timeout. Pass sim::TimePoint::max() for no timeout.
+  virtual bool block(WaitToken& token, sim::TimePoint until) = 0;
+
+  // Signals a parked context (safe to call before block: the token
+  // latches). Callable from any context.
+  virtual void wake(WaitToken& token) = 0;
+
+  // Drives spawned work to completion; returns when everything spawned so
+  // far (including work spawned transitively) has finished.
+  virtual void run() = 0;
+};
+
+}  // namespace rtdb::rt

@@ -1,0 +1,18 @@
+#include "rt/hw_info.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace rtdb::rt {
+
+HardwareInfo detect_hardware() {
+  HardwareInfo info;
+  info.cores = std::thread::hardware_concurrency();
+  info.clock_source = "steady_clock";
+  using Period = std::chrono::steady_clock::period;
+  info.clock_tick_nanos = static_cast<std::uint64_t>(
+      (1'000'000'000LL * Period::num) / Period::den);
+  return info;
+}
+
+}  // namespace rtdb::rt

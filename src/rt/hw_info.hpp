@@ -1,0 +1,20 @@
+#pragma once
+
+// Hardware/environment facts recorded in thread-backend artifact headers
+// so a "real hardware" number is never divorced from the machine that
+// produced it.
+
+#include <cstdint>
+#include <string>
+
+namespace rtdb::rt {
+
+struct HardwareInfo {
+  std::uint32_t cores = 0;          // std::thread::hardware_concurrency
+  std::string clock_source;         // the clock behind ThreadBackend::now
+  std::uint64_t clock_tick_nanos = 0;  // nominal resolution of that clock
+};
+
+HardwareInfo detect_hardware();
+
+}  // namespace rtdb::rt

@@ -1,0 +1,73 @@
+#pragma once
+
+// ExecutionBackend over the discrete-event kernel. Header-only (and
+// allocation-free beyond what the kernel does) so low layers like src/cc/
+// can hold one without a link-time dependency on the rt library.
+//
+// Semantics notes — the DES is single-threaded, so the generic interface
+// maps onto kernel driving rather than real parking:
+//
+//   * spawn() schedules the body as one atomic event at the current
+//     virtual instant. A spawned body must not call block()/advance()
+//     inline (an event callback cannot suspend); simulation-side code
+//     that needs to interleave uses the kernel's coroutine processes
+//     directly, as the executors in src/txn/ do.
+//   * advance()/block() are driver-context operations: they pump the
+//     event queue (step/run_until) until the requested condition holds.
+//     This is what makes backend-generic harness code — "start work,
+//     wait for the flag" — run unmodified on both substrates.
+//
+// Everything is a pure function of the seed: byte-identical artifacts.
+
+#include <functional>
+#include <string_view>
+#include <utility>
+
+#include "rt/backend.hpp"
+#include "sim/kernel.hpp"
+
+namespace rtdb::rt {
+
+class SimBackend final : public ExecutionBackend {
+ public:
+  explicit SimBackend(sim::Kernel& kernel) : kernel_(kernel) {}
+
+  std::string_view name() const override { return "sim"; }
+
+  sim::TimePoint now() const override { return kernel_.now(); }
+
+  void advance(sim::Duration d) override { kernel_.run_for(d); }
+
+  void spawn(std::string name, std::function<void()> body) override {
+    (void)name;  // the kernel names processes, not one-shot events
+    kernel_.schedule_in(sim::Duration::zero(),
+                        [body = std::move(body)]() { body(); });
+  }
+
+  bool block(WaitToken& token, sim::TimePoint until) override {
+    while (!token.signaled) {
+      if (kernel_.now() >= until) return false;
+      if (!kernel_.step()) {
+        // Queue drained with the token unsignaled: nothing can ever wake
+        // us. Report timeout rather than spinning forever.
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void wake(WaitToken& token) override {
+    const std::lock_guard<std::mutex> guard(token.mutex);
+    token.signaled = true;
+    token.cv.notify_all();  // no-op in the DES; keeps semantics uniform
+  }
+
+  void run() override { kernel_.run(); }
+
+  sim::Kernel& kernel() { return kernel_; }
+
+ private:
+  sim::Kernel& kernel_;
+};
+
+}  // namespace rtdb::rt
