@@ -53,13 +53,21 @@ micro="$(jq '[.benchmarks[]
      events_per_sec: (if .real_time > 0 then 1e9 / .real_time else 0 end)}]' \
   "$tmp/micro.json")"
 
+# Host provenance: the numbers only compare within the same machine class,
+# so record what that class is. Cores are the nproc-visible count (what the
+# sweep engine parallelizes over); the CPU model makes cross-host deltas
+# interpretable at a glance.
+cpu_model="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null)"
+[ -n "$cpu_model" ] || cpu_model="unknown"
+
 jq -n \
   --argjson sweeps "$entries" \
   --argjson micro "$micro" \
   --arg host "$(uname -sr)" \
+  --arg cpu "$cpu_model" \
   --argjson cores "$(nproc 2>/dev/null || echo 1)" \
-  '{schema_version: 1,
-    host: {os: $host, cores: $cores},
+  '{schema_version: 2,
+    host: {os: $host, cpu: $cpu, cores: $cores},
     sweeps: $sweeps,
     micro: $micro}' > "$output"
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Perf-regression gate: compares a freshly generated perf baseline (see
+# perf_baseline.sh) against the committed reference and fails on any
+# regression beyond the tolerance band. Wall-clock numbers are noisy, so
+# the band is deliberately wide (15%); real hot-path regressions blow far
+# past it, runner jitter does not.
+#
+#   bench/perf_check.sh <reference.json> <current.json> [tolerance-pct]
+#
+# Checks, per tracked sweep: txns_per_sec; per microbenchmark:
+# events_per_sec. Emits a markdown delta table (to $GITHUB_STEP_SUMMARY
+# when set, stdout otherwise). When the current host's core count differs
+# from the reference's the comparison is meaningless — the gate then skips
+# with a notice instead of failing. Requires jq.
+set -euo pipefail
+
+reference="${1:?usage: perf_check.sh <reference.json> <current.json> [tolerance-pct]}"
+current="${2:?usage: perf_check.sh <reference.json> <current.json> [tolerance-pct]}"
+tolerance="${3:-15}"
+
+summary="${GITHUB_STEP_SUMMARY:-/dev/stdout}"
+
+ref_cores="$(jq -r '.host.cores' "$reference")"
+cur_cores="$(jq -r '.host.cores' "$current")"
+if [ "$ref_cores" != "$cur_cores" ]; then
+  {
+    echo "## Perf gate: skipped"
+    echo
+    echo "Baseline host has $ref_cores cores, this host has $cur_cores —"
+    echo "wall-clock numbers don't compare across machine classes."
+    echo "Re-baseline on this runner class to re-arm the gate"
+    echo "(see EXPERIMENTS.md)."
+  } >> "$summary"
+  echo "perf gate skipped: baseline cores=$ref_cores, host cores=$cur_cores" >&2
+  exit 0
+fi
+
+# One row per tracked series: name, reference rate, current rate, delta %.
+# A positive delta is a speedup. Join on name so reordering or adding
+# series never misattributes a number.
+table="$(jq -n --argjson tol "$tolerance" \
+  --slurpfile ref "$reference" --slurpfile cur "$current" '
+  def series(doc): [
+    (doc.sweeps[] | {name: ("sweep " + .name), rate: .txns_per_sec}),
+    (doc.micro[]  | {name: ("micro " + .name), rate: .events_per_sec})
+  ];
+  [ series($ref[0]) as $r | series($cur[0])[] as $c
+    | ($r[] | select(.name == $c.name)) as $match
+    | {name: $c.name,
+       ref: $match.rate,
+       cur: $c.rate,
+       delta_pct: (if $match.rate > 0
+                   then 100 * ($c.rate - $match.rate) / $match.rate
+                   else 0 end)}
+    | . + {regressed: (.delta_pct < -$tol)} ]')"
+
+{
+  echo "## Perf gate (tolerance: -${tolerance}%)"
+  echo
+  echo "| series | baseline /s | current /s | delta |"
+  echo "|---|---:|---:|---:|"
+  jq -r '.[] | "| \(.name)\(if .regressed then " ❌" else "" end) " +
+    "| \(.ref | floor) | \(.cur | floor) " +
+    "| \(.delta_pct * 10 | round / 10)% |"' <<<"$table"
+} >> "$summary"
+
+regressions="$(jq '[.[] | select(.regressed)] | length' <<<"$table")"
+if [ "$regressions" -gt 0 ]; then
+  echo "perf gate FAILED: $regressions series regressed more than ${tolerance}%:" >&2
+  jq -r '.[] | select(.regressed)
+    | "  \(.name): \(.ref | floor)/s -> \(.cur | floor)/s (\(.delta_pct * 10 | round / 10)%)"' \
+    <<<"$table" >&2
+  exit 1
+fi
+echo "perf gate passed: no series regressed more than ${tolerance}%" >&2

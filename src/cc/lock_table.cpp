@@ -18,6 +18,7 @@ bool LockTable::try_grant(CcTxn& txn, db::ObjectId object, LockMode mode) {
     if (!precedes(probe, *lock.queue.front())) return false;
   }
   lock.holders.emplace_back(&txn, mode);
+  ++txn.scratch_hold_count;
   return true;
 }
 
@@ -46,13 +47,18 @@ void LockTable::cancel(Request& request) {
 
 std::vector<db::ObjectId> LockTable::release_all(CcTxn& txn) {
   // Collect the objects first: promotion mutates the map's values and
-  // erase_if_idle the map itself.
+  // erase_if_idle the map itself. The context's hold counter lets the scan
+  // stop after the last held entry instead of always walking the whole
+  // table; the visit order over the prefix is unchanged.
   std::vector<db::ObjectId> touched;
+  touched.reserve(txn.scratch_hold_count);
   for (auto& [object, lock] : locks_) {
+    if (txn.scratch_hold_count == 0) break;
     auto it = std::find_if(lock.holders.begin(), lock.holders.end(),
                            [&](const auto& h) { return h.first == &txn; });
     if (it != lock.holders.end()) {
       lock.holders.erase(it);
+      --txn.scratch_hold_count;
       touched.push_back(object);
     }
   }
@@ -69,7 +75,7 @@ std::vector<LockTable::Request*> LockTable::queued_requests(
     db::ObjectId object) const {
   auto it = locks_.find(object);
   if (it == locks_.end()) return {};
-  return it->second.queue;
+  return {it->second.queue.begin(), it->second.queue.end()};
 }
 
 std::vector<CcTxn*> LockTable::holders_of(db::ObjectId object) const {
@@ -85,21 +91,7 @@ std::vector<CcTxn*> LockTable::holders_of(db::ObjectId object) const {
 
 std::vector<CcTxn*> LockTable::blockers_of(const Request& request) const {
   std::vector<CcTxn*> result;
-  auto it = locks_.find(request.object);
-  if (it == locks_.end()) return result;
-  const ObjectLock& lock = it->second;
-  for (const auto& [txn, mode] : lock.holders) {
-    if (txn != request.txn && !compatible(mode, request.mode)) {
-      result.push_back(txn);
-    }
-  }
-  for (const Request* queued : lock.queue) {
-    if (queued == &request) break;  // only requests ahead of ours
-    if (queued->txn != request.txn &&
-        !compatible(queued->mode, request.mode)) {
-      result.push_back(queued->txn);
-    }
-  }
+  for_each_blocker(request, [&](CcTxn& txn) { result.push_back(&txn); });
   return result;
 }
 
@@ -150,6 +142,7 @@ void LockTable::promote(db::ObjectId object, ObjectLock& lock) {
     lock.queue.erase(lock.queue.begin());
     --waiting_;
     lock.holders.emplace_back(head->txn, head->mode);
+    ++head->txn->scratch_hold_count;
     head->granted = true;
     if (on_grant_) on_grant_(*head);
     assert(head->wakeup != nullptr);

@@ -8,6 +8,7 @@
 #include "cc/txn_ctx.hpp"
 #include "cc/types.hpp"
 #include "db/types.hpp"
+#include "sim/inline_vec.hpp"
 #include "sim/semaphore.hpp"
 
 namespace rtdb::cc {
@@ -66,12 +67,43 @@ class LockTable {
   // The requests currently queued on `object`, in queue order.
   std::vector<Request*> queued_requests(db::ObjectId object) const;
 
+  // Allocation-free variant of queued_requests for the protocols' hot
+  // paths: visits each queued request in queue order. `fn` must not mutate
+  // the table.
+  template <typename Fn>
+  void for_each_queued(db::ObjectId object, Fn&& fn) const {
+    auto it = locks_.find(object);
+    if (it == locks_.end()) return;
+    for (Request* request : it->second.queue) fn(*request);
+  }
+
   // ---- introspection (deadlock detection, wound decisions) ----
   // Current holders of the object's lock.
   std::vector<CcTxn*> holders_of(db::ObjectId object) const;
   // Transactions a request must wait for: incompatible holders plus
   // incompatible requests queued ahead of it.
   std::vector<CcTxn*> blockers_of(const Request& request) const;
+
+  // Allocation-free variant of blockers_of: visits each blocker in the
+  // same order (incompatible holders, then incompatible requests queued
+  // ahead). `fn` must not mutate the table.
+  template <typename Fn>
+  void for_each_blocker(const Request& request, Fn&& fn) const {
+    auto it = locks_.find(request.object);
+    if (it == locks_.end()) return;
+    const ObjectLock& lock = it->second;
+    for (const auto& [txn, mode] : lock.holders) {
+      if (txn != request.txn && !compatible(mode, request.mode)) fn(*txn);
+    }
+    for (const Request* queued : lock.queue) {
+      if (queued == &request) break;  // only requests ahead of ours
+      if (queued->txn != request.txn &&
+          !compatible(queued->mode, request.mode)) {
+        fn(*queued->txn);
+      }
+    }
+  }
+
   // Whether txn holds a lock on object (any mode).
   bool holds(const CcTxn& txn, db::ObjectId object) const;
 
@@ -82,9 +114,11 @@ class LockTable {
   std::size_t locked_objects() const { return locks_.size(); }
 
  private:
+  // Holder/waiter populations are tiny (a handful of read sharers, short
+  // queues), so both live inline in the table entry.
   struct ObjectLock {
-    std::vector<std::pair<CcTxn*, LockMode>> holders;
-    std::vector<Request*> queue;  // maintained in policy order
+    sim::InlineVec<std::pair<CcTxn*, LockMode>, 4> holders;
+    sim::InlineVec<Request*, 4> queue;  // maintained in policy order
   };
 
   bool compatible_with_holders(const ObjectLock& lock, const CcTxn& txn,

@@ -1,8 +1,8 @@
 #include "cc/pcp.hpp"
 
 #include <algorithm>
-#include <set>
 #include <cassert>
+#include <span>
 
 namespace rtdb::cc {
 
@@ -20,7 +20,9 @@ PriorityCeiling::PriorityCeiling(sim::Kernel& kernel,
       options_(options),
       object_count_(object_count),
       write_ceiling_(object_count, Priority::lowest()),
-      abs_ceiling_(object_count, Priority::lowest()) {}
+      abs_ceiling_(object_count, Priority::lowest()),
+      decls_(object_count),
+      lock_slots_(object_count) {}
 
 PriorityCeiling::~PriorityCeiling() {
   assert(waiters_.empty() && "destroyed with blocked transactions");
@@ -29,7 +31,7 @@ PriorityCeiling::~PriorityCeiling() {
 void PriorityCeiling::do_begin(CcTxn& txn) {
   assert(!active_.contains(txn.id));
   active_.emplace(txn.id, &txn);
-  refresh_static_ceilings(txn);
+  add_declarations(txn);
   // New declarations only *raise* ceilings, so nothing becomes grantable —
   // but a raise can redirect which lock blocks an existing waiter, which
   // is exactly the (dynamic-arrival) way a blocking cycle can close.
@@ -40,7 +42,7 @@ void PriorityCeiling::do_end(CcTxn& txn) {
   assert(active_.contains(txn.id));
   active_.erase(txn.id);
   set_inherited(txn, Priority::lowest());
-  refresh_static_ceilings(txn);
+  remove_declarations(txn);
   // Lowered ceilings may unblock waiters.
   stabilize();
 }
@@ -115,15 +117,23 @@ sim::Task<void> PriorityCeiling::acquire(CcTxn& txn, db::ObjectId object,
 }
 
 void PriorityCeiling::do_release_all(CcTxn& txn) {
-  for (auto it = locks_.begin(); it != locks_.end();) {
-    LockState& lock = it->second;
+  for (std::size_t i = 0; i < locked_ids_.size();) {
+    const db::ObjectId object = locked_ids_[i];
+    LockState& lock = lock_slots_[object];
     if (lock.writer == &txn) lock.writer = nullptr;
-    std::erase(lock.readers, &txn);
+    for (auto* r = lock.readers.begin(); r != lock.readers.end();) {
+      if (*r == &txn) {
+        r = lock.readers.erase(r);
+      } else {
+        ++r;
+      }
+    }
     if (lock.empty()) {
-      it = locks_.erase(it);
+      locked_ids_.erase(locked_ids_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
     } else {
-      refresh_rw_ceiling(it->first, lock);
-      ++it;
+      refresh_rw_ceiling(object, lock);
+      ++i;
     }
   }
   stabilize();
@@ -135,9 +145,8 @@ std::string_view PriorityCeiling::name() const {
 
 bool PriorityCeiling::holds(const CcTxn& txn, db::ObjectId object,
                             LockMode mode) const {
-  auto it = locks_.find(object);
-  if (it == locks_.end()) return false;
-  const LockState& lock = it->second;
+  if (object >= object_count_) return false;
+  const LockState& lock = lock_slots_[object];
   if (lock.writer == &txn) return true;  // a write lock covers reads too
   if (effective_mode(mode) == LockMode::kWrite) return false;
   return std::find(lock.readers.begin(), lock.readers.end(), &txn) !=
@@ -163,9 +172,9 @@ bool PriorityCeiling::quiescent(std::string* why) const {
   if (!active_.empty()) {
     return fail(std::to_string(active_.size()) + " transactions still active");
   }
-  if (!locks_.empty()) {
-    return fail("lock table still holds " + std::to_string(locks_.size()) +
-                " object(s), first=" + std::to_string(locks_.begin()->first));
+  if (!locked_ids_.empty()) {
+    return fail("lock table still holds " + std::to_string(locked_ids_.size()) +
+                " object(s), first=" + std::to_string(locked_ids_.front()));
   }
   if (!waiters_.empty()) {
     return fail(std::to_string(waiters_.size()) + " waiters still queued");
@@ -191,13 +200,14 @@ Priority PriorityCeiling::absolute_ceiling(db::ObjectId object) const {
 }
 
 std::optional<Priority> PriorityCeiling::rw_ceiling(db::ObjectId object) const {
-  auto it = locks_.find(object);
-  if (it == locks_.end()) return std::nullopt;
-  return it->second.rw_ceiling;
+  if (object >= object_count_ || lock_slots_[object].empty()) {
+    return std::nullopt;
+  }
+  return lock_slots_[object].rw_ceiling;
 }
 
 bool PriorityCeiling::is_locked(db::ObjectId object) const {
-  return locks_.contains(object);
+  return object < object_count_ && !lock_slots_[object].empty();
 }
 
 std::vector<db::TxnId> PriorityCeiling::lower_priority_blockers_of(
@@ -220,15 +230,17 @@ std::vector<db::TxnId> PriorityCeiling::lower_priority_blockers_of(
 
 std::size_t PriorityCeiling::lower_priority_blocking_txns(
     const CcTxn& txn) const {
-  std::set<const CcTxn*> blockers;
-  for (const auto& [object, lock] : locks_) {
-    (void)object;
+  std::vector<const CcTxn*> blockers;  // distinct; populations are tiny
+  for (const db::ObjectId object : locked_ids_) {
+    const LockState& lock = lock_slots_[object];
     if (!lock.held_by_other(txn)) continue;
     if (txn.base_priority.higher_than(lock.rw_ceiling)) continue;  // no deny
     auto consider = [&](const CcTxn* holder) {
       if (holder != &txn &&
-          txn.base_priority.higher_than(holder->base_priority)) {
-        blockers.insert(holder);
+          txn.base_priority.higher_than(holder->base_priority) &&
+          std::find(blockers.begin(), blockers.end(), holder) ==
+              blockers.end()) {
+        blockers.push_back(holder);
       }
     };
     if (lock.writer != nullptr) consider(lock.writer);
@@ -240,8 +252,8 @@ std::size_t PriorityCeiling::lower_priority_blocking_txns(
 const PriorityCeiling::LockState* PriorityCeiling::strongest_blocking_lock(
     const CcTxn& txn) const {
   const LockState* best = nullptr;
-  for (const auto& [object, lock] : locks_) {
-    (void)object;
+  for (const db::ObjectId object : locked_ids_) {
+    const LockState& lock = lock_slots_[object];
     if (!lock.held_by_other(txn)) continue;
     if (best == nullptr || lock.rw_ceiling.higher_than(best->rw_ceiling)) {
       best = &lock;
@@ -264,7 +276,12 @@ bool PriorityCeiling::can_grant(const CcTxn& txn) const {
 }
 
 void PriorityCeiling::grant(CcTxn& txn, db::ObjectId object, LockMode mode) {
-  LockState& lock = locks_[object];
+  LockState& lock = lock_slots_[object];
+  if (lock.empty()) {
+    locked_ids_.insert(
+        std::lower_bound(locked_ids_.begin(), locked_ids_.end(), object),
+        object);
+  }
   if (mode == LockMode::kWrite) {
     assert(lock.writer == nullptr && lock.readers.empty() &&
            "ceiling rule admitted a conflicting write");
@@ -277,23 +294,44 @@ void PriorityCeiling::grant(CcTxn& txn, db::ObjectId object, LockMode mode) {
   refresh_rw_ceiling(object, lock);
 }
 
-void PriorityCeiling::refresh_static_ceilings(const CcTxn& txn) {
+void PriorityCeiling::add_declarations(const CcTxn& txn) {
+  // AccessSet lists each object at most once (writes coalesced), so each
+  // operation appends exactly one declarer entry.
   for (const Operation& op : txn.access.operations()) {
+    auto& decls = decls_[op.object];
+    assert(std::find_if(decls.begin(), decls.end(), [&](const Declarer& d) {
+             return d.txn == &txn;
+           }) == decls.end());
+    const bool is_write = op.mode == LockMode::kWrite;
+    decls.push_back(Declarer{&txn, is_write});
+    abs_ceiling_[op.object] =
+        Priority::stronger(abs_ceiling_[op.object], txn.base_priority);
+    if (is_write) {
+      write_ceiling_[op.object] =
+          Priority::stronger(write_ceiling_[op.object], txn.base_priority);
+    }
+    LockState& lock = lock_slots_[op.object];
+    if (!lock.empty()) refresh_rw_ceiling(op.object, lock);
+  }
+}
+
+void PriorityCeiling::remove_declarations(const CcTxn& txn) {
+  for (const Operation& op : txn.access.operations()) {
+    auto& decls = decls_[op.object];
+    auto it = std::find_if(decls.begin(), decls.end(),
+                           [&](const Declarer& d) { return d.txn == &txn; });
+    assert(it != decls.end());
+    decls.erase(it);
     Priority write = Priority::lowest();
     Priority abs = Priority::lowest();
-    for (const auto& [id, active] : active_) {
-      (void)id;
-      if (!active->access.touches(op.object)) continue;
-      abs = Priority::stronger(abs, active->base_priority);
-      if (active->access.writes(op.object)) {
-        write = Priority::stronger(write, active->base_priority);
-      }
+    for (const Declarer& d : decls) {
+      abs = Priority::stronger(abs, d.txn->base_priority);
+      if (d.write) write = Priority::stronger(write, d.txn->base_priority);
     }
     write_ceiling_[op.object] = write;
     abs_ceiling_[op.object] = abs;
-    if (auto it = locks_.find(op.object); it != locks_.end()) {
-      refresh_rw_ceiling(op.object, it->second);
-    }
+    LockState& lock = lock_slots_[op.object];
+    if (!lock.empty()) refresh_rw_ceiling(op.object, lock);
   }
 }
 
@@ -334,55 +372,70 @@ void PriorityCeiling::stabilize() {
 }
 
 bool PriorityCeiling::resolve_dynamic_deadlock() {
+  if (waiters_.empty()) return false;
   // Blocked-by graph: each waiter points at the holders of its current
   // strongest blocking lock. Every node on a cycle is a waiter (only
   // waiters have outgoing edges), so any victim is safely abortable.
-  std::unordered_map<const CcTxn*, std::vector<const CcTxn*>> edges;
+  // The adjacency lists live in reused flat scratch (`ddl_targets_` spans),
+  // attached to nodes through their epoch-stamped scratch marks.
+  ddl_targets_.clear();
+  ddl_spans_.clear();
+  const std::uint64_t edge_epoch = ++ddl_epoch_;
   for (const Waiter* waiter : waiters_) {
     const LockState* blocking = strongest_blocking_lock(*waiter->txn);
     if (blocking == nullptr) continue;
-    auto& targets = edges[waiter->txn];
+    const auto first = static_cast<std::uint32_t>(ddl_targets_.size());
     if (blocking->writer != nullptr && blocking->writer != waiter->txn) {
-      targets.push_back(blocking->writer);
+      ddl_targets_.push_back(blocking->writer);
     }
-    for (const CcTxn* reader : blocking->readers) {
-      if (reader != waiter->txn) targets.push_back(reader);
+    for (CcTxn* reader : blocking->readers) {
+      if (reader != waiter->txn) ddl_targets_.push_back(reader);
     }
+    waiter->txn->scratch_edge_epoch = edge_epoch;
+    waiter->txn->scratch_edge_index =
+        static_cast<std::uint32_t>(ddl_spans_.size());
+    ddl_spans_.emplace_back(first,
+                            static_cast<std::uint32_t>(ddl_targets_.size()));
   }
 
   for (const Waiter* start : waiters_) {
-    // DFS from each waiter looking for a cycle through it.
-    std::vector<const CcTxn*> path;
-    std::unordered_map<const CcTxn*, int> colour;  // 0 white 1 grey 2 black
-    struct Frame {
-      const CcTxn* node;
-      std::size_t next = 0;
+    // DFS from each waiter looking for a cycle through it. Colours (0 white
+    // 1 grey 2 black) reset per start by bumping the epoch.
+    const std::uint64_t colour_epoch = ++ddl_epoch_;
+    auto colour_of = [&](const CcTxn* node) -> int {
+      return node->scratch_colour_epoch == colour_epoch ? node->scratch_colour
+                                                        : 0;
     };
-    std::vector<Frame> stack;
-    auto targets_of = [&](const CcTxn* node) -> const std::vector<const CcTxn*>& {
-      static const std::vector<const CcTxn*> kEmpty;
-      auto it = edges.find(node);
-      return it == edges.end() ? kEmpty : it->second;
+    auto set_colour = [&](CcTxn* node, int c) {
+      node->scratch_colour_epoch = colour_epoch;
+      node->scratch_colour = static_cast<std::uint8_t>(c);
     };
-    colour[start->txn] = 1;
-    path.push_back(start->txn);
-    stack.push_back(Frame{start->txn});
-    while (!stack.empty()) {
-      Frame& frame = stack.back();
-      const auto& targets = targets_of(frame.node);
+    auto targets_of = [&](const CcTxn* node) -> std::span<CcTxn* const> {
+      if (node->scratch_edge_epoch != edge_epoch) return {};
+      const auto& [first, last] = ddl_spans_[node->scratch_edge_index];
+      return {ddl_targets_.data() + first, ddl_targets_.data() + last};
+    };
+    ddl_path_.clear();
+    ddl_stack_.clear();
+    set_colour(start->txn, 1);
+    ddl_path_.push_back(start->txn);
+    ddl_stack_.push_back(DdlFrame{start->txn, 0});
+    while (!ddl_stack_.empty()) {
+      DdlFrame& frame = ddl_stack_.back();
+      const auto targets = targets_of(frame.node);
       if (frame.next >= targets.size()) {
-        colour[frame.node] = 2;
-        path.pop_back();
-        stack.pop_back();
+        set_colour(frame.node, 2);
+        ddl_path_.pop_back();
+        ddl_stack_.pop_back();
         continue;
       }
-      const CcTxn* next = targets[frame.next++];
-      if (colour[next] == 1) {
+      CcTxn* next = targets[frame.next++];
+      if (colour_of(next) == 1) {
         // Cycle: pick the lowest-priority member as victim.
-        auto it = std::find(path.begin(), path.end(), next);
-        assert(it != path.end());
+        auto it = std::find(ddl_path_.begin(), ddl_path_.end(), next);
+        assert(it != ddl_path_.end());
         const CcTxn* victim = *it;
-        for (auto member = it; member != path.end(); ++member) {
+        for (auto member = it; member != ddl_path_.end(); ++member) {
           if (victim->effective_priority().higher_than(
                   (*member)->effective_priority())) {
             victim = *member;
@@ -395,10 +448,10 @@ bool PriorityCeiling::resolve_dynamic_deadlock() {
         hooks_.abort_txn(victim->id, AbortReason::kDeadlockVictim);
         return true;
       }
-      if (colour[next] == 0) {
-        colour[next] = 1;
-        path.push_back(next);
-        stack.push_back(Frame{next});
+      if (colour_of(next) == 0) {
+        set_colour(next, 1);
+        ddl_path_.push_back(next);
+        ddl_stack_.push_back(DdlFrame{next, 0});
       }
     }
   }
@@ -408,39 +461,43 @@ bool PriorityCeiling::resolve_dynamic_deadlock() {
 void PriorityCeiling::update_inheritance() {
   // "If transaction T blocks higher priority transactions, T inherits the
   // highest priority of the transactions blocked by T." Computed to a
-  // fixpoint because inherited priorities feed back through chains.
-  std::unordered_map<const CcTxn*, Priority> inherited;
-  inherited.reserve(active_.size());
+  // fixpoint because inherited priorities feed back through chains. The
+  // accumulator lives in each context's scratch_priority; locks and
+  // ceilings are constant during the fixpoint, so each waiter's blocking
+  // lock is hoisted out of it.
   for (const auto& [id, txn] : active_) {
     (void)id;
-    inherited.emplace(txn, Priority::lowest());
+    txn->scratch_priority = Priority::lowest();
   }
-  auto effective = [&](const CcTxn* txn) {
-    return Priority::stronger(txn->base_priority, inherited.at(txn));
+  blocking_scratch_.clear();
+  for (const Waiter* waiter : waiters_) {
+    blocking_scratch_.push_back(strongest_blocking_lock(*waiter->txn));
+  }
+  auto effective = [](const CcTxn* txn) {
+    return Priority::stronger(txn->base_priority, txn->scratch_priority);
   };
   bool changed = true;
   while (changed) {
     changed = false;
-    for (const Waiter* waiter : waiters_) {
-      const LockState* blocking = strongest_blocking_lock(*waiter->txn);
+    for (std::size_t i = 0; i < waiters_.size(); ++i) {
+      const LockState* blocking = blocking_scratch_[i];
       if (blocking == nullptr) continue;
+      const Waiter* waiter = waiters_[i];
       const Priority urgency = effective(waiter->txn);
-      auto inherit = [&](const CcTxn* holder) {
+      auto inherit = [&](CcTxn* holder) {
         if (holder == waiter->txn) return;
-        auto it = inherited.find(holder);
-        assert(it != inherited.end());
-        if (urgency.higher_than(it->second)) {
-          it->second = urgency;
+        if (urgency.higher_than(holder->scratch_priority)) {
+          holder->scratch_priority = urgency;
           changed = true;
         }
       };
       if (blocking->writer != nullptr) inherit(blocking->writer);
-      for (const CcTxn* reader : blocking->readers) inherit(reader);
+      for (CcTxn* reader : blocking->readers) inherit(reader);
     }
   }
   for (const auto& [id, txn] : active_) {
     (void)id;
-    set_inherited(*txn, inherited.at(txn));
+    set_inherited(*txn, txn->scratch_priority);
   }
 }
 

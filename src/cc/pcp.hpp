@@ -1,13 +1,14 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cc/controller.hpp"
+#include "sim/inline_vec.hpp"
 #include "sim/semaphore.hpp"
 
 namespace rtdb::cc {
@@ -111,11 +112,19 @@ class PriorityCeiling : public ConcurrencyController {
  private:
   struct LockState {
     CcTxn* writer = nullptr;
-    std::vector<CcTxn*> readers;
+    sim::InlineVec<CcTxn*, 4> readers;
     sim::Priority rw_ceiling = sim::Priority::lowest();
 
     bool held_by_other(const CcTxn& txn) const;
     bool empty() const { return writer == nullptr && readers.empty(); }
+  };
+
+  // One entry per (active transaction, declared object): the inverted form
+  // of the declared read/write sets, so ceilings update incrementally on
+  // begin/end instead of rescanning every active transaction.
+  struct Declarer {
+    const CcTxn* txn = nullptr;
+    bool write = false;
   };
 
   struct Waiter {
@@ -136,8 +145,11 @@ class PriorityCeiling : public ConcurrencyController {
   const LockState* strongest_blocking_lock(const CcTxn& txn) const;
   bool can_grant(const CcTxn& txn) const;
   void grant(CcTxn& txn, db::ObjectId object, LockMode mode);
-  // Recomputes the static ceilings of every object `txn` declares.
-  void refresh_static_ceilings(const CcTxn& txn);
+  // Incremental static-ceiling maintenance over the declaration index: a
+  // newcomer's declarations only raise ceilings; a departure recomputes the
+  // (few) objects it declared from their remaining declarers.
+  void add_declarations(const CcTxn& txn);
+  void remove_declarations(const CcTxn& txn);
   void refresh_rw_ceiling(db::ObjectId object, LockState& lock);
   // Priority inheritance to a fixpoint, then grants every waiter the new
   // state allows, repeating until stable; finally runs the deadlock
@@ -153,9 +165,29 @@ class PriorityCeiling : public ConcurrencyController {
   std::uint32_t object_count_;
   std::vector<sim::Priority> write_ceiling_;
   std::vector<sim::Priority> abs_ceiling_;
-  std::map<db::ObjectId, LockState> locks_;
+  std::vector<sim::InlineVec<Declarer, 4>> decls_;  // indexed by object
+  // Lock table flattened for the hot scans: per-object slots (stable
+  // addresses — `LockState*` stays valid across grants) plus the sorted
+  // list of currently locked ids. Ascending iteration over `locked_ids_`
+  // reproduces the ordered-map iteration the protocol's tie-breaks
+  // (strongest_blocking_lock, release order) were specified against.
+  std::vector<LockState> lock_slots_;   // indexed by object
+  std::vector<db::ObjectId> locked_ids_;  // sorted ascending
   std::unordered_map<db::TxnId, CcTxn*> active_;
   std::vector<Waiter*> waiters_;  // priority order (highest first)
+  // Reused scratch for update_inheritance / resolve_dynamic_deadlock so the
+  // stabilize loop allocates nothing. The epoch counter pairs with the
+  // scratch marks in CcTxn (stale epochs read as unmarked).
+  std::vector<const LockState*> blocking_scratch_;
+  struct DdlFrame {
+    CcTxn* node = nullptr;
+    std::uint32_t next = 0;
+  };
+  std::vector<CcTxn*> ddl_targets_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ddl_spans_;
+  std::vector<CcTxn*> ddl_path_;
+  std::vector<DdlFrame> ddl_stack_;
+  std::uint64_t ddl_epoch_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t ceiling_denials_ = 0;
   std::uint64_t dynamic_deadlocks_ = 0;

@@ -116,12 +116,12 @@ bool TwoPhaseLocking::quiescent(std::string* why) const {
 }
 
 void TwoPhaseLocking::refresh_edges(db::ObjectId object) {
-  for (LockTable::Request* request : table_.queued_requests(object)) {
-    wfg_.clear_waits_of(request->txn->id);
-    for (const CcTxn* blocker : table_.blockers_of(*request)) {
-      wfg_.add_edge(request->txn->id, blocker->id);
-    }
-  }
+  table_.for_each_queued(object, [&](LockTable::Request& request) {
+    wfg_.clear_waits_of(request.txn->id);
+    table_.for_each_blocker(request, [&](CcTxn& blocker) {
+      wfg_.add_edge(request.txn->id, blocker.id);
+    });
+  });
 }
 
 void TwoPhaseLocking::resolve_deadlocks(CcTxn& requester,
@@ -181,15 +181,15 @@ void TwoPhaseLocking::update_inheritance() {
   if (!options_.priority_inheritance) return;
   // Fixpoint: a blocker inherits the strongest effective priority among the
   // waiters it blocks; effective priorities feed back through chains
-  // (T1 waits on T2 which waits on T3: T3 inherits T1's priority).
-  std::unordered_map<const CcTxn*, Priority> inherited;
-  inherited.reserve(active_.size());
+  // (T1 waits on T2 which waits on T3: T3 inherits T1's priority). The
+  // accumulator lives in each context's scratch_priority so the pass
+  // allocates nothing.
   for (const auto& [id, txn] : active_) {
     (void)id;
-    inherited.emplace(txn, Priority::lowest());
+    txn->scratch_priority = Priority::lowest();
   }
-  auto effective = [&](const CcTxn* txn) {
-    return Priority::stronger(txn->base_priority, inherited.at(txn));
+  auto effective = [](const CcTxn* txn) {
+    return Priority::stronger(txn->base_priority, txn->scratch_priority);
   };
   bool changed = true;
   while (changed) {
@@ -197,18 +197,21 @@ void TwoPhaseLocking::update_inheritance() {
     for (const auto& [id, request] : waiting_) {
       (void)id;
       const Priority urgency = effective(request->txn);
-      for (CcTxn* blocker : table_.blockers_of(*request)) {
-        auto it = inherited.find(blocker);
-        assert(it != inherited.end());
-        if (urgency.higher_than(it->second)) {
-          it->second = urgency;
+      table_.for_each_blocker(*request, [&](CcTxn& blocker) {
+        if (urgency.higher_than(blocker.scratch_priority)) {
+          blocker.scratch_priority = urgency;
           changed = true;
         }
-      }
+      });
     }
   }
-  for (const auto& [txn, priority] : inherited) {
-    set_inherited(*active_.at(txn->id), priority);
+  // Applied in active-map order: deterministic and independent of where the
+  // contexts happen to live in memory. The order is observable (the
+  // priority hook drives CPU rescheduling, which allocates event
+  // sequence numbers), so it must not depend on the allocator.
+  for (const auto& [id, txn] : active_) {
+    (void)id;
+    set_inherited(*txn, txn->scratch_priority);
   }
 }
 

@@ -33,6 +33,19 @@ struct CcTxn {
   bool blocked = false;
   sim::TimePoint blocked_since{};
 
+  // ---- controller-internal scratch ----
+  // Fixpoint accumulator and epoch-stamped DFS marks reused by the lock
+  // protocols' inheritance/deadlock passes so they run without per-call
+  // heap allocation. Each context belongs to exactly one controller;
+  // values are meaningless outside a single pass.
+  sim::Priority scratch_priority = sim::Priority::lowest();
+  // Locks currently held in the owning LockTable; bounds its release scan.
+  std::uint32_t scratch_hold_count = 0;
+  std::uint64_t scratch_edge_epoch = 0;
+  std::uint32_t scratch_edge_index = 0;
+  std::uint64_t scratch_colour_epoch = 0;
+  std::uint8_t scratch_colour = 0;
+
   // ---- statistics (read by the performance monitor) ----
   sim::Duration blocked_total{};
   std::uint32_t block_count = 0;

@@ -119,9 +119,38 @@ void PreemptiveCpu::complete(JobId id) {
 }
 
 void PreemptiveCpu::reschedule() {
+  // This runs on every admit/complete/priority change, so the single-core
+  // configuration (the paper's) gets a sort-free fast path and the general
+  // path reuses a member scratch vector instead of allocating.
+  if (cores_ == 1) {
+    // The strongest live job (priority, then admission order) takes the
+    // core; everyone else is preempted.
+    Job* best = nullptr;
+    std::uint32_t best_slot = 0;
+    for (std::uint32_t i = 0; i < jobs_.size(); ++i) {
+      Job& job = jobs_[i];
+      if (!job.live) continue;
+      if (best == nullptr || job.priority.higher_than(best->priority) ||
+          (job.priority == best->priority &&
+           job.admit_seq < best->admit_seq)) {
+        best = &job;
+        best_slot = i;
+      }
+    }
+    // Preempt first so the core is free before the winner starts.
+    for (Job& job : jobs_) {
+      if (job.live && job.running && &job != best) stop_running(job);
+    }
+    if (best != nullptr && !best->running) {
+      start_running(JobId{best_slot, best->generation}, *best);
+    }
+    return;
+  }
+
   // Gather live jobs ordered by (priority, admission order); the first
   // `cores_` of them should hold the cores.
-  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t>& order = order_scratch_;
+  order.clear();
   order.reserve(live_jobs_);
   for (std::uint32_t i = 0; i < jobs_.size(); ++i) {
     if (jobs_[i].live) order.push_back(i);

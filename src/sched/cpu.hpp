@@ -113,6 +113,7 @@ class PreemptiveCpu : public sim::Waitable {
   std::string name_;
   std::vector<Job> jobs_;
   std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> order_scratch_;  // reschedule(), multi-core path
   std::size_t live_jobs_ = 0;
   std::uint64_t admit_seq_ = 0;
   mutable sim::Duration busy_accum_{};

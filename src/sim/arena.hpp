@@ -1,0 +1,105 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace rtdb::sim {
+
+// Bump allocator for attempt-scoped scratch data. Allocations are carved
+// sequentially out of chunks; reset() rewinds to empty while keeping the
+// chunks, so after the first attempt a retry allocates nothing from the
+// global heap. The destructor frees every chunk, keeping ASan/LSan clean.
+//
+// Only trivially-destructible element types are supported: reset() never
+// runs destructors.
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 4096;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    if (cur_ < chunks_.size()) {
+      Chunk& chunk = chunks_[cur_];
+      // Align the absolute address, not the offset: chunk bases are only
+      // guaranteed the default operator-new alignment.
+      const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+      const std::size_t aligned = align_up(base + offset_, align) - base;
+      if (aligned + bytes <= chunk.size) {
+        offset_ = aligned + bytes;
+        return chunk.data.get() + aligned;
+      }
+    }
+    return allocate_slow(bytes, align);
+  }
+
+  // A value-initialised array of `count` Ts, alive until reset().
+  template <typename T>
+  std::span<T> make_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "reset() never runs destructors");
+    T* data = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) new (data + i) T{};
+    return {data, count};
+  }
+
+  // Rewinds to empty. Chunks are retained for reuse; nothing is freed.
+  void reset() {
+    cur_ = 0;
+    offset_ = 0;
+  }
+
+  // ---- introspection (tests, leak accounting) ----
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static std::uintptr_t align_up(std::uintptr_t n, std::uintptr_t align) {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  void* allocate_slow(std::size_t bytes, std::size_t align) {
+    // Move to the next retained chunk that fits, or grow. A request larger
+    // than the configured chunk size gets a dedicated chunk.
+    while (cur_ + 1 < chunks_.size()) {
+      ++cur_;
+      offset_ = 0;
+      if (bytes + align <= chunks_[cur_].size) return allocate(bytes, align);
+    }
+    const std::size_t size = std::max(chunk_bytes_, bytes + align);
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+    cur_ = chunks_.size() - 1;
+    offset_ = 0;
+    return allocate(bytes, align);
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;     // chunk currently being bumped
+  std::size_t offset_ = 0;  // bump offset within chunks_[cur_]
+  std::size_t chunk_bytes_;
+};
+
+}  // namespace rtdb::sim

@@ -1,11 +1,28 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace rtdb::sim {
 
-EventId EventQueue::schedule(TimePoint when, EventCallback callback) {
+namespace {
+constexpr std::size_t kMinBuckets = 64;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+constexpr int kMaxShift = 40;
+// Health check: every kCheckWindow ops, more than kOverworkPerOp wasted
+// steps per op on average flags the current layout as mismatched.
+constexpr std::uint64_t kCheckWindow = 4096;
+constexpr std::uint64_t kOverworkPerOp = 16;
+}  // namespace
+
+EventQueue::EventQueue() : buckets_(kMinBuckets), mask_(kMinBuckets - 1) {
+  // Initial width: 2^10 ticks (about one simulated time unit); the first
+  // rebuild replaces the guess with the measured inter-event gap.
+  shift_ = 10;
+}
+
+std::uint32_t EventQueue::new_slot(EventCallback callback) {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -17,9 +34,29 @@ EventId EventQueue::schedule(TimePoint when, EventCallback callback) {
   Slot& s = slots_[slot];
   s.live = true;
   s.callback = std::move(callback);
-  heap_push(HeapEntry{when.as_ticks(), next_seq_++, slot});
+  return slot;
+}
+
+void EventQueue::retire_slot(std::uint32_t slot) {
+  ++slots_[slot].generation;
+  free_slots_.push_back(slot);
+}
+
+EventId EventQueue::schedule(TimePoint when, EventCallback callback) {
+  const std::uint32_t slot = new_slot(std::move(callback));
+  const Entry entry{when.as_ticks(), next_seq_++, slot};
   ++live_;
-  return EventId{slot, s.generation};
+  ++stored_;
+  if (heap_mode_) {
+    heap_push(entry);
+  } else {
+    insert_entry(entry);
+    if (stored_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+      rebuild();
+    }
+    note_op();
+  }
+  return EventId{slot, slots_[slot].generation};
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -27,8 +64,9 @@ bool EventQueue::cancel(EventId id) {
   Slot& s = slots_[id.slot];
   s.live = false;
   s.callback = nullptr;
-  // The heap entry stays; pop() discards it. The slot is recycled there too
-  // (not here) so the heap never refers to a reused slot.
+  // The stored entry stays; it is discarded when it reaches a bucket front
+  // (or the heap top). The slot is recycled there too (not here) so the
+  // structure never refers to a reused slot.
   --live_;
   return true;
 }
@@ -39,45 +77,213 @@ bool EventQueue::pending(EventId id) const {
 }
 
 std::optional<TimePoint> EventQueue::next_time() {
-  drop_dead_top();
-  if (heap_.empty()) return std::nullopt;
-  return TimePoint::at_ticks(heap_.front().time_ticks);
+  if (heap_mode_) {
+    drop_dead_top();
+    if (heap_.empty()) return std::nullopt;
+    return TimePoint::at_ticks(heap_.front().time_ticks);
+  }
+  Bucket* bucket = find_front();
+  if (bucket == nullptr) return std::nullopt;
+  return TimePoint::at_ticks(bucket->front().time_ticks);
 }
 
 std::optional<EventQueue::ReadyEvent> EventQueue::pop() {
-  drop_dead_top();
-  if (heap_.empty()) return std::nullopt;
-  HeapEntry top = heap_pop();
-  Slot& s = slots_[top.slot];
+  Entry entry;
+  if (heap_mode_) {
+    drop_dead_top();
+    if (heap_.empty()) return std::nullopt;
+    entry = heap_pop_top();
+    --stored_;
+  } else {
+    Bucket* bucket = find_front();
+    if (bucket == nullptr) return std::nullopt;
+    entry = bucket->front();
+    ++bucket->head;
+    --stored_;
+    compact(*bucket);
+    if (buckets_.size() > kMinBuckets && stored_ < buckets_.size() / 8) {
+      rebuild();
+    }
+    note_op();
+  }
+  Slot& s = slots_[entry.slot];
   assert(s.live);
-  ReadyEvent ready{TimePoint::at_ticks(top.time_ticks), std::move(s.callback)};
+  ReadyEvent ready{TimePoint::at_ticks(entry.time_ticks),
+                   std::move(s.callback)};
   s.live = false;
   s.callback = nullptr;
-  ++s.generation;
-  free_slots_.push_back(top.slot);
+  retire_slot(entry.slot);
   --live_;
   return ready;
 }
 
-void EventQueue::drop_dead_top() {
-  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
-    HeapEntry dead = heap_pop();
-    ++slots_[dead.slot].generation;
-    free_slots_.push_back(dead.slot);
+void EventQueue::insert_entry(const Entry& entry) {
+  const std::int64_t day = day_of(entry.time_ticks);
+  // A schedule behind the scan position (legal: the scan may sit on a
+  // later window than "now") rewinds it, keeping the invariant that every
+  // live entry's window is >= cur_window_.
+  if (day < cur_window_) cur_window_ = day;
+  Bucket& bucket = bucket_of(day);
+  auto& items = bucket.items;
+  std::size_t pos = items.size();
+  while (pos > bucket.head && earlier(entry, items[pos - 1])) --pos;
+  overwork_ += items.size() - pos;  // entries shifted by this insert
+  items.insert(items.begin() + static_cast<std::ptrdiff_t>(pos), entry);
+}
+
+EventQueue::Bucket* EventQueue::find_front() {
+  if (stored_ == 0) return nullptr;
+  // Scan forward one window at a time. Windows verified empty are skipped
+  // for good (cur_window_ advances); insert_entry rewinds on a schedule
+  // behind the scan position. Within a bucket the due-now entries are
+  // exactly a sorted prefix, because an entry of a later year is at least
+  // a whole year away in time.
+  for (std::size_t scanned = 0; scanned < buckets_.size(); ++scanned) {
+    Bucket& bucket = bucket_of(cur_window_);
+    purge_front(bucket);
+    if (!bucket.empty() && day_of(bucket.front().time_ticks) == cur_window_) {
+      overwork_ += scanned;
+      return &bucket;
+    }
+    ++cur_window_;
+  }
+  overwork_ += buckets_.size();
+  // A whole year with nothing due: jump straight to the earliest front.
+  Bucket* best = nullptr;
+  for (Bucket& bucket : buckets_) {
+    purge_front(bucket);
+    if (bucket.empty()) continue;
+    if (best == nullptr || earlier(bucket.front(), best->front())) {
+      best = &bucket;
+    }
+  }
+  if (best == nullptr) return nullptr;  // everything stored was cancelled
+  cur_window_ = day_of(best->front().time_ticks);
+  return best;
+}
+
+void EventQueue::purge_front(Bucket& bucket) {
+  while (!bucket.empty() && !slots_[bucket.front().slot].live) {
+    retire_slot(bucket.front().slot);
+    ++bucket.head;
+    --stored_;
+  }
+  compact(bucket);
+}
+
+void EventQueue::compact(Bucket& bucket) {
+  // Reclaim the consumed prefix once it dominates the vector, so a bucket
+  // fed and drained concurrently doesn't grow without bound.
+  if (bucket.head == bucket.items.size()) {
+    bucket.items.clear();
+    bucket.head = 0;
+  } else if (bucket.head > 64 && bucket.head * 2 >= bucket.items.size()) {
+    bucket.items.erase(
+        bucket.items.begin(),
+        bucket.items.begin() + static_cast<std::ptrdiff_t>(bucket.head));
+    bucket.head = 0;
   }
 }
 
-void EventQueue::heap_push(HeapEntry entry) {
+void EventQueue::rebuild() {
+  ++rebuilds_;
+  rebuild_scratch_.clear();
+  for (Bucket& bucket : buckets_) {
+    for (std::size_t i = bucket.head; i < bucket.items.size(); ++i) {
+      const Entry& entry = bucket.items[i];
+      if (slots_[entry.slot].live) {
+        rebuild_scratch_.push_back(entry);
+      } else {
+        retire_slot(entry.slot);
+      }
+    }
+    bucket.items.clear();
+    bucket.head = 0;
+  }
+  std::sort(rebuild_scratch_.begin(), rebuild_scratch_.end(), earlier);
+  stored_ = rebuild_scratch_.size();
+
+  const std::size_t want = std::min(
+      kMaxBuckets, std::bit_ceil(std::max(kMinBuckets, stored_)));
+  buckets_.resize(want);
+  mask_ = want - 1;
+
+  // Bucket width tracks the mean gap between pending events (rounded up to
+  // a power of two), aiming at about one event per bucket per year.
+  if (stored_ >= 2) {
+    const std::int64_t span = rebuild_scratch_.back().time_ticks -
+                              rebuild_scratch_.front().time_ticks;
+    const std::int64_t gap = span / static_cast<std::int64_t>(stored_ - 1);
+    shift_ = gap <= 0 ? 0
+                      : std::min(kMaxShift,
+                                 static_cast<int>(std::bit_width(
+                                     static_cast<std::uint64_t>(gap))));
+  }
+  cur_window_ = rebuild_scratch_.empty()
+                    ? 0
+                    : day_of(rebuild_scratch_.front().time_ticks);
+  // Ascending append keeps every bucket sorted.
+  for (const Entry& entry : rebuild_scratch_) {
+    bucket_of(day_of(entry.time_ticks)).items.push_back(entry);
+  }
+}
+
+void EventQueue::note_op() {
+  if (++op_count_ < kCheckWindow) return;
+  const bool overworked = overwork_ > kCheckWindow * kOverworkPerOp;
+  op_count_ = 0;
+  overwork_ = 0;
+  if (!overworked) {
+    prev_window_rebuilt_ = false;
+    return;
+  }
+  if (prev_window_rebuilt_) {
+    // Re-estimating didn't help: the distribution defeats the calendar
+    // (e.g. exponentially spreading gaps). Use the ordered structure.
+    enter_heap_mode();
+    return;
+  }
+  prev_window_rebuilt_ = true;
+  rebuild();
+}
+
+void EventQueue::enter_heap_mode() {
+  heap_mode_ = true;
+  heap_.clear();
+  for (Bucket& bucket : buckets_) {
+    for (std::size_t i = bucket.head; i < bucket.items.size(); ++i) {
+      const Entry& entry = bucket.items[i];
+      if (slots_[entry.slot].live) {
+        heap_.push_back(entry);
+      } else {
+        retire_slot(entry.slot);
+      }
+    }
+  }
+  stored_ = heap_.size();
+  buckets_.clear();
+  buckets_.shrink_to_fit();
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+void EventQueue::heap_push(Entry entry) {
   heap_.push_back(entry);
   std::push_heap(heap_.begin(), heap_.end(), later);
 }
 
-EventQueue::HeapEntry EventQueue::heap_pop() {
+EventQueue::Entry EventQueue::heap_pop_top() {
   assert(!heap_.empty());
   std::pop_heap(heap_.begin(), heap_.end(), later);
-  HeapEntry entry = heap_.back();
+  Entry entry = heap_.back();
   heap_.pop_back();
   return entry;
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
+    retire_slot(heap_pop_top().slot);
+    --stored_;
+  }
 }
 
 }  // namespace rtdb::sim

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rtdb::sim {
+
+// A vector with inline storage for the first `N` elements that spills to
+// the heap only beyond that. Used for hot containers whose typical
+// population is tiny (lock holders, grant queues, declaration lists) so the
+// common case does no heap traffic and stays on the owner's cache lines.
+//
+// Intended payloads are pointers and small PODs, hence the nothrow-move
+// requirement. Iterator/pointer invalidation follows std::vector rules:
+// any growth past capacity() invalidates, as does moving the container
+// while it is still inline.
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0);
+  static_assert(std::is_nothrow_move_constructible_v<T>);
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() = default;
+
+  InlineVec(const InlineVec& other) {
+    reserve(other.size_);
+    for (const T& v : other) emplace_back(v);
+  }
+
+  InlineVec(InlineVec&& other) noexcept { steal_from(other); }
+
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (const T& v : other) emplace_back(v);
+    }
+    return *this;
+  }
+
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  ~InlineVec() { release(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* slot = new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  iterator erase(iterator pos) {
+    assert(pos >= begin() && pos < end());
+    for (T* p = pos; p + 1 != end(); ++p) *p = std::move(p[1]);
+    pop_back();
+    return pos;
+  }
+
+  iterator insert(iterator pos, T value) {
+    const std::size_t idx = static_cast<std::size_t>(pos - data_);
+    if (size_ == capacity_) grow(capacity_ * 2);
+    if (idx == size_) {
+      new (data_ + size_) T(std::move(value));
+    } else {
+      new (data_ + size_) T(std::move(data_[size_ - 1]));
+      for (std::size_t i = size_ - 1; i > idx; --i) {
+        data_[i] = std::move(data_[i - 1]);
+      }
+      data_[idx] = std::move(value);
+    }
+    ++size_;
+    return data_ + idx;
+  }
+
+ private:
+  bool on_heap() const { return data_ != inline_data(); }
+  T* inline_data() { return reinterpret_cast<T*>(inline_buf_); }
+  const T* inline_data() const {
+    return reinterpret_cast<const T*>(inline_buf_);
+  }
+
+  void grow(std::size_t want) {
+    const std::size_t cap = want < 2 * N ? 2 * N : want;
+    T* fresh = static_cast<T*>(
+        ::operator new(cap * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      new (fresh + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (on_heap()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  // Destroys elements and frees any heap buffer, leaving *this unusable
+  // until steal_from()/reset; callers immediately re-initialize.
+  void release() {
+    clear();
+    if (on_heap()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+    data_ = inline_data();
+    capacity_ = N;
+  }
+
+  void steal_from(InlineVec& other) noexcept {
+    if (other.on_heap()) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      data_ = inline_data();
+      capacity_ = N;
+      size_ = other.size_;
+      for (std::size_t i = 0; i < size_; ++i) {
+        new (data_ + i) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) std::byte inline_buf_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rtdb::sim

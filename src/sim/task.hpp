@@ -6,6 +6,8 @@
 #include <optional>
 #include <utility>
 
+#include "sim/frame_pool.hpp"
+
 namespace rtdb::sim {
 
 template <typename T = void>
@@ -22,6 +24,16 @@ template <typename Derived>
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
+
+  // Frames are allocated through the thread-local pool: one frame churns
+  // per awaited call on the hot path, and same-size-class recycling keeps
+  // that off the general-purpose allocator.
+  static void* operator new(std::size_t bytes) {
+    return FramePool::allocate(bytes);
+  }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    FramePool::deallocate(p, bytes);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

@@ -72,7 +72,7 @@ void TransactionManager::start_attempt(Live& live) {
   live.phase = Phase::kRunning;
   live.restart_event = {};
   // Fresh cc view per attempt; identity and priority are stable.
-  live.attempt = AttemptContext{};
+  live.attempt.reset();
   live.attempt.ctx.id = live.spec.id;
   live.attempt.ctx.attempt = live.attempts + 1;  // 1-based; 0 = unstamped
   live.attempt.ctx.base_priority = live.spec.priority;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <vector>
+#include <cstddef>
 
 namespace rtdb::txn {
 
@@ -28,17 +28,22 @@ sim::Task<void> LocalExecutor::run(AttemptContext& attempt,
   if (granularity > 1) ctx.access = spec.access.coarsened(granularity);
   services_.cc->on_begin(ctx);
   attempt.began = true;
-  std::vector<db::ObjectId> held;  // granules acquired so far
+  // Granules acquired so far; at most one per declared operation, so the
+  // attempt arena can size the list up front.
+  auto held = attempt.scratch.make_array<db::ObjectId>(spec.access.size());
+  std::size_t held_count = 0;
   for (const cc::Operation& op : spec.access.operations()) {
     const db::ObjectId granule = op.object / granularity;
-    if (std::find(held.begin(), held.end(), granule) == held.end()) {
+    const auto held_end =
+        held.begin() + static_cast<std::ptrdiff_t>(held_count);
+    if (std::find(held.begin(), held_end, granule) == held_end) {
       // Acquire each granule once, in the mode the (coarsened) declared
       // set prescribes: write if any object inside it is written.
       const cc::LockMode granule_mode = ctx.access.writes(granule)
                                             ? cc::LockMode::kWrite
                                             : cc::LockMode::kRead;
       co_await services_.cc->acquire(ctx, granule, granule_mode);
-      held.push_back(granule);
+      held[held_count++] = granule;
       if (services_.history != nullptr) {
         services_.history->record(spec.id, granule, granule_mode);
       }
@@ -48,8 +53,15 @@ sim::Task<void> LocalExecutor::run(AttemptContext& attempt,
                                     sched_priority(ctx), &attempt.cpu_job);
     attempt.cpu_job = {};
   }
-  const auto writes = spec.access.write_set();
-  if (!writes.empty()) {
+  if (spec.access.write_count() > 0) {
+    // The write set in execution order, like AccessSet::write_set() but
+    // built in the attempt arena.
+    auto writes =
+        attempt.scratch.make_array<db::ObjectId>(spec.access.write_count());
+    std::size_t nw = 0;
+    for (const cc::Operation& op : spec.access.operations()) {
+      if (op.mode == cc::LockMode::kWrite) writes[nw++] = op.object;
+    }
     co_await services_.rm->commit_writes(spec.id, writes,
                                          sched_priority(ctx));
   }

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+// Calendar-queue-specific coverage: ordering across bucket and year
+// boundaries, same-timestamp FIFO stability through resizes, the
+// grow/shrink rebuild paths, and the heap fallback for distributions the
+// calendar handles badly. The basic contract (cancel semantics, stale
+// ids, size accounting) lives in event_queue_test.cpp.
+namespace rtdb::sim {
+namespace {
+
+TimePoint at(std::int64_t units) {
+  return TimePoint::origin() + Duration::units(units);
+}
+
+// Pops everything and asserts strictly ascending pop times.
+std::vector<TimePoint> drain(EventQueue& q) {
+  std::vector<TimePoint> times;
+  while (auto ev = q.pop()) {
+    if (!times.empty()) EXPECT_GE(ev->time, times.back());
+    times.push_back(ev->time);
+    ev->callback();
+  }
+  EXPECT_TRUE(q.empty());
+  return times;
+}
+
+TEST(CalendarQueueTest, OrdersAcrossBucketAndYearBoundaries) {
+  EventQueue q;
+  // Times straddling bucket edges (the initial width is ~1Ki ticks) and
+  // spanning several wrap-arounds of the initial 64-bucket ring, scheduled
+  // in a scrambled but deterministic order.
+  std::vector<std::int64_t> times;
+  for (std::int64_t base : {0, 1023, 1024, 1025, 65535, 65536, 131071}) {
+    for (std::int64_t delta : {0, 1, 511, 512}) {
+      times.push_back(base + delta);
+    }
+  }
+  std::vector<std::int64_t> scrambled;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    scrambled.push_back(times[(i * 17) % times.size()]);
+  }
+  std::vector<std::int64_t> fired;
+  for (std::int64_t t : scrambled) {
+    q.schedule(at(t), [&fired, t] { fired.push_back(t); });
+  }
+  drain(q);
+  std::vector<std::int64_t> expected = scrambled;
+  std::stable_sort(expected.begin(), expected.end());
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(CalendarQueueTest, SameBucketDifferentYearPopsEarlierFirst) {
+  EventQueue q;
+  // 100 and 100 + 64Ki land in the same bucket of the initial ring but a
+  // whole year apart; the earlier year must still pop first.
+  std::vector<int> order;
+  q.schedule(at(100 + 65536), [&] { order.push_back(2); });
+  q.schedule(at(100), [&] { order.push_back(1); });
+  drain(q);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(CalendarQueueTest, SameTimestampFifoSurvivesResizes) {
+  EventQueue q;
+  // 300 equal-time events interleaved with enough spread events to force
+  // several growth rebuilds; the equal-time group must still fire in
+  // schedule order afterwards.
+  std::vector<int> order;
+  for (int i = 0; i < 300; ++i) {
+    q.schedule(at(5000), [&order, i] { order.push_back(i); });
+    q.schedule(at(10000 + i * 77), [] {});
+    q.schedule(at(i * 13), [] {});
+  }
+  EXPECT_GE(q.rebuilds(), 1u);
+  drain(q);
+  std::vector<int> expected;
+  for (int i = 0; i < 300; ++i) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(CalendarQueueTest, GrowsWithPopulationAndShrinksOnDrain) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(at(i * 37), [] {}));
+  }
+  // The ring starts at 64 buckets and resizes to track the population.
+  EXPECT_GE(q.rebuilds(), 2u);
+  EXPECT_GE(q.bucket_count(), 512u);
+  EXPECT_FALSE(q.heap_fallback());
+  drain(q);
+  // Draining shrinks the ring back to its floor.
+  EXPECT_EQ(q.bucket_count(), 64u);
+}
+
+TEST(CalendarQueueTest, RebuildPurgesCancelledEntries) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(q.schedule(at(i * 37), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(q.cancel(ids[i]));
+  }
+  EXPECT_EQ(q.size(), 100u);
+  // Keep scheduling to trigger a growth rebuild with the dead entries
+  // still stored; they must be dropped, not resurrected.
+  for (int i = 0; i < 400; ++i) {
+    q.schedule(at(10000 + i * 37), [] {});
+  }
+  EXPECT_GE(q.rebuilds(), 1u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(q.pending(ids[i]), i % 2 == 1);
+  }
+  EXPECT_EQ(drain(q).size(), 500u);
+}
+
+TEST(CalendarQueueTest, PathologicalSpacingFallsBackToHeap) {
+  EventQueue q;
+  // One pending event at a time, each a million ticks past the previous:
+  // every pop scans an entire empty year, so the health check must first
+  // try a rebuild and then abandon the calendar for the heap.
+  std::int64_t t = 0;
+  int fired = 0;
+  for (int i = 0; i < 6000; ++i) {
+    t += std::int64_t{1} << 20;
+    q.schedule(at(t), [&fired] { ++fired; });
+    auto ev = q.pop();
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->time, at(t));
+    ev->callback();
+  }
+  EXPECT_TRUE(q.heap_fallback());
+  EXPECT_EQ(fired, 6000);
+
+  // The fallback keeps the full ordering contract, including FIFO among
+  // equal timestamps.
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.schedule(at(t + 100), [&order, i] { order.push_back(i); });
+  }
+  q.schedule(at(t + 50), [&order] { order.push_back(-1); });
+  drain(q);
+  std::vector<int> expected{-1};
+  for (int i = 0; i < 16; ++i) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+  EXPECT_TRUE(q.heap_fallback());  // permanent once entered
+}
+
+}  // namespace
+}  // namespace rtdb::sim
