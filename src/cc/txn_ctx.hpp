@@ -23,6 +23,13 @@ struct CcTxn {
   // Assigned once at arrival (earliest deadline = highest priority); fixed
   // for the transaction's lifetime as the ceiling protocol requires.
   sim::Priority base_priority{};
+  // The hard deadline, stamped by the transaction layer (origin for
+  // contexts built outside it). Protocols ignore it; the distributed
+  // controllers ship it to the ceiling manager, whose orphan reaper may
+  // deregister a mirror once it is provably dead — past its deadline the
+  // home site's watchdog has killed the transaction, so a mirror still
+  // present only means its teardown messages were lost.
+  sim::TimePoint deadline{};
   AccessSet access;
 
   // ---- maintained by the controller ----

@@ -1,0 +1,69 @@
+#include "check/lease_audit.hpp"
+
+#include <string>
+
+#include "check/monitor.hpp"
+
+namespace rtdb::check {
+
+void LeaseAudit::on_lease_acquired(net::SiteId site, std::uint64_t term) {
+  monitor_.record(TraceEvent{{}, "lease-acquire", 0, 0,
+                             static_cast<std::int64_t>(site),
+                             static_cast<std::int64_t>(term)});
+  const auto [it, inserted] = holder_by_term_.try_emplace(term, site);
+  if (!inserted && it->second != site) {
+    monitor_.report("lease.single_holder",
+                    "term " + std::to_string(term) + " lease acquired by site " +
+                        std::to_string(site) + " but site " +
+                        std::to_string(it->second) + " already held it");
+  }
+  active_[site] = term;
+}
+
+void LeaseAudit::on_lease_released(net::SiteId site, std::uint64_t term) {
+  monitor_.record(TraceEvent{{}, "lease-release", 0, 0,
+                             static_cast<std::int64_t>(site),
+                             static_cast<std::int64_t>(term)});
+  active_.erase(site);
+}
+
+void LeaseAudit::on_lease_grant(net::SiteId site, std::uint64_t term) {
+  monitor_.record(TraceEvent{{}, "lease-grant", 0, 0,
+                             static_cast<std::int64_t>(site),
+                             static_cast<std::int64_t>(term)});
+  const auto it = active_.find(site);
+  if (it == active_.end() || it->second != term) {
+    monitor_.report(
+        "lease.grant_without_lease",
+        "site " + std::to_string(site) + " granted with term " +
+            std::to_string(term) +
+            (it == active_.end()
+                 ? " while holding no lease"
+                 : " while holding the lease for term " +
+                       std::to_string(it->second)));
+  }
+}
+
+void LeaseAudit::on_term_adopted(net::SiteId site, std::uint64_t term) {
+  monitor_.record(TraceEvent{{}, "term-adopt", 0, 0,
+                             static_cast<std::int64_t>(site),
+                             static_cast<std::int64_t>(term)});
+  std::uint64_t& adopted = adopted_[site];
+  if (term > adopted) adopted = term;
+}
+
+void LeaseAudit::on_grant_accepted(net::SiteId site, std::uint64_t term) {
+  monitor_.record(TraceEvent{{}, "lease-accept", 0, 0,
+                             static_cast<std::int64_t>(site),
+                             static_cast<std::int64_t>(term)});
+  const auto it = adopted_.find(site);
+  if (it != adopted_.end() && term < it->second) {
+    monitor_.report("lease.stale_term_grant",
+                    "site " + std::to_string(site) +
+                        " accepted a grant stamped with expired term " +
+                        std::to_string(term) + " after adopting term " +
+                        std::to_string(it->second));
+  }
+}
+
+}  // namespace rtdb::check

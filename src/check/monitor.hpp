@@ -7,6 +7,7 @@
 
 #include "cc/controller.hpp"
 #include "check/commit_audit.hpp"
+#include "check/lease_audit.hpp"
 #include "check/lock_audit.hpp"
 #include "check/trace_ring.hpp"
 #include "check/tso_audit.hpp"
@@ -52,6 +53,11 @@ class ConformanceMonitor {
   // set_observer. One instance serves every site.
   txn::CommitObserver* commit_observer() { return &commit_audit_; }
 
+  // The shared lease audit, for FailoverCoordinator::set_observer and
+  // GlobalCeilingManager::set_lease_observer. One instance sees every
+  // site's lease events, which is exactly what lets it detect two holders.
+  dist::LeaseObserver* lease_observer() { return &lease_audit_; }
+
   // ---- run scalars ----
   std::uint64_t violations() const { return violations_; }
   std::uint64_t wait_cycles_detected() const { return wait_cycles_; }
@@ -81,6 +87,7 @@ class ConformanceMonitor {
   TraceRing ring_;
   std::vector<std::unique_ptr<cc::CcObserver>> lock_audits_;
   CommitAudit commit_audit_;
+  LeaseAudit lease_audit_;
   std::vector<Violation> reports_;
   std::uint64_t violations_ = 0;
   std::uint64_t wait_cycles_ = 0;

@@ -6,6 +6,7 @@
 #include "net/fault.hpp"
 #include "sched/disk.hpp"
 #include "sim/time.hpp"
+#include "txn/admission.hpp"
 #include "workload/config.hpp"
 
 namespace rtdb::core {
@@ -100,13 +101,22 @@ struct SystemConfig {
   sim::Duration heartbeat_interval = sim::Duration::units(20);
   // Missed heartbeat intervals before the manager is declared dead.
   std::uint32_t heartbeat_miss_threshold = 3;
-  // Reliable control channel (acked, retransmitting): retries per message
-  // and the base of the exponential retransmission backoff.
+  // Reliable control channel (acked, retransmitting): retries per message,
+  // the base of the exponential retransmission backoff, and its saturation
+  // cap (a long partition must not double the wait into overflow).
   int retransmit_max = 5;
   sim::Duration backoff_base = sim::Duration::units(8);
+  sim::Duration backoff_max = sim::Duration::units(256);
+  // Manager-lease validity window; zero derives heartbeat_interval *
+  // (heartbeat_miss_threshold - 1), one beat inside the election window so
+  // a partitioned manager fences before any successor promotes.
+  sim::Duration lease_interval{};
 
   // ---- load characteristics ----
   workload::WorkloadConfig workload;
+  // Deadline-aware admission control / overload shedding (per-site
+  // transaction managers; see txn/admission.hpp). Off by default.
+  txn::AdmissionConfig admission;
 
   // ---- execution backend ----
   BackendKind backend = BackendKind::kSim;

@@ -115,6 +115,23 @@ constexpr RunScalar kRunScalars[] = {
      }},
     {"max_inversion_span_units",
      [](const RunResult& r) { return r.max_inversion_span_units; }},
+    // Appended by the partition-tolerance work (lease-fenced ceiling
+    // management, deadline-aware shedding) — new columns only, stable order.
+    {"admitted",
+     [](const RunResult& r) { return static_cast<double>(r.admitted); }},
+    {"shed", [](const RunResult& r) { return static_cast<double>(r.shed); }},
+    {"lease_expiries",
+     [](const RunResult& r) {
+       return static_cast<double>(r.lease_expiries);
+     }},
+    {"stale_grants_rejected",
+     [](const RunResult& r) {
+       return static_cast<double>(r.stale_grants_rejected);
+     }},
+    {"partition_drops",
+     [](const RunResult& r) {
+       return static_cast<double>(r.partition_drops);
+     }},
 };
 
 // Runs the cell on the real-hardware thread backend (src/rt) and maps its
@@ -138,6 +155,8 @@ RunResult run_once_threaded(const SystemConfig& config) {
   result.elapsed = rt.elapsed;
   result.conformance_violations = rt.conformance_violations;
   result.wait_cycles_detected = rt.locks.deadlocks;
+  // No shedding on the thread backend: everything that arrived was admitted.
+  result.admitted = rt.records.size();
   if (rt.conformance_violations > 0) {
     static std::mutex report_mutex;
     const std::lock_guard<std::mutex> guard(report_mutex);
@@ -198,6 +217,11 @@ RunResult ExperimentRunner::run_once(const SystemConfig& config) {
   result.termination_queries = system.total_termination_queries();
   result.termination_resolutions = system.total_termination_resolutions();
   result.orphan_locks_reclaimed = system.total_orphan_locks_reclaimed();
+  result.admitted = system.total_admitted();
+  result.shed = system.total_shed();
+  result.lease_expiries = system.total_lease_expiries();
+  result.stale_grants_rejected = system.total_stale_grants_rejected();
+  result.partition_drops = system.total_partition_drops();
   if (config.faults.active()) {
     result.invariant_violations = system.invariant_violations();
   }

@@ -52,6 +52,13 @@ struct RunResult {
   std::uint64_t conformance_violations = 0;
   std::uint64_t wait_cycles_detected = 0;
   double max_inversion_span_units = 0.0;
+  // Partition tolerance / overload shedding (all 0 without --partition /
+  // admission control; admitted mirrors arrived then).
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t lease_expiries = 0;
+  std::uint64_t stale_grants_rejected = 0;
+  std::uint64_t partition_drops = 0;
 };
 
 // A named per-run scalar — the catalog below is the single list the text

@@ -186,7 +186,8 @@ void System::build_global_ceiling() {
     site.channel = std::make_unique<net::ReliableChannel>(
         *site.server,
         net::ReliableChannel::Options{faulty, config_.retransmit_max,
-                                      config_.backoff_base},
+                                      config_.backoff_base,
+                                      config_.backoff_max},
         sim::RandomStream{config_.seed}.fork(kChannelStream + id));
     site.rpc_client = std::make_unique<net::RpcClient>(*site.server);
     site.rpc_dispatcher = std::make_unique<net::RpcDispatcher>(*site.server);
@@ -234,21 +235,30 @@ void System::build_global_ceiling() {
     // Site 0 hosts the initially active manager; with failover every site
     // hosts a standby instance the election can activate.
     if (id == kManagerSite || failover) {
+      // Orphan reaping only under faults: a partition can outlast the
+      // retransmit budget of a dead transaction's teardown messages, and
+      // nothing else removes its mirror from a surviving manager.
       site.manager = std::make_unique<dist::GlobalCeilingManager>(
           *site.server, *site.rpc_dispatcher, config_.db_objects,
-          site.channel.get(), id == kManagerSite);
+          site.channel.get(), id == kManagerSite, faulty);
     }
     if (failover) {
       site.failover = std::make_unique<dist::FailoverCoordinator>(
           *site.server,
-          dist::FailoverCoordinator::Options{config_.heartbeat_interval,
-                                             config_.heartbeat_miss_threshold,
-                                             kManagerSite, config_.sites},
+          dist::FailoverCoordinator::Options{
+              config_.heartbeat_interval, config_.heartbeat_miss_threshold,
+              kManagerSite, config_.sites, config_.lease_interval},
           dist::FailoverCoordinator::Hooks{
-              [manager = site.manager.get()] { manager->activate(); },
+              [manager = site.manager.get()](std::uint64_t term) {
+                manager->activate(term);
+              },
               [manager = site.manager.get()] { manager->deactivate(); },
-              [client = client.get()](net::SiteId manager) {
-                client->set_manager(manager);
+              [manager = site.manager.get()](bool fenced) {
+                manager->set_fenced(fenced);
+              },
+              [client = client.get()](net::SiteId manager,
+                                      std::uint64_t term) {
+                client->set_manager(manager, term);
               },
               [this] { return !drained(); }});
     }
@@ -263,7 +273,8 @@ void System::build_global_ceiling() {
     site.cc = std::move(client);
     site.tm = std::make_unique<txn::TransactionManager>(
         kernel_, *site.cc, *site.executor, monitor_,
-        txn::TransactionManager::Options{config_.restart_backoff});
+        txn::TransactionManager::Options{config_.restart_backoff,
+                                         config_.admission});
     site.tm->connect_cpu(*site.cpu);
     site.server->start();
     sites_.push_back(std::move(site));
@@ -280,7 +291,8 @@ void System::build_local_ceiling() {
     site.channel = std::make_unique<net::ReliableChannel>(
         *site.server,
         net::ReliableChannel::Options{faulty, config_.retransmit_max,
-                                      config_.backoff_base},
+                                      config_.backoff_base,
+                                      config_.backoff_max},
         sim::RandomStream{config_.seed}.fork(kChannelStream + id));
     site.replication = std::make_unique<dist::ReplicationManager>(
         *site.server, *site.rm, site.channel.get());
@@ -301,7 +313,8 @@ void System::build_local_ceiling() {
                                         use_priority_scheduling()});
     site.tm = std::make_unique<txn::TransactionManager>(
         kernel_, *site.cc, *site.executor, monitor_,
-        txn::TransactionManager::Options{config_.restart_backoff});
+        txn::TransactionManager::Options{config_.restart_backoff,
+                                         config_.admission});
     site.tm->connect_cpu(*site.cpu);
     site.server->start();
     sites_.push_back(std::move(site));
@@ -358,6 +371,20 @@ void System::attach_conformance() {
       site.data_server->participant().set_observer(
           conformance_->commit_observer());
     }
+    // Lease audit: coordinators report term adoptions and lease
+    // acquisitions/releases, managers the term stamped on each grant, and
+    // clients the term of each grant they act on. Only meaningful when the
+    // failover machinery is built — without it no lease is ever acquired
+    // and every grant would read as fenceless.
+    if (site.failover != nullptr) {
+      site.failover->set_observer(conformance_->lease_observer());
+      if (site.manager != nullptr) {
+        site.manager->set_lease_observer(conformance_->lease_observer());
+      }
+      if (auto* gcc = dynamic_cast<dist::GlobalCeilingClient*>(site.cc.get())) {
+        gcc->set_lease_observer(conformance_->lease_observer());
+      }
+    }
   }
 }
 
@@ -371,6 +398,18 @@ void System::schedule_faults() {
     constexpr std::uint64_t kFaultStream = 0xFA;
     network_->install_faults(config_.faults,
                              sim::RandomStream{config_.seed}.fork(kFaultStream));
+  }
+  for (const net::FaultSpec::Partition& partition : config_.faults.partitions) {
+    // Pure data, no RNG: link cuts replay bit-identically for any --jobs N.
+    const sim::TimePoint cut_at = sim::TimePoint::origin() + partition.at;
+    kernel_.schedule_at(cut_at, [this, partition] {
+      network_->apply_partition(partition);
+    });
+    if (partition.heal_after > sim::Duration::zero()) {
+      kernel_.schedule_at(cut_at + partition.heal_after, [this, partition] {
+        network_->lift_partition(partition);
+      });
+    }
   }
   for (const net::FaultSpec::Crash& crash : config_.faults.crashes) {
     assert(crash.site < config_.sites);
@@ -596,6 +635,49 @@ std::uint64_t System::total_orphan_locks_reclaimed() const {
   for (const Site& site : sites_) {
     if (site.manager != nullptr) n += site.manager->orphan_locks_reclaimed();
   }
+  return n;
+}
+
+std::uint64_t System::total_partition_drops() const {
+  return network_ != nullptr ? network_->partition_drops() : 0;
+}
+
+std::uint64_t System::total_lease_expiries() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.failover != nullptr) n += site.failover->lease_expiries();
+  }
+  return n;
+}
+
+std::uint64_t System::total_fence_denials() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.manager != nullptr) n += site.manager->fence_denials();
+  }
+  return n;
+}
+
+std::uint64_t System::total_stale_grants_rejected() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (const auto* client =
+            dynamic_cast<const dist::GlobalCeilingClient*>(site.cc.get())) {
+      n += client->stale_grants_rejected();
+    }
+  }
+  return n;
+}
+
+std::uint64_t System::total_admitted() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) n += site.tm->admitted();
+  return n;
+}
+
+std::uint64_t System::total_shed() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) n += site.tm->shed();
   return n;
 }
 

@@ -137,6 +137,13 @@ class System {
   std::uint64_t total_termination_queries() const;
   std::uint64_t total_termination_resolutions() const;
   std::uint64_t total_orphan_locks_reclaimed() const;
+  // Partition / lease / admission counters (0 without the matching knobs).
+  std::uint64_t total_partition_drops() const;
+  std::uint64_t total_lease_expiries() const;
+  std::uint64_t total_fence_denials() const;
+  std::uint64_t total_stale_grants_rejected() const;
+  std::uint64_t total_admitted() const;
+  std::uint64_t total_shed() const;
 
   // Post-run invariant audit: every controller quiescent (no live
   // transactions, empty lock tables, ceilings reset), every manager drained

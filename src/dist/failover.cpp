@@ -1,6 +1,7 @@
 #include "dist/failover.hpp"
 
 #include <cassert>
+#include <string>
 
 namespace rtdb::dist {
 
@@ -11,35 +12,50 @@ FailoverCoordinator::FailoverCoordinator(net::MessageServer& server,
     : server_(server),
       options_(options),
       hooks_(std::move(hooks)),
-      manager_(options.initial_manager),
-      last_heard_(options.site_count, sim::TimePoint::origin()) {
+      state_(ElectionState::Options{server.site(), options.site_count,
+                                    options.initial_manager,
+                                    options.heartbeat_interval,
+                                    options.miss_threshold,
+                                    options.lease_interval}) {
   assert(options_.site_count > 0);
   server_.on<HeartbeatMsg>([this](SiteId from, HeartbeatMsg msg) {
-    handle_heartbeat(from, msg);
+    handle_view(from, msg.term, msg.manager);
   });
   server_.on<ManagerElectedMsg>([this](SiteId from, ManagerElectedMsg msg) {
-    handle_elected(from, msg);
+    handle_view(from, msg.term, msg.manager);
   });
 }
 
 void FailoverCoordinator::start() {
   assert(!started_);
   started_ = true;
-  const sim::TimePoint now = server_.kernel().now();
-  for (sim::TimePoint& t : last_heard_) t = now;
+  state_.reset(server_.kernel().now());
+  if (state_.is_manager()) {
+    // Term 0 is born held: the initial manager grants from the first tick.
+    state_.acquire_initial_lease();
+    if (observer_ != nullptr) {
+      observer_->on_lease_acquired(server_.site(), state_.term());
+    }
+  }
   loop_ = server_.kernel().spawn(
       "failover-" + std::to_string(server_.site()), beat_loop());
 }
 
 void FailoverCoordinator::on_crash() {
   if (started_ && server_.kernel().alive(loop_)) server_.kernel().kill(loop_);
+  if (state_.lease_held()) {
+    state_.drop_lease();
+    if (observer_ != nullptr) {
+      observer_->on_lease_released(server_.site(), state_.term());
+    }
+  }
 }
 
 void FailoverCoordinator::on_restore() {
   if (!started_) return;
   // Fresh grace period: nobody is declared dead on stale pre-crash stamps.
-  const sim::TimePoint now = server_.kernel().now();
-  for (sim::TimePoint& t : last_heard_) t = now;
+  // The lease stays dropped until quorum is re-established by a tick.
+  state_.reset(server_.kernel().now());
   loop_ = server_.kernel().spawn(
       "failover-" + std::to_string(server_.site()), beat_loop());
 }
@@ -50,72 +66,70 @@ sim::Task<void> FailoverCoordinator::beat_loop() {
     if (hooks_.keep_running && !hooks_.keep_running()) co_return;
     for (SiteId site = 0; site < options_.site_count; ++site) {
       if (site == server_.site()) continue;
-      server_.send(site, HeartbeatMsg{term_, manager_});
+      server_.send(site, HeartbeatMsg{state_.term(), state_.manager()});
     }
-    check_manager();
+    apply_tick_event(state_.tick(server_.kernel().now()));
   }
 }
 
-bool FailoverCoordinator::recently_heard(SiteId site,
-                                         sim::TimePoint now) const {
-  return now - last_heard_[site] <=
-         options_.heartbeat_interval *
-             static_cast<std::int64_t>(options_.miss_threshold);
-}
-
-void FailoverCoordinator::check_manager() {
-  if (manager_ == server_.site()) return;  // we are the manager
-  const sim::TimePoint now = server_.kernel().now();
-  if (recently_heard(manager_, now)) return;
-
-  // Manager declared dead: the successor is the lowest-id site still heard
-  // from (ourselves always counting as live). Every live site computes the
-  // same successor from the same heartbeat history; only the successor
-  // acts, the rest wait for its announcement (or its own failure).
-  for (SiteId site = 0; site < options_.site_count; ++site) {
-    if (site == manager_) continue;
-    if (site != server_.site() && !recently_heard(site, now)) continue;
-    if (site != server_.site()) return;  // a lower-id live site will promote
-    term_ += 1;
-    manager_ = server_.site();
-    ++promotions_;
-    if (hooks_.promote) hooks_.promote();
-    if (hooks_.manager_changed) hooks_.manager_changed(manager_);
-    broadcast_elected();
-    return;
+void FailoverCoordinator::apply_tick_event(ElectionState::Event event) {
+  switch (event) {
+    case ElectionState::Event::kPromoted:
+      if (observer_ != nullptr) {
+        observer_->on_term_adopted(server_.site(), state_.term());
+        observer_->on_lease_acquired(server_.site(), state_.term());
+      }
+      if (hooks_.promote) hooks_.promote(state_.term());
+      if (hooks_.manager_changed) {
+        hooks_.manager_changed(state_.manager(), state_.term());
+      }
+      broadcast_elected();
+      break;
+    case ElectionState::Event::kFenced:
+      if (hooks_.set_fenced) hooks_.set_fenced(true);
+      if (observer_ != nullptr) {
+        observer_->on_lease_released(server_.site(), state_.term());
+      }
+      break;
+    case ElectionState::Event::kUnfenced:
+      if (observer_ != nullptr) {
+        observer_->on_lease_acquired(server_.site(), state_.term());
+      }
+      if (hooks_.set_fenced) hooks_.set_fenced(false);
+      break;
+    case ElectionState::Event::kNone:
+    case ElectionState::Event::kAdopted:
+      break;
   }
 }
 
 void FailoverCoordinator::broadcast_elected() {
   for (SiteId site = 0; site < options_.site_count; ++site) {
     if (site == server_.site()) continue;
-    server_.send(site, ManagerElectedMsg{term_, manager_});
+    server_.send(site, ManagerElectedMsg{state_.term(), state_.manager()});
   }
 }
 
-void FailoverCoordinator::handle_heartbeat(SiteId from, HeartbeatMsg msg) {
-  last_heard_[from] = server_.kernel().now();
-  if (msg.term > term_ ||
-      (msg.term == term_ && msg.manager < manager_)) {
-    adopt(msg.term, msg.manager);
+void FailoverCoordinator::handle_view(SiteId from, std::uint64_t term,
+                                      SiteId manager) {
+  const bool was_manager = state_.is_manager();
+  const bool had_lease = state_.lease_held();
+  const std::uint64_t prev_term = state_.term();
+  const SiteId prev_manager = state_.manager();
+  const ElectionState::Event event =
+      state_.observe(from, term, manager, server_.kernel().now());
+  if (event != ElectionState::Event::kAdopted) return;
+  if (had_lease && observer_ != nullptr) {
+    observer_->on_lease_released(server_.site(), prev_term);
   }
-}
-
-void FailoverCoordinator::handle_elected(SiteId from, ManagerElectedMsg msg) {
-  last_heard_[from] = server_.kernel().now();
-  if (msg.term > term_ ||
-      (msg.term == term_ && msg.manager < manager_)) {
-    adopt(msg.term, msg.manager);
+  if (observer_ != nullptr && state_.term() != prev_term) {
+    observer_->on_term_adopted(server_.site(), state_.term());
   }
-}
-
-void FailoverCoordinator::adopt(std::uint64_t term, SiteId manager) {
-  term_ = term;
-  if (manager == manager_) return;
-  const bool was_me = manager_ == server_.site();
-  manager_ = manager;
-  if (was_me && hooks_.demote) hooks_.demote();
-  if (hooks_.manager_changed) hooks_.manager_changed(manager_);
+  if (was_manager && !state_.is_manager() && hooks_.demote) hooks_.demote();
+  if (hooks_.manager_changed && (state_.manager() != prev_manager ||
+                                 state_.term() != prev_term)) {
+    hooks_.manager_changed(state_.manager(), state_.term());
+  }
 }
 
 }  // namespace rtdb::dist

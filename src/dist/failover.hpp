@@ -2,8 +2,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <vector>
 
+#include "dist/election.hpp"
+#include "dist/lease.hpp"
 #include "net/message_server.hpp"
 #include "sim/kernel.hpp"
 #include "sim/task.hpp"
@@ -24,13 +25,17 @@ struct ManagerElectedMsg {
 };
 
 // Deterministic ceiling-manager failover: every site runs one of these,
-// exchanging heartbeats. When the current manager misses `miss_threshold`
-// consecutive intervals, the next live site by id promotes itself, bumps
-// the term, and announces. Ties (two sites promoting in the same term)
-// resolve toward the lower site id. The hooks wire the election into the
-// global-ceiling machinery: promote/demote flip the co-located manager's
-// active flag, manager_changed re-targets the local client (which
-// re-registers its live transactions, rebuilding the lock state).
+// exchanging heartbeats. The election + lease decisions live in the
+// substrate-free ElectionState (see dist/election.hpp for the
+// fence-before-election safety argument); this class supplies the sim
+// transport and timers and translates decision events into hooks.
+//
+// The active manager holds a term-stamped lease renewed every beat while a
+// majority of sites is in heartbeat reach. Losing quorum fences the
+// co-located manager (it stops granting) strictly before any successor's
+// election window can elapse; promotion also requires quorum. Clients
+// independently reject grants stamped with a stale term, closing the
+// one-way-partition window the quorum fence cannot see.
 //
 // Everything is driven by the virtual clock and the deterministic message
 // order, so a run's failover history is a pure function of (config, seed).
@@ -42,13 +47,22 @@ class FailoverCoordinator {
     std::uint32_t miss_threshold = 3;
     net::SiteId initial_manager = 0;
     std::uint32_t site_count = 0;
+    // Lease validity window; zero derives heartbeat_interval *
+    // (miss_threshold - 1). See ElectionState::Options.
+    sim::Duration lease_interval{};
   };
   struct Hooks {
-    // This site became / stopped being the manager.
-    std::function<void()> promote;
+    // This site became / stopped being the manager; promote carries the
+    // lease term the new manager stamps into its grants.
+    std::function<void(std::uint64_t term)> promote;
     std::function<void()> demote;
-    // The (possibly remote) manager changed; re-target and re-register.
-    std::function<void(net::SiteId)> manager_changed;
+    // The co-located manager's lease expired (true) or was renewed
+    // (false); a fenced manager stops granting but keeps serving
+    // registers/releases so the lock book stays current for adoption.
+    std::function<void(bool fenced)> set_fenced;
+    // The (possibly remote) manager or its term changed; re-target the
+    // client and refresh the term it accepts grants against.
+    std::function<void(net::SiteId, std::uint64_t term)> manager_changed;
     // Heartbeating continues only while this returns true; when the system
     // has drained the loops exit so the kernel's event queue can empty.
     std::function<bool()> keep_running;
@@ -62,38 +76,38 @@ class FailoverCoordinator {
 
   // Spawns the heartbeat loop; call once after the servers are started.
   void start();
-  // Site failure: the loop dies with the site (timers are volatile).
+  // Site failure: the loop dies with the site (timers and lease are
+  // volatile).
   void on_crash();
   // Site restart: rejoin with a fresh grace period. The site keeps its
   // (possibly stale) term and re-learns the current election from the
   // first heartbeat that outranks it.
   void on_restore();
 
-  net::SiteId manager() const { return manager_; }
-  std::uint64_t term() const { return term_; }
+  // Conformance audit tap (optional; may be null).
+  void set_observer(LeaseObserver* observer) { observer_ = observer; }
+
+  net::SiteId manager() const { return state_.manager(); }
+  std::uint64_t term() const { return state_.term(); }
+  bool lease_held() const { return state_.lease_held(); }
   // Times *this site* promoted itself to manager.
-  std::uint64_t promotions() const { return promotions_; }
+  std::uint64_t promotions() const { return state_.promotions(); }
+  // Times this site's held lease expired because quorum was lost.
+  std::uint64_t lease_expiries() const { return state_.lease_expiries(); }
 
  private:
   sim::Task<void> beat_loop();
-  void check_manager();
-  void handle_heartbeat(net::SiteId from, HeartbeatMsg msg);
-  void handle_elected(net::SiteId from, ManagerElectedMsg msg);
-  // Accepts (term, manager) as the new election state; fires demote /
-  // manager_changed hooks on an actual change.
-  void adopt(std::uint64_t term, net::SiteId manager);
+  void handle_view(net::SiteId from, std::uint64_t term, net::SiteId manager);
+  void apply_tick_event(ElectionState::Event event);
   void broadcast_elected();
-  bool recently_heard(net::SiteId site, sim::TimePoint now) const;
 
   net::MessageServer& server_;
   Options options_;
   Hooks hooks_;
-  std::uint64_t term_ = 0;
-  net::SiteId manager_ = 0;
-  std::vector<sim::TimePoint> last_heard_;
+  ElectionState state_;
+  LeaseObserver* observer_ = nullptr;
   sim::ProcessId loop_{};
   bool started_ = false;
-  std::uint64_t promotions_ = 0;
 };
 
 }  // namespace rtdb::dist

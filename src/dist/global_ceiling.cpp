@@ -13,11 +13,12 @@ GlobalCeilingManager::GlobalCeilingManager(net::MessageServer& server,
                                            net::RpcDispatcher& rpc,
                                            std::uint32_t object_count,
                                            net::ReliableChannel* channel,
-                                           bool active)
+                                           bool active, bool reap_orphans)
     : server_(server),
       pcp_(server.kernel(), object_count),
       channel_(channel),
-      active_(active) {
+      active_(active),
+      reap_orphans_(reap_orphans) {
   pcp_.set_hooks(cc::ControllerHooks{
       [this](db::TxnId victim, cc::AbortReason reason) {
         abort_mirror(victim, reason);
@@ -75,6 +76,7 @@ void GlobalCeilingManager::handle_register(SiteId from,
       // live attempt; an *aborted* mirror still present means the EndTxn
       // was lost and this is the restarted attempt re-registering.
       if (!existing.aborted) return;
+      disarm_reap(existing);
       mirrors_.erase(it);
     }
   }
@@ -93,8 +95,49 @@ void GlobalCeilingManager::handle_register(SiteId from,
     pcp_.adopt(mirror->ctx, op.object, op.mode);
     ++orphans_reclaimed_;
   }
+  Mirror& installed = *mirror;
   mirrors_.emplace(message.txn, std::move(mirror));
+  arm_reap(message.txn, installed, message.deadline_ticks);
   ++registrations_;
+}
+
+void GlobalCeilingManager::arm_reap(std::uint64_t txn, Mirror& mirror,
+                                    std::int64_t deadline_ticks) {
+  if (!reap_orphans_ || deadline_ticks <= 0) return;
+  // One unit past the deadline: strictly after the home watchdog's kill
+  // event, so a reap can never race a live transaction. Firing before the
+  // (in-flight, possibly lost) ReleaseAll/EndTxn is harmless — the reap
+  // performs exactly their teardown, and the late messages then no-op.
+  // A retransmitted or re-registered Register can arrive after the
+  // deadline has already passed — the sender is dead, reap immediately.
+  const sim::TimePoint when = std::max(
+      sim::TimePoint::at_ticks(deadline_ticks) + sim::Duration::units(1),
+      server_.kernel().now());
+  mirror.reap_event = server_.kernel().schedule_at(
+      when, [this, txn, attempt = mirror.attempt] { reap_orphan(txn, attempt); });
+  mirror.reap_armed = true;
+}
+
+void GlobalCeilingManager::disarm_reap(Mirror& mirror) {
+  if (!mirror.reap_armed) return;
+  mirror.reap_armed = false;
+  server_.kernel().cancel_event(mirror.reap_event);
+}
+
+void GlobalCeilingManager::reap_orphan(std::uint64_t txn,
+                                       std::uint32_t attempt) {
+  auto it = mirrors_.find(txn);
+  if (it == mirrors_.end() || it->second->attempt != attempt) return;
+  it->second->reap_armed = false;  // this very event fired
+  // Tombstone the attempt so a late duplicate Register cannot resurrect
+  // the mirror (no restarted attempt can outlive the deadline: the home
+  // watchdog killed the transaction at it).
+  if (attempt > 0) {
+    auto [t, inserted] = ended_.try_emplace(txn, attempt);
+    if (!inserted && t->second < attempt) t->second = attempt;
+  }
+  ++orphans_reaped_;
+  remove_mirror(it);
 }
 
 void GlobalCeilingManager::cancel_pending(Mirror& mirror) {
@@ -111,6 +154,7 @@ void GlobalCeilingManager::cancel_pending(Mirror& mirror) {
 void GlobalCeilingManager::remove_mirror(
     std::unordered_map<std::uint64_t, std::unique_ptr<Mirror>>::iterator it) {
   Mirror& mirror = *it->second;
+  disarm_reap(mirror);
   cancel_pending(mirror);
   if (!mirror.aborted) {
     pcp_.release_all(mirror.ctx);
@@ -160,6 +204,7 @@ void GlobalCeilingManager::abort_site(net::SiteId site) {
   std::sort(victims.begin(), victims.end());
   for (const std::uint64_t txn : victims) {
     auto it = mirrors_.find(txn);
+    disarm_reap(*it->second);
     finish_abort(*it->second);
     mirrors_.erase(it);
   }
@@ -177,6 +222,7 @@ void GlobalCeilingManager::deactivate() {
   std::sort(victims.begin(), victims.end());
   for (const std::uint64_t txn : victims) {
     auto it = mirrors_.find(txn);
+    disarm_reap(*it->second);
     finish_abort(*it->second);
     mirrors_.erase(it);
   }
@@ -198,14 +244,24 @@ void GlobalCeilingManager::handle_acquire(AcquireReq request,
       (request.attempt > 0 && it->second->attempt > 0 &&
        it->second->attempt != request.attempt)) {
     ++denials_;
-    respond(std::any{AcquireResp{false}});
+    respond(std::any{AcquireResp{false, lease_term_}});
+    return;
+  }
+  if (fenced_) {
+    // Read fence: this manager's lease expired (it cannot reach a majority
+    // of sites), so it must not extend any transaction's lock set — the
+    // majority side may already be electing a successor that will adopt
+    // the current held sets.
+    ++denials_;
+    ++fence_denials_;
+    respond(std::any{AcquireResp{false, lease_term_}});
     return;
   }
   Mirror& mirror = *it->second;
   // Re-issued request for a lock this attempt already holds (the grant's
   // reply was lost): answer immediately, idempotently.
   if (pcp_.holds(mirror.ctx, request.object, request.mode)) {
-    respond(std::any{AcquireResp{true}});
+    respond(std::any{AcquireResp{true, lease_term_}});
     return;
   }
   // Re-issued request while the original grant is still being served:
@@ -240,15 +296,26 @@ sim::Task<void> GlobalCeilingManager::serve_acquire(
       if (sent) return;
       sent = true;
       std::erase(mirror->pending, pid);
+      if (granted && self->fenced_) {
+        // The lease expired while this grant waited in the ceiling queue:
+        // a fenced manager must not let it out (the lock itself stays in
+        // the book and is torn down by the client's abort path).
+        granted = false;
+        ++self->fence_denials_;
+      }
       if (!granted) ++self->denials_;
-      respond(std::any{AcquireResp{granted}});
+      respond(std::any{AcquireResp{granted, self->lease_term_}});
       if (auto it = mirror->inflight.find(object);
           it != mirror->inflight.end()) {
         auto extras = std::move(it->second);
         mirror->inflight.erase(it);
         for (net::RpcServer::Responder& extra : extras) {
-          extra(std::any{AcquireResp{granted}});
+          extra(std::any{AcquireResp{granted, self->lease_term_}});
         }
+      }
+      if (granted && self->observer_ != nullptr) {
+        self->observer_->on_lease_grant(self->server_.site(),
+                                        self->lease_term_);
       }
     }
     ~ReplyGuard() { send(); }
@@ -319,6 +386,7 @@ void GlobalCeilingClient::do_begin(cc::CcTxn& txn) {
   message.attempt = txn.attempt;
   message.priority_key = txn.base_priority.key();
   message.priority_tie = txn.base_priority.tie();
+  message.deadline_ticks = txn.deadline.as_ticks();
   const auto ops = txn.access.operations();
   message.operations.assign(ops.begin(), ops.end());
   registered_[txn.id.value] = Registration{message};
@@ -339,10 +407,12 @@ sim::Task<void> GlobalCeilingClient::acquire(cc::CcTxn& txn,
     ~EndBlock() { self->end_block(*txn); }
   } guard{this, &txn};
   const AcquireReq request{txn.id.value, txn.attempt, object, mode};
-  std::optional<std::any> response;
+  AcquireResp resp{};
   if (acquire_timeout_.is_zero()) {
-    response = co_await rpc_.call(manager_site_, std::any{request});
+    std::optional<std::any> response =
+        co_await rpc_.call(manager_site_, std::any{request});
     assert(response.has_value());  // no client-side timeout in use
+    resp = std::any_cast<AcquireResp>(*response);
   } else {
     // Faulty runs: the manager may have crashed (no reply ever) or the
     // request/reply may have been dropped. Re-issue until an answer comes
@@ -350,16 +420,33 @@ sim::Task<void> GlobalCeilingClient::acquire(cc::CcTxn& txn,
     // successor. The manager side makes re-issues idempotent; the attempt
     // deadline watchdog bounds the loop.
     while (true) {
-      response = co_await rpc_.call(manager_site_, std::any{request},
-                                    acquire_timeout_);
-      if (response.has_value()) break;
-      ++acquire_retries_;
+      std::optional<std::any> response = co_await rpc_.call(
+          manager_site_, std::any{request}, acquire_timeout_);
+      if (!response.has_value()) {
+        ++acquire_retries_;
+        continue;
+      }
+      resp = std::any_cast<AcquireResp>(*response);
+      if (resp.term < term_) {
+        // The response is stamped with an expired term: it came from a
+        // manager that lost an election we already learned about (e.g. a
+        // fenced-off minority-side manager answering a retried request).
+        // Never act on it — not even on a denial — and re-issue against
+        // the current manager.
+        ++stale_grants_rejected_;
+        ++acquire_retries_;
+        continue;
+      }
+      break;
     }
   }
-  if (!std::any_cast<AcquireResp>(*response).granted) {
+  if (!resp.granted) {
     count_protocol_abort();
     notify_abort(txn.id, cc::AbortReason::kDeadlockVictim);
     throw cc::TxnAborted{cc::AbortReason::kDeadlockVictim};
+  }
+  if (observer_ != nullptr) {
+    observer_->on_grant_accepted(server_.site(), resp.term);
   }
   // Track the held set for failover re-registration.
   if (auto it = registered_.find(txn.id.value); it != registered_.end()) {
@@ -381,7 +468,9 @@ void GlobalCeilingClient::do_end(cc::CcTxn& txn) {
   send_control(EndTxnMsg{txn.id.value, txn.attempt});
 }
 
-void GlobalCeilingClient::set_manager(net::SiteId manager) {
+void GlobalCeilingClient::set_manager(net::SiteId manager,
+                                      std::uint64_t term) {
+  if (term > term_) term_ = term;  // terms only move forward
   if (manager == manager_site_) return;
   manager_site_ = manager;
   // Rebuild the new manager's state: re-register every live local

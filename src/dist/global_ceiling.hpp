@@ -11,6 +11,7 @@
 #include "cc/serializability.hpp"
 #include "db/database.hpp"
 #include "db/resource_manager.hpp"
+#include "dist/lease.hpp"
 #include "net/message_server.hpp"
 #include "net/reliable.hpp"
 #include "net/rpc.hpp"
@@ -31,6 +32,11 @@ struct RegisterTxnMsg {
   std::uint32_t attempt = 0;
   std::int64_t priority_key = 0;
   std::uint32_t priority_tie = 0;
+  // Hard deadline of the transaction (ticks since the origin; 0 from
+  // legacy senders). Past it the home watchdog has provably killed the
+  // transaction, so a reaping manager may treat a surviving mirror as an
+  // orphan whose teardown messages were lost.
+  std::int64_t deadline_ticks = 0;
   std::vector<cc::Operation> operations;
   // Locks the attempt already holds (failover re-registration only): the
   // successor manager adopts them instead of re-running the grant rule.
@@ -53,6 +59,12 @@ struct AcquireReq {
 };
 struct AcquireResp {
   bool granted = false;
+  // The granting manager's lease term. A client that has adopted a newer
+  // election rejects a grant stamped with an older term — the stale-grant
+  // fence that closes the split-brain window a healed minority-side
+  // manager could otherwise exploit. Denials carry the term too (it is
+  // ignored). 0 for the fault-free single-manager configuration.
+  std::uint64_t term = 0;
 };
 // RPC for reading a remote primary copy.
 struct DataReadReq {
@@ -82,14 +94,20 @@ class GlobalCeilingManager {
  public:
   GlobalCeilingManager(net::MessageServer& server, net::RpcDispatcher& rpc,
                        std::uint32_t object_count)
-      : GlobalCeilingManager(server, rpc, object_count, nullptr, true) {}
+      : GlobalCeilingManager(server, rpc, object_count, nullptr, true, false) {}
   // With failover, every site hosts a manager instance but only the
   // elected one is `active`; control messages optionally travel over the
   // site's ReliableChannel. An inactive manager ignores registrations and
   // denies acquires (the client retries against the real manager).
+  // `reap_orphans` arms the deadline-based orphan reaper — required under
+  // faults (a partition can eat a dead transaction's ReleaseAll/EndTxn for
+  // longer than the retransmit budget, leaving its mirror and any blocked
+  // grant stuck here forever) and left off in fault-free runs so no extra
+  // kernel events exist and artifacts stay byte-identical.
   GlobalCeilingManager(net::MessageServer& server, net::RpcDispatcher& rpc,
                        std::uint32_t object_count,
-                       net::ReliableChannel* channel, bool active);
+                       net::ReliableChannel* channel, bool active,
+                       bool reap_orphans = false);
 
   GlobalCeilingManager(const GlobalCeilingManager&) = delete;
   GlobalCeilingManager& operator=(const GlobalCeilingManager&) = delete;
@@ -103,12 +121,30 @@ class GlobalCeilingManager {
   // Locks re-installed from failover re-registrations (`held` sets): locks
   // that would otherwise have been orphaned at the dead manager.
   std::uint64_t orphan_locks_reclaimed() const { return orphans_reclaimed_; }
+  // Mirrors reaped past their deadline (teardown messages lost for good).
+  std::uint64_t orphans_reaped() const { return orphans_reaped_; }
   // Transactions currently registered here; 0 once the system drains.
   std::size_t live_mirrors() const { return mirrors_.size(); }
   bool active() const { return active_; }
+  bool fenced() const { return fenced_; }
+  // Acquires denied because the lease was fenced at grant time.
+  std::uint64_t fence_denials() const { return fence_denials_; }
 
-  // Failover: this site was elected manager; start accepting state.
-  void activate() { active_ = true; }
+  // Failover: this site was elected manager with a lease for `term`; start
+  // accepting state and stamp grants with the term.
+  void activate(std::uint64_t term) {
+    active_ = true;
+    fenced_ = false;
+    lease_term_ = term;
+  }
+  void activate() { activate(lease_term_); }
+  // Lease fence: a fenced manager stops granting (acquires are denied,
+  // in-flight grants deny at reply time) but keeps serving registers,
+  // releases, and ends — the lock book stays current so the successor's
+  // re-registrations adopt an accurate held set.
+  void set_fenced(bool fenced) { fenced_ = fenced; }
+  // Conformance audit tap for grant stamping (optional; may be null).
+  void set_lease_observer(LeaseObserver* observer) { observer_ = observer; }
   // Failover: a peer outranked this manager (stale restored site). Drops
   // every mirror — the authoritative state now lives at the new manager,
   // rebuilt from the clients' re-registrations.
@@ -133,6 +169,10 @@ class GlobalCeilingManager {
     // retried RPC's live correlation; the first reply is dropped as late).
     std::map<db::ObjectId, std::vector<net::RpcServer::Responder>> inflight;
     bool aborted = false;
+    // Armed orphan-reap timer (reaping managers only); disarmed on every
+    // normal removal path.
+    sim::EventId reap_event{};
+    bool reap_armed = false;
   };
 
   void handle_register(net::SiteId from, RegisterTxnMsg message);
@@ -144,6 +184,13 @@ class GlobalCeilingManager {
   // Kills waiting grants and releases everything; shared teardown of
   // handle_release / handle_end.
   void cancel_pending(Mirror& mirror);
+  // Orphan reaper (faulty runs only): every registration arms a timer at
+  // the transaction's deadline plus one unit; a mirror still present when
+  // it fires lost its teardown messages for good and is removed as if the
+  // ReleaseAll + EndTxn had arrived.
+  void arm_reap(std::uint64_t txn, Mirror& mirror, std::int64_t deadline_ticks);
+  void disarm_reap(Mirror& mirror);
+  void reap_orphan(std::uint64_t txn, std::uint32_t attempt);
   void remove_mirror(std::unordered_map<
                      std::uint64_t, std::unique_ptr<Mirror>>::iterator it);
   // PCP backstop hook (dynamic-arrival deadlock at the manager).
@@ -153,7 +200,12 @@ class GlobalCeilingManager {
   net::MessageServer& server_;
   cc::PriorityCeiling pcp_;
   net::ReliableChannel* channel_ = nullptr;
+  LeaseObserver* observer_ = nullptr;
   bool active_ = true;
+  bool fenced_ = false;
+  bool reap_orphans_ = false;
+  std::uint64_t lease_term_ = 0;
+  std::uint64_t fence_denials_ = 0;
   std::unordered_map<std::uint64_t, std::unique_ptr<Mirror>> mirrors_;
   // Highest attempt known to have ended, per transaction: a retransmitted
   // Register of a finished attempt must not resurrect its mirror.
@@ -162,6 +214,7 @@ class GlobalCeilingManager {
   std::uint64_t acquire_requests_ = 0;
   std::uint64_t denials_ = 0;
   std::uint64_t orphans_reclaimed_ = 0;
+  std::uint64_t orphans_reaped_ = 0;
 };
 
 // The client-side controller each site runs: every protocol step is a
@@ -194,10 +247,21 @@ class GlobalCeilingClient : public cc::ConcurrencyController {
   // Failover: re-target the manager and re-register every live local
   // transaction there (including the locks it already holds, which the new
   // manager adopts). In-flight acquires re-issue themselves on their next
-  // timeout.
-  void set_manager(net::SiteId manager);
+  // timeout. `term` is the election term the client accepts grants
+  // against; a term-only change (same manager, newer election learned
+  // late) just refreshes the fence without re-registering.
+  void set_manager(net::SiteId manager, std::uint64_t term);
+  void set_manager(net::SiteId manager) { set_manager(manager, term_); }
+  std::uint64_t term() const { return term_; }
   // Acquire RPCs re-issued after a timeout.
   std::uint64_t acquire_retries() const { return acquire_retries_; }
+  // Grants rejected because their term predated the client's election
+  // view (a fenced-off old manager answered a retried request).
+  std::uint64_t stale_grants_rejected() const {
+    return stale_grants_rejected_;
+  }
+  // Conformance audit tap for grant acceptance (optional; may be null).
+  void set_lease_observer(LeaseObserver* observer) { observer_ = observer; }
 
  protected:
   void do_begin(cc::CcTxn& txn) override;
@@ -222,10 +286,13 @@ class GlobalCeilingClient : public cc::ConcurrencyController {
   net::MessageServer& server_;
   net::RpcClient& rpc_;
   net::SiteId manager_site_;
+  std::uint64_t term_ = 0;
   sim::Duration acquire_timeout_{};
   net::ReliableChannel* channel_ = nullptr;
+  LeaseObserver* observer_ = nullptr;
   std::map<std::uint64_t, Registration> registered_;
   std::uint64_t acquire_retries_ = 0;
+  std::uint64_t stale_grants_rejected_ = 0;
 };
 
 // Per-site data service for the partitioned database: answers remote

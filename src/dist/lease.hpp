@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/fault.hpp"
+
+namespace rtdb::dist {
+
+// Narrow observer for the manager-lease lifecycle and grant stamping,
+// implemented by the conformance checker (check::LeaseAudit). Mirrors
+// txn::CommitObserver: the interface lives with the observed subsystem so
+// check/ can depend on dist/ without a dependency cycle. All callbacks
+// fire synchronously from the observed site's event context.
+class LeaseObserver {
+ public:
+  virtual ~LeaseObserver() = default;
+
+  // `site` now holds the manager lease for `term` (initial grant,
+  // self-promotion, or renewal after a fence lifted).
+  virtual void on_lease_acquired(net::SiteId site, std::uint64_t term) = 0;
+  // `site` no longer holds the lease for `term` (fence, demotion, crash).
+  virtual void on_lease_released(net::SiteId site, std::uint64_t term) = 0;
+  // The manager at `site` granted a global lock stamped with `term`.
+  virtual void on_lease_grant(net::SiteId site, std::uint64_t term) = 0;
+  // The failover view at `site` advanced to `term` (promotion or adoption
+  // of an outranking election). Establishes the fence the acceptance rule
+  // audits against: once a site adopts T it may never act on a grant < T.
+  virtual void on_term_adopted(net::SiteId site, std::uint64_t term) = 0;
+  // The client at `site` accepted (acted on) a grant stamped with `term`.
+  virtual void on_grant_accepted(net::SiteId site, std::uint64_t term) = 0;
+};
+
+}  // namespace rtdb::dist

@@ -43,6 +43,57 @@ bool parse_crash(const std::string& text, net::FaultSpec::Crash* out) {
   return true;
 }
 
+// One partition spec: "group:at[:heal][:asym]" with group a `+`-separated
+// list of site ids (times in simulation units).
+bool parse_partition(const std::string& text, net::FaultSpec::Partition* out) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t colon = text.find(':', start);
+    parts.push_back(text.substr(
+        start, colon == std::string::npos ? std::string::npos : colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() < 2 || parts.size() > 4) return false;
+  out->group.clear();
+  std::size_t site_start = 0;
+  const std::string& group = parts[0];
+  while (site_start <= group.size()) {
+    const std::size_t plus = group.find('+', site_start);
+    const std::string one = group.substr(
+        site_start,
+        plus == std::string::npos ? std::string::npos : plus - site_start);
+    long long site = 0;
+    if (!parse_int(one, &site) || site < 0) return false;
+    out->group.push_back(static_cast<net::SiteId>(site));
+    if (plus == std::string::npos) break;
+    site_start = plus + 1;
+  }
+  if (out->group.empty()) return false;
+  double at = 0.0;
+  if (!parse_double(parts[1], &at) || at < 0.0) return false;
+  out->at = sim::Duration::from_units(at);
+  out->heal_after = sim::Duration::zero();
+  out->symmetric = true;
+  std::size_t next = 2;
+  if (parts.size() > next && parts[next] != "sym" && parts[next] != "asym") {
+    double heal = 0.0;
+    if (!parse_double(parts[next], &heal) || heal < 0.0) return false;
+    out->heal_after = sim::Duration::from_units(heal);
+    ++next;
+  }
+  if (parts.size() > next) {
+    if (parts[next] == "asym") {
+      out->symmetric = false;
+    } else if (parts[next] != "sym") {
+      return false;
+    }
+    ++next;
+  }
+  return next == parts.size();
+}
+
 }  // namespace
 
 void Options::apply_faults(net::FaultSpec* spec) const {
@@ -51,6 +102,9 @@ void Options::apply_faults(net::FaultSpec* spec) const {
   if (jitter_units) spec->jitter = sim::Duration::from_units(*jitter_units);
   for (const net::FaultSpec::Crash& crash : crashes) {
     spec->crashes.push_back(crash);
+  }
+  for (const net::FaultSpec::Partition& partition : partitions) {
+    spec->partitions.push_back(partition);
   }
 }
 
@@ -140,6 +194,30 @@ std::optional<Options> parse_options(int argc, char** argv,
         if (comma == std::string::npos) break;
         start = comma + 1;
       }
+    } else if (arg == "--partition") {
+      const auto v = value("--partition");
+      if (!v) return fail("--partition requires group:at[:heal][:asym]");
+      // Comma-separated list of partition specs; the flag may also repeat.
+      std::size_t start = 0;
+      while (start <= v->size()) {
+        const std::size_t comma = v->find(',', start);
+        const std::string one =
+            v->substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+        net::FaultSpec::Partition partition;
+        if (!parse_partition(one, &partition))
+          return fail("--partition: bad partition spec '" + one +
+                      "' (want group:at[:heal][:asym], group = id+id+...)");
+        opts.partitions.push_back(partition);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--arrival-rate") {
+      const auto v = value("--arrival-rate");
+      double rate = 0.0;
+      if (!v || !parse_double(*v, &rate) || rate <= 0.0)
+        return fail("--arrival-rate requires a positive rate (txns per unit)");
+      opts.arrival_rate = rate;
     } else if (arg == "--backend") {
       const auto v = value("--backend");
       if (!v || (*v != "sim" && *v != "threads"))
@@ -202,7 +280,22 @@ std::string usage(const std::string& program) {
          "  --crash-at SITE:AT[:DOWN_FOR]\n"
          "               fail-stop SITE at time AT for DOWN_FOR units "
          "(omitted/0 = rest of run);\n"
-         "               comma-separated list, flag may repeat\n";
+         "               comma-separated list, flag may repeat\n"
+         "  --partition GROUP:AT[:HEAL][:asym]\n"
+         "               cut the links between GROUP (`+`-separated site "
+         "ids, e.g. 0+1)\n"
+         "               and the rest at time AT; heal after HEAL units "
+         "(omitted/0 = rest\n"
+         "               of run). 'asym' cuts GROUP's outbound links only. "
+         "Scheduled, not\n"
+         "               random: replays bit-identically for any --jobs N. "
+         "Comma-separated\n"
+         "               list, flag may repeat\n"
+         "overload (open-loop load; admission control covered in "
+         "EXPERIMENTS.md):\n"
+         "  --arrival-rate R       override every cell's aperiodic load to "
+         "R transactions\n"
+         "               per unit time (mean interarrival 1/R units)\n";
 }
 
 Options parse_options_or_exit(int argc, char** argv) {

@@ -37,6 +37,13 @@ struct Options {
   std::optional<double> dup_rate;
   std::optional<double> jitter_units;
   std::vector<net::FaultSpec::Crash> crashes;  // --crash-at (cumulative)
+  // --partition GROUP:AT[:HEAL][:asym] (cumulative): cut the links between
+  // GROUP (`+`-separated site ids) and the rest at time AT, heal after
+  // HEAL units (omitted/0 = rest of run). `asym` cuts outbound only.
+  std::vector<net::FaultSpec::Partition> partitions;
+  // --arrival-rate R: open-loop load override, R transactions per unit
+  // time (mean interarrival 1/R units) applied to every cell.
+  std::optional<double> arrival_rate;
 
   // The worker count actually used: --jobs if given, else
   // hardware_concurrency (min 1).

@@ -75,6 +75,10 @@ SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
           core::ExperimentRunner::seed_for_run(base_seed_of(cell), run);
       opts.apply_faults(&config.faults);
       apply_backend(&config);
+      if (opts.arrival_rate) {
+        config.workload.mean_interarrival =
+            sim::Duration::from_units(1.0 / *opts.arrival_rate);
+      }
       if (opts.check) config.conformance_check = true;
       flat[i] = core::ExperimentRunner::run_once(config);
       if (flat[i].conformance_violations > 0) {

@@ -36,10 +36,28 @@ struct FaultSpec {
   };
   std::vector<Crash> crashes;
 
+  // One scheduled link partition: at `at` every link between a site in
+  // `group` and a site outside it is cut, and restored `heal_after` later
+  // (zero = never heals). Symmetric cuts sever both directions; an
+  // asymmetric cut only stops traffic *leaving* the group (the classic
+  // one-way partition that makes a minority manager keep hearing silence
+  // while the majority still hears it). The schedule is pure data — no
+  // random draws — so partitioned runs replay bit-identically for any
+  // --jobs N, and a run with no partitions never touches the cut state.
+  struct Partition {
+    std::vector<SiteId> group;
+    sim::Duration at{};
+    sim::Duration heal_after{};
+    bool symmetric = true;
+  };
+  std::vector<Partition> partitions;
+
   bool message_faults() const {
     return drop_rate > 0.0 || dup_rate > 0.0 || jitter > sim::Duration::zero();
   }
-  bool active() const { return message_faults() || !crashes.empty(); }
+  bool active() const {
+    return message_faults() || !crashes.empty() || !partitions.empty();
+  }
 };
 
 // Draws the per-message fault decisions. Owned by the Network; consulted

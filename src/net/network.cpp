@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace rtdb::net {
@@ -55,6 +56,53 @@ void Network::install_faults(const FaultSpec& spec, sim::RandomStream stream) {
   injector_ = std::make_unique<FaultInjector>(spec, stream);
 }
 
+void Network::cut_link(SiteId from, SiteId to) {
+  assert(from < site_count() && to < site_count());
+  if (cuts_.empty()) {
+    cuts_.assign(static_cast<std::size_t>(site_count()) * site_count(), 0);
+  }
+  ++cuts_[static_cast<std::size_t>(from) * site_count() + to];
+}
+
+void Network::heal_link(SiteId from, SiteId to) {
+  assert(from < site_count() && to < site_count());
+  const std::size_t index =
+      static_cast<std::size_t>(from) * site_count() + to;
+  assert(!cuts_.empty() && cuts_[index] > 0 && "healing an uncut link");
+  --cuts_[index];
+}
+
+bool Network::link_cut(SiteId from, SiteId to) const {
+  if (cuts_.empty()) return false;
+  return cuts_[static_cast<std::size_t>(from) * site_count() + to] > 0;
+}
+
+void Network::apply_partition(const FaultSpec::Partition& partition) {
+  for (const SiteId inside : partition.group) {
+    for (SiteId outside = 0; outside < site_count(); ++outside) {
+      if (std::find(partition.group.begin(), partition.group.end(),
+                    outside) != partition.group.end()) {
+        continue;
+      }
+      cut_link(inside, outside);
+      if (partition.symmetric) cut_link(outside, inside);
+    }
+  }
+}
+
+void Network::lift_partition(const FaultSpec::Partition& partition) {
+  for (const SiteId inside : partition.group) {
+    for (SiteId outside = 0; outside < site_count(); ++outside) {
+      if (std::find(partition.group.begin(), partition.group.end(),
+                    outside) != partition.group.end()) {
+        continue;
+      }
+      heal_link(inside, outside);
+      if (partition.symmetric) heal_link(outside, inside);
+    }
+  }
+}
+
 void Network::send(Envelope envelope) {
   assert(envelope.from < site_count() && envelope.to < site_count());
   ++sent_;
@@ -69,6 +117,14 @@ void Network::send(Envelope envelope) {
     // A crashed site sends nothing; whatever its (dying) processes were
     // emitting is lost with the site.
     ++dropped_;
+    return;
+  }
+  if (link_cut(envelope.from, envelope.to)) {
+    // The link is partitioned: the message dies at send time, before the
+    // fault injector even sees it (a cut link carries nothing to drop,
+    // duplicate, or delay). Deliveries scheduled before the cut still
+    // arrive — they were already past the failed router.
+    ++partition_drops_;
     return;
   }
   if (injector_ != nullptr && injector_->spec().message_faults()) {

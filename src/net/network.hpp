@@ -51,6 +51,18 @@ class Network {
   void set_operational(SiteId site, bool up);
   bool operational(SiteId site) const;
 
+  // Link partitions: while a directed link is cut, messages sent over it
+  // are dropped at send time (in-flight deliveries already scheduled keep
+  // going, like packets past the failed router). Cuts nest — overlapping
+  // partitions each add a cut and the link heals when the last one lifts.
+  void cut_link(SiteId from, SiteId to);
+  void heal_link(SiteId from, SiteId to);
+  bool link_cut(SiteId from, SiteId to) const;
+  // Applies / lifts one FaultSpec::Partition (every group<->non-group
+  // link, both directions when symmetric, outbound only when not).
+  void apply_partition(const FaultSpec::Partition& partition);
+  void lift_partition(const FaultSpec::Partition& partition);
+
   // Installs message-fault injection (drop/duplicate/jitter). The decision
   // stream is seeded independently of the workload; with a zero spec the
   // injector is never consulted and the network behaves exactly as before.
@@ -72,6 +84,8 @@ class Network {
   std::uint64_t messages_delivered() const { return delivered_; }
   // Messages lost to a down endpoint (either direction).
   std::uint64_t messages_dropped() const { return dropped_; }
+  // Messages lost to a cut link.
+  std::uint64_t partition_drops() const { return partition_drops_; }
   // Messages lost / duplicated by the fault injector.
   std::uint64_t fault_drops() const {
     return injector_ ? injector_->drops() : 0;
@@ -88,10 +102,14 @@ class Network {
   std::vector<std::unique_ptr<sim::Mailbox<Envelope>>> inboxes_;
   std::vector<sim::Duration> delays_;  // site_count x site_count
   std::vector<bool> up_;
+  // Per-directed-link cut depth (site_count x site_count); lazily sized on
+  // the first cut so partition-free runs never touch it.
+  std::vector<std::uint16_t> cuts_;
   std::unique_ptr<FaultInjector> injector_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t partition_drops_ = 0;
 };
 
 }  // namespace rtdb::net

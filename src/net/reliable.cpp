@@ -31,9 +31,14 @@ void ReliableChannel::send_reliable(SiteId to, std::any payload) {
 
 void ReliableChannel::arm_timer(std::uint64_t seq, Pending& pending) {
   // Exponential backoff with deterministic jitter: base * 2^attempts plus a
-  // uniform draw in [0, base) from this channel's forked stream.
+  // uniform draw in [0, base) from this channel's forked stream. The wait
+  // saturates at backoff_max — without the clamp, ~60 retries overflow the
+  // int64 tick count and schedule a negative delay.
   sim::Duration wait = options_.backoff_base;
-  for (int i = 0; i < pending.attempts; ++i) wait = wait * 2;
+  for (int i = 0; i < pending.attempts && wait < options_.backoff_max; ++i) {
+    wait = wait * 2;
+  }
+  if (wait > options_.backoff_max) wait = options_.backoff_max;
   const std::int64_t span = options_.backoff_base.as_ticks();
   if (span > 0) {
     wait = wait + sim::Duration::ticks(stream_.uniform_int(0, span - 1));

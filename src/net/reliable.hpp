@@ -50,8 +50,11 @@ class ReliableChannel {
     // not counted).
     int retransmit_max = 5;
     // First retransmission fires after backoff_base (+ jitter); each
-    // further one doubles the wait.
+    // further one doubles the wait, saturating at backoff_max. The cap
+    // keeps the doubling from overflowing Duration's tick count when a
+    // long outage (multi-interval partition) meets a large retry budget.
     sim::Duration backoff_base = sim::Duration::units(8);
+    sim::Duration backoff_max = sim::Duration::units(256);
   };
 
   ReliableChannel(MessageServer& server, Options options,

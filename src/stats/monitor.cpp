@@ -47,6 +47,13 @@ void PerformanceMonitor::on_commit(db::TxnId id, sim::TimePoint at) {
   ++committed_;
 }
 
+void PerformanceMonitor::on_shed(db::TxnId id) {
+  TxnRecord& r = record(id);
+  assert(!r.processed && !r.shed);
+  r.shed = true;
+  ++shed_;
+}
+
 void PerformanceMonitor::on_deadline_miss(db::TxnId id, sim::TimePoint at) {
   TxnRecord& r = record(id);
   assert(!r.processed);

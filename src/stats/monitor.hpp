@@ -26,6 +26,10 @@ struct TxnRecord {
   bool processed = false;   // committed or aborted at its deadline
   bool committed = false;
   bool missed_deadline = false;
+  // Rejected by admission control at arrival; never started, never
+  // processed — excluded from the miss% denominator (miss% is over
+  // *admitted* transactions).
+  bool shed = false;
   std::uint32_t aborts = 0;  // protocol-initiated restarts
   sim::Duration blocked{};   // summed over attempts
   std::uint32_t ceiling_blocks = 0;
@@ -54,12 +58,15 @@ class PerformanceMonitor {
                         std::uint32_t ceiling_blocks);
   void on_commit(db::TxnId id, sim::TimePoint at);
   void on_deadline_miss(db::TxnId id, sim::TimePoint at);
+  // Admission control rejected the transaction at arrival.
+  void on_shed(db::TxnId id);
 
   const std::vector<TxnRecord>& records() const { return records_; }
   std::size_t arrived() const { return records_.size(); }
   std::size_t processed() const { return processed_; }
   std::size_t committed() const { return committed_; }
   std::size_t missed() const { return missed_; }
+  std::size_t shed() const { return shed_; }
 
  private:
   std::vector<TxnRecord> records_;
@@ -67,6 +74,7 @@ class PerformanceMonitor {
   std::size_t processed_ = 0;
   std::size_t committed_ = 0;
   std::size_t missed_ = 0;
+  std::size_t shed_ = 0;
 };
 
 }  // namespace rtdb::stats

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace rtdb::txn {
+
+// Deadline-aware admission control (overload shedding) for the per-site
+// TransactionManager. Under open-loop arrival past saturation, admitting
+// everything makes *every* transaction miss late, after burning CPU on it;
+// the right real-time behaviour is to reject doomed work at arrival, while
+// it is still cheap. A transaction is shed when its remaining slack cannot
+// cover `safety_factor` times the estimated response time of its class
+// (read-only flag × size), estimated as an exponential moving average of
+// committed response times; or when the bounded admission queue is full.
+//
+// Disabled by default: with `enabled == false` no estimate is maintained,
+// no queue exists, and the manager behaves exactly as before — fault-free
+// artifacts stay byte-identical.
+struct AdmissionConfig {
+  bool enabled = false;
+  // Transactions concurrently admitted (running, blocked, or between
+  // restart attempts); 0 = unlimited. Arrivals beyond it wait in the
+  // admission queue.
+  std::uint32_t max_running = 0;
+  // Waiting room beyond max_running; arrivals past it are shed. Only
+  // meaningful with max_running > 0.
+  std::uint32_t queue_limit = 16;
+  // Admit only if remaining slack >= safety_factor * estimated response.
+  double safety_factor = 1.0;
+  // Seeds the per-class estimate before the first commit of that class:
+  // size * initial_estimate_per_object.
+  sim::Duration initial_estimate_per_object = sim::Duration::units(3);
+  // Weight of a fresh committed-response sample in the running estimate.
+  double ema_alpha = 0.25;
+};
+
+}  // namespace rtdb::txn

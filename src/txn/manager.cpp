@@ -52,6 +52,26 @@ void TransactionManager::submit(TransactionSpec spec) {
   record.deadline = spec.deadline;
   monitor_.on_arrival(record);
 
+  const AdmissionConfig& admission = options_.admission;
+  bool queue_full = false;
+  if (admission.enabled) {
+    // Shed work that is already doomed (slack below the estimated
+    // response for its class) or that would overflow the bounded
+    // admission queue — while it is still cheap: no attempt, no watchdog.
+    const sim::Duration slack = spec.deadline - kernel_.now();
+    const sim::Duration needed =
+        estimated_response(spec).scaled(admission.safety_factor);
+    queue_full = admission.max_running > 0 &&
+                 running_count() >= admission.max_running &&
+                 admission_queue_.size() >= admission.queue_limit;
+    if (slack < needed || queue_full) {
+      ++shed_;
+      monitor_.on_shed(spec.id);
+      return;
+    }
+  }
+  ++admitted_;
+
   auto live = std::make_unique<Live>();
   live->spec = std::move(spec);
   Live& ref = *live;
@@ -65,7 +85,57 @@ void TransactionManager::submit(TransactionSpec spec) {
     ref.phase = Phase::kDown;
     return;
   }
+  if (admission.enabled && admission.max_running > 0 &&
+      running_count() > admission.max_running) {
+    // running_count() already includes this transaction; over the cap it
+    // waits in FIFO order for a slot (the watchdog stays armed, so a
+    // queue wait past the deadline is an honest recorded miss).
+    ref.phase = Phase::kQueued;
+    admission_queue_.push_back(ref.spec.id);
+    return;
+  }
   start_attempt(ref);
+}
+
+std::uint32_t TransactionManager::class_key(const TransactionSpec& spec) {
+  return (spec.read_only ? 0x8000'0000u : 0u) |
+         static_cast<std::uint32_t>(spec.size());
+}
+
+sim::Duration TransactionManager::estimated_response(
+    const TransactionSpec& spec) const {
+  if (const auto it = estimates_.find(class_key(spec));
+      it != estimates_.end()) {
+    return it->second;
+  }
+  return options_.admission.initial_estimate_per_object *
+         static_cast<std::int64_t>(spec.size());
+}
+
+void TransactionManager::note_commit_response(const TransactionSpec& spec,
+                                              sim::Duration response) {
+  if (!options_.admission.enabled) return;
+  const auto [it, inserted] = estimates_.try_emplace(class_key(spec), response);
+  if (!inserted) {
+    // ema += alpha * (sample - ema); Duration::scaled rounds
+    // deterministically, so the estimate stream replays bit-identically.
+    it->second =
+        it->second + (response - it->second).scaled(options_.admission.ema_alpha);
+  }
+}
+
+void TransactionManager::pump_admission_queue() {
+  if (down_) return;
+  const AdmissionConfig& admission = options_.admission;
+  while (!admission_queue_.empty() &&
+         (admission.max_running == 0 ||
+          running_count() < admission.max_running)) {
+    const db::TxnId id = admission_queue_.front();
+    admission_queue_.pop_front();
+    auto it = live_.find(id);
+    assert(it != live_.end() && it->second->phase == Phase::kQueued);
+    start_attempt(*it->second);
+  }
 }
 
 void TransactionManager::start_attempt(Live& live) {
@@ -76,6 +146,7 @@ void TransactionManager::start_attempt(Live& live) {
   live.attempt.ctx.id = live.spec.id;
   live.attempt.ctx.attempt = live.attempts + 1;  // 1-based; 0 = unstamped
   live.attempt.ctx.base_priority = live.spec.priority;
+  live.attempt.ctx.deadline = live.spec.deadline;
   live.attempt.ctx.access = live.spec.access;
   live.pid = kernel_.spawn("txn-" + std::to_string(live.spec.id.value),
                            attempt_body(live));
@@ -158,15 +229,20 @@ void TransactionManager::deadline_expired(db::TxnId id) {
   if (it == live_.end()) return;  // committed at this very instant
   Live& live = *it->second;
   ++deadline_kills_;
+  const bool held_slot = live.phase != Phase::kQueued;
   if (live.phase == Phase::kRunning) {
     kernel_.kill(live.pid);
     collect_attempt_stats(live);
     executor_.release(live.attempt, live.spec, /*committed=*/false);
+  } else if (live.phase == Phase::kQueued) {
+    // Admitted but never dispatched: the queue wait ate the deadline.
+    std::erase(admission_queue_, id);
   } else if (live.restart_event.valid()) {
     kernel_.cancel_event(live.restart_event);
   }
   monitor_.on_deadline_miss(id, kernel_.now());
   live_.erase(it);
+  if (held_slot) pump_admission_queue();
 }
 
 void TransactionManager::finish(Live& live, bool committed) {
@@ -174,7 +250,9 @@ void TransactionManager::finish(Live& live, bool committed) {
   (void)committed;
   kernel_.cancel_event(live.watchdog);
   monitor_.on_commit(live.spec.id, kernel_.now());
+  note_commit_response(live.spec, kernel_.now() - live.spec.arrival);
   live_.erase(live.spec.id);
+  pump_admission_queue();
 }
 
 void TransactionManager::collect_attempt_stats(Live& live) {
@@ -207,6 +285,9 @@ void TransactionManager::crash() {
     }
     live.phase = Phase::kDown;
   }
+  // Queued admissions ride out the outage as kDown like everything else;
+  // restore() restarts them all from the watchdogs.
+  admission_queue_.clear();
 }
 
 void TransactionManager::restore() {
@@ -226,6 +307,7 @@ void TransactionManager::restore() {
 }
 
 void TransactionManager::abort_all() {
+  admission_queue_.clear();
   while (!live_.empty()) {
     auto it = live_.begin();
     Live& live = *it->second;

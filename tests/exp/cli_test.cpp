@@ -73,9 +73,61 @@ TEST(CliTest, RejectsBadInput) {
 TEST(CliTest, UsageMentionsEveryFlag) {
   const std::string text = usage("bench");
   for (const char* flag :
-       {"--runs", "--seed", "--jobs", "--json", "--csv", "--quiet"}) {
+       {"--runs", "--seed", "--jobs", "--json", "--csv", "--quiet",
+        "--partition", "--arrival-rate"}) {
     EXPECT_NE(text.find(flag), std::string::npos) << flag;
   }
+}
+
+TEST(CliTest, ParsesPartitionSpecs) {
+  const Options opts =
+      parse_ok({"--partition", "0+1:400:300,2:50", "--partition", "0:10:asym"});
+  ASSERT_EQ(opts.partitions.size(), 3u);
+  EXPECT_EQ(opts.partitions[0].group, (std::vector<net::SiteId>{0, 1}));
+  EXPECT_EQ(opts.partitions[0].at, sim::Duration::from_units(400));
+  EXPECT_EQ(opts.partitions[0].heal_after, sim::Duration::from_units(300));
+  EXPECT_TRUE(opts.partitions[0].symmetric);
+  EXPECT_EQ(opts.partitions[1].group, (std::vector<net::SiteId>{2}));
+  EXPECT_EQ(opts.partitions[1].heal_after, sim::Duration::zero());
+  EXPECT_EQ(opts.partitions[2].group, (std::vector<net::SiteId>{0}));
+  EXPECT_FALSE(opts.partitions[2].symmetric);
+
+  net::FaultSpec spec;
+  opts.apply_faults(&spec);
+  EXPECT_EQ(spec.partitions.size(), 3u);
+  EXPECT_TRUE(spec.active());
+}
+
+TEST(CliTest, ParsesExplicitSymAndHealWithAsym) {
+  const Options opts = parse_ok({"--partition", "1:20:50:sym,0:5:10:asym"});
+  ASSERT_EQ(opts.partitions.size(), 2u);
+  EXPECT_TRUE(opts.partitions[0].symmetric);
+  EXPECT_FALSE(opts.partitions[1].symmetric);
+  EXPECT_EQ(opts.partitions[1].heal_after, sim::Duration::from_units(10));
+}
+
+TEST(CliTest, RejectsBadPartitionSpecs) {
+  EXPECT_TRUE(parse_fails({"--partition"}));
+  EXPECT_TRUE(parse_fails({"--partition", "0"}));            // no cut time
+  EXPECT_TRUE(parse_fails({"--partition", ":400"}));         // empty group
+  EXPECT_TRUE(parse_fails({"--partition", "a:400"}));        // bad site id
+  EXPECT_TRUE(parse_fails({"--partition", "0:-1"}));         // negative time
+  EXPECT_TRUE(parse_fails({"--partition", "0:400:wat"}));    // bad tail
+  EXPECT_TRUE(parse_fails({"--partition", "0:400:300:300"}));
+  EXPECT_TRUE(parse_fails({"--partition", "0+x:400"}));
+}
+
+TEST(CliTest, ParsesArrivalRate) {
+  const Options opts = parse_ok({"--arrival-rate", "0.4"});
+  ASSERT_TRUE(opts.arrival_rate.has_value());
+  EXPECT_DOUBLE_EQ(*opts.arrival_rate, 0.4);
+}
+
+TEST(CliTest, RejectsNonPositiveArrivalRate) {
+  EXPECT_TRUE(parse_fails({"--arrival-rate"}));
+  EXPECT_TRUE(parse_fails({"--arrival-rate", "0"}));
+  EXPECT_TRUE(parse_fails({"--arrival-rate", "-2"}));
+  EXPECT_TRUE(parse_fails({"--arrival-rate", "fast"}));
 }
 
 }  // namespace

@@ -73,6 +73,50 @@ SweepSpec faulty_failover_grid() {
   return spec;
 }
 
+// A partitioned + overloaded grid: the manager site is cut off mid-run
+// (healing later) under 2x open-loop load with admission control on. Link
+// cuts are pure data and shedding is decided in virtual time, so the whole
+// partition/failover/shedding history must replay byte-identically for any
+// worker count.
+SweepSpec partitioned_overload_grid() {
+  SweepSpec spec;
+  spec.name = "partition_small";
+  spec.title = "partitioned determinism fixture";
+  spec.default_runs = 2;
+  for (const bool overload : {false, true}) {
+    core::SystemConfig cfg;
+    cfg.scheme = core::DistScheme::kGlobalCeiling;
+    cfg.sites = 3;
+    cfg.db_objects = 60;
+    cfg.cpu_per_object = sim::Duration::units(2);
+    cfg.io_per_object = sim::Duration::zero();
+    cfg.comm_delay = sim::Duration::units(2);
+    cfg.commit_vote_timeout = sim::Duration::units(8);
+    cfg.workload.transaction_count = 100;
+    cfg.workload.read_only_fraction = 0.3;
+    cfg.workload.size_min = 3;
+    cfg.workload.size_max = 6;
+    // 5x open-loop overload: one CPU per site serves ~9tu of work per
+    // transaction against a per-site arrival every ~3tu, so the admitted
+    // population outgrows max_running + queue_limit and the shedder must
+    // fire (the 1x cell stays below the cap).
+    cfg.workload.mean_interarrival =
+        sim::Duration::units(overload ? 1 : 5);
+    cfg.workload.slack_min = 10;
+    cfg.workload.slack_max = 20;
+    cfg.workload.est_time_per_object = sim::Duration::units(3);
+    cfg.faults.drop_rate = 0.05;
+    cfg.faults.partitions.push_back(net::FaultSpec::Partition{
+        {0}, sim::Duration::units(150), sim::Duration::units(300), true});
+    cfg.admission.enabled = true;
+    cfg.admission.max_running = 6;
+    cfg.admission.queue_limit = 2;
+    cfg.seed = 4;
+    spec.add_cell({{"load", overload ? "5x" : "1x"}}, cfg);
+  }
+  return spec;
+}
+
 Options with_jobs(int jobs) {
   Options opts;
   opts.jobs = jobs;
@@ -101,6 +145,23 @@ TEST(SweepDeterminismTest, FaultyFailoverArtifactsAreByteIdenticalAcrossJobs) {
   // the audit that runs at the end of every faulty run stayed clean.
   EXPECT_GT(serial.cells[0].mean_of("retransmissions"), 0.0);
   EXPECT_GT(serial.cells[0].mean_of("failovers"), 0.0);
+  EXPECT_EQ(serial.cells[0].mean_of("invariant_violations"), 0.0);
+  EXPECT_EQ(serial.cells[1].mean_of("invariant_violations"), 0.0);
+}
+
+TEST(SweepDeterminismTest, PartitionedOverloadArtifactsAreByteIdenticalAcrossJobs) {
+  const SweepSpec spec = partitioned_overload_grid();
+  const SweepResult serial = run_sweep(spec, with_jobs(1));
+  const SweepResult parallel = run_sweep(spec, with_jobs(8));
+
+  EXPECT_EQ(artifact_json(serial).dump(2), artifact_json(parallel).dump(2));
+  EXPECT_EQ(artifact_csv(serial), artifact_csv(parallel));
+
+  // Sanity: the cut, the failover, and (under 2x load) the shedder all
+  // actually fired, and the per-run invariants held through it all.
+  EXPECT_GT(serial.cells[0].mean_of("partition_drops"), 0.0);
+  EXPECT_GT(serial.cells[0].mean_of("failovers"), 0.0);
+  EXPECT_GT(serial.cells[1].mean_of("shed"), 0.0);
   EXPECT_EQ(serial.cells[0].mean_of("invariant_violations"), 0.0);
   EXPECT_EQ(serial.cells[1].mean_of("invariant_violations"), 0.0);
 }

@@ -121,6 +121,32 @@ TEST(ReliableChannelTest, CrashClearsPendingAndTimers) {
   EXPECT_EQ(p.ch0.gave_up(), 0u);
 }
 
+TEST(ReliableChannelTest, BackoffSaturatesAtTheCapInsteadOfOverflowing) {
+  // Regression: with a large retry budget, doubling the backoff per attempt
+  // overflows the int64 tick count around attempt 60 and schedules a
+  // negative delay. The wait must saturate at backoff_max instead.
+  sim::Kernel k;
+  Network net{k, 2, tu(2)};
+  MessageServer ms0{k, net, 0};
+  MessageServer ms1{k, net, 1};
+  constexpr int kRetries = 80;  // far past the overflow point
+  ReliableChannel ch0{ms0,
+                      ReliableChannel::Options{true, kRetries, tu(8), tu(256)},
+                      sim::RandomStream{7}.fork(0xCA00)};
+  ms0.start();
+  ms1.start();
+  net.set_operational(1, false);
+  ch0.send(1, PingMsg{1});
+  k.run();  // terminates: every armed delay was positive and finite
+  EXPECT_EQ(ch0.retransmissions(), static_cast<std::uint64_t>(kRetries));
+  EXPECT_EQ(ch0.gave_up(), 1u);
+  EXPECT_EQ(ch0.in_flight(), 0u);
+  // Every wait is at most backoff_max plus one base of jitter.
+  const Duration bound = (tu(256) + tu(8)) * (kRetries + 1);
+  EXPECT_GT(ch0.backoff_wait(), Duration::zero());
+  EXPECT_LE(ch0.backoff_wait(), bound);
+}
+
 TEST(ReliableChannelTest, RetransmissionScheduleIsAPureFunctionOfTheSeed) {
   auto run = [] {
     Pair p{true, 21};
