@@ -1,0 +1,109 @@
+// Extension — scale-out control plane. N-site topologies under constant
+// per-site load compare the three distribution schemes' control planes:
+// the global ceiling manager (one serialization point, every acquire a
+// round trip to site 0), local-ceiling replication (no remote locking but
+// every update write fanned out to all N sites), and the partitioned
+// scheme (DPCP-style: the object space sharded across per-shard ceiling
+// managers, control traffic spread over min(N, 8) sites). Zipfian skew
+// concentrates accesses on a few hot ranks — with the hash partitioner the
+// hot keys still spread across shards, which is exactly the contrast with
+// the global scheme's single queue. Message batching (1tu window) is on in
+// every cell, so the batched/flushes columns show the coalescing the
+// control plane gets at high site counts.
+//
+// Axes: scheme (global / local / partitioned) x sites (8 / 32) x skew
+// (uniform / zipf 0.9), plus two read-heavy cells (mix 0.75, 32 sites,
+// zipf) and two chaos cells (1% drops + a mid-run crash of site 1, 32
+// sites, zipf) for the remote-locking schemes. The `invariants` column
+// must be 0 in every cell, chaos included.
+
+#include "params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtdb;
+  using namespace rtdb::bench;
+  using core::DistScheme;
+
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
+  const std::uint32_t kSites[] = {8, 32};
+  struct SkewCell {
+    const char* label;
+    double theta;
+  };
+  const SkewCell kSkews[] = {{"uniform", 0.0}, {"zipf0.9", 0.9}};
+
+  exp::SweepSpec spec;
+  spec.name = "ext_scale_sweep";
+  spec.title =
+      "Extension: site count x access skew, global vs local vs partitioned "
+      "ceiling, batched control plane";
+  spec.default_runs = kScaleRuns;
+
+  for (const DistScheme scheme :
+       {DistScheme::kGlobalCeiling, DistScheme::kLocalCeiling,
+        DistScheme::kPartitionedCeiling}) {
+    for (const std::uint32_t sites : kSites) {
+      for (const SkewCell& skew : kSkews) {
+        spec.add_cell({{"scheme", core::to_string(scheme)},
+                       {"sites", std::to_string(sites)},
+                       {"skew", skew.label},
+                       {"mix", "rw0.25"},
+                       {"fault", "none"}},
+                      scale_config(scheme, sites, skew.theta, 1));
+      }
+    }
+  }
+  // Read-heavy contrast at the largest skewed point: remote reads dominate
+  // under the partitioned placement, local reads under the global one.
+  for (const DistScheme scheme :
+       {DistScheme::kGlobalCeiling, DistScheme::kPartitionedCeiling}) {
+    auto cfg = scale_config(scheme, 32, 0.9, 1);
+    cfg.workload.read_only_fraction = 0.75;
+    spec.add_cell({{"scheme", core::to_string(scheme)},
+                   {"sites", "32"},
+                   {"skew", "zipf0.9"},
+                   {"mix", "rw0.75"},
+                   {"fault", "none"}},
+                  cfg);
+  }
+  // Chaos at scale: message loss plus a mid-run crash of a manager-hosting
+  // site. Under the partitioned scheme site 1 hosts shard 1's manager, so
+  // the crash exercises one shard's lease-fenced failover while the other
+  // shards keep granting.
+  for (const DistScheme scheme :
+       {DistScheme::kGlobalCeiling, DistScheme::kPartitionedCeiling}) {
+    auto cfg = scale_config(scheme, 32, 0.9, 1);
+    cfg.commit_vote_timeout = sim::Duration::units(40);
+    cfg.faults.drop_rate = 0.01;
+    cfg.faults.crashes.push_back(net::FaultSpec::Crash{
+        1, sim::Duration::units(150), sim::Duration::units(200)});
+    spec.add_cell({{"scheme", core::to_string(scheme)},
+                   {"sites", "32"},
+                   {"skew", "zipf0.9"},
+                   {"mix", "rw0.25"},
+                   {"fault", "drop1%+crash1"}},
+                  cfg);
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
+
+  stats::Table table{{"scheme", "sites", "skew", "mix", "fault", "thr",
+                      "miss%", "batched", "flushes", "migrations",
+                      "failovers", "invariants"}};
+  for (std::size_t cell = 0; cell < spec.cells.size(); ++cell) {
+    const exp::CellResult& c = res.cell(cell);
+    table.add_row({spec.cells[cell].axes[0].second,
+                   spec.cells[cell].axes[1].second,
+                   spec.cells[cell].axes[2].second,
+                   spec.cells[cell].axes[3].second,
+                   spec.cells[cell].axes[4].second,
+                   stats::Table::num(c.throughput()),
+                   stats::Table::num(c.pct_missed()),
+                   stats::Table::num(c.mean_of("batched_messages")),
+                   stats::Table::num(c.mean_of("batch_flushes")),
+                   stats::Table::num(c.mean_of("shard_migrations")),
+                   stats::Table::num(c.mean_of("failovers")),
+                   stats::Table::num(c.mean_of("invariant_violations"))});
+  }
+  return exp::emit(res, table, opts) ? 0 : 1;
+}

@@ -154,6 +154,39 @@ void BM_PcpCeilingMaintenance(benchmark::State& state) {
 }
 BENCHMARK(BM_PcpCeilingMaintenance);
 
+void BM_NetworkDeliverNSites(benchmark::State& state) {
+  // Per-tick cost of the message layer at scale: every site sends one
+  // small message to each of 8 neighbours per round, across `sites` sites.
+  // This is the control-plane hot path the batching work targets — cost
+  // must stay proportional to live messages, not to the site count.
+  const auto sites = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Kernel k;
+    net::Network network{k, sites, Duration::units(1)};
+    std::vector<std::unique_ptr<net::MessageServer>> servers;
+    servers.reserve(sites);
+    std::uint64_t received = 0;
+    for (net::SiteId id = 0; id < sites; ++id) {
+      servers.push_back(std::make_unique<net::MessageServer>(k, network, id));
+      servers.back()->on<dist::EndTxnMsg>(
+          [&received](net::SiteId, dist::EndTxnMsg) { ++received; });
+      servers.back()->start();
+    }
+    for (int round = 0; round < 4; ++round) {
+      for (net::SiteId from = 0; from < sites; ++from) {
+        for (std::uint32_t n = 1; n <= 8; ++n) {
+          servers[from]->send((from + n) % sites,
+                              dist::EndTxnMsg{round + 1ull, 1});
+        }
+      }
+      k.run();
+    }
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(state.iterations() * sites * 8 * 4);
+}
+BENCHMARK(BM_NetworkDeliverNSites)->Arg(8)->Arg(64)->Arg(256);
+
 void BM_EndToEndSingleSiteRun(benchmark::State& state) {
   // A complete single-site experiment per iteration — the unit of work
   // behind every figure data point (here: 100 PCP transactions of size 8).

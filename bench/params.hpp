@@ -88,6 +88,47 @@ inline core::SystemConfig dist_config(core::DistScheme scheme,
 
 inline constexpr int kDistRuns = 5;
 
+// ---- Scale-out extension: N-site skewed-workload sweep ----
+//
+// The scale axis holds the offered load constant while the cluster (and
+// the database on it) grows — strong scaling. A scheme whose control
+// plane scales shows a flat throughput curve across the site axis; the
+// global scheme's single serialization point shows up as the curve that
+// falls away, because every added site is another remote client funneling
+// its whole lock traffic through one manager. Zipfian skew concentrates
+// accesses on a few hot ranks (workload.zipf_theta), eroding the
+// partitioned scheme's advantage at small scale (the hot shard is its own
+// funnel); batching is on (1tu window, well under the heartbeat interval)
+// so the control plane coalesces at high site counts.
+inline core::SystemConfig scale_config(core::DistScheme scheme,
+                                       std::uint32_t sites, double zipf_theta,
+                                       std::uint64_t seed) {
+  core::SystemConfig cfg;
+  cfg.scheme = scheme;
+  cfg.sites = sites;
+  cfg.db_objects = 20 * sites;
+  cfg.cpu_per_object = sim::Duration::units(2);
+  cfg.io_per_object = sim::Duration::zero();
+  cfg.comm_delay = sim::Duration::units(1);
+  cfg.batch_window = sim::Duration::units(1);
+  cfg.workload.size_min = 4;
+  cfg.workload.size_max = 8;
+  // 0.3 transactions per unit system-wide, independent of the site count;
+  // the batch grows with the cluster so larger grids run long enough to
+  // reach the steady-state queueing the schemes differ on.
+  cfg.workload.mean_interarrival = sim::Duration::from_units(10.0 / 3.0);
+  cfg.workload.read_only_fraction = 0.25;
+  cfg.workload.transaction_count = 30 * sites;
+  cfg.workload.zipf_theta = zipf_theta;
+  cfg.workload.slack_min = 3.5;
+  cfg.workload.slack_max = 7;
+  cfg.workload.est_time_per_object = sim::Duration::units(3);
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline constexpr int kScaleRuns = 3;
+
 // Every bench binary runs its grid through the parallel sweep engine
 // (exp::run_sweep) and finishes with exp::emit: figure table on stdout,
 // JSON/CSV artifacts per the shared CLI (exp::parse_options_or_exit).

@@ -20,8 +20,9 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 # Representative and quick: one single-site figure, one distributed
-# figure, one ablation. --runs 1 keeps the whole pass under a minute.
-sweeps="fig2_throughput fig4_throughput_ratio ablation_granularity"
+# figure, one ablation, and the N-site scale sweep (the control-plane
+# hot path). --runs 1 keeps the whole pass under a minute.
+sweeps="fig2_throughput fig4_throughput_ratio ablation_granularity ext_scale_sweep"
 
 now() { date +%s.%N; }
 
@@ -66,7 +67,7 @@ jq -n \
   --arg host "$(uname -sr)" \
   --arg cpu "$cpu_model" \
   --argjson cores "$(nproc 2>/dev/null || echo 1)" \
-  '{schema_version: 2,
+  '{schema_version: 3,
     host: {os: $host, cpu: $cpu, cores: $cores},
     sweeps: $sweeps,
     micro: $micro}' > "$output"

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "check/shard_audit.hpp"
+
 namespace rtdb::check {
 
 ConformanceMonitor::ConformanceMonitor(sim::Kernel& kernel, Options options)
@@ -18,10 +20,28 @@ void ConformanceMonitor::attach(cc::ConcurrencyController& controller,
   controller.set_observer(lock_audits_.back().get());
 }
 
+void ConformanceMonitor::attach_sharded(
+    cc::ConcurrencyController& controller, ProtocolFamily family,
+    std::uint32_t shard, std::function<bool(db::ObjectId)> in_shard) {
+  lock_audits_.push_back(std::make_unique<ShardScopeAudit>(
+      *this, family, shard, std::move(in_shard)));
+  controller.set_observer(lock_audits_.back().get());
+}
+
 void ConformanceMonitor::attach_timestamp(
     cc::ConcurrencyController& controller) {
   lock_audits_.push_back(std::make_unique<TsoAudit>(*this));
   controller.set_observer(lock_audits_.back().get());
+}
+
+dist::LeaseObserver* ConformanceMonitor::lease_observer(std::uint32_t shard) {
+  auto it = shard_lease_audits_.find(shard);
+  if (it == shard_lease_audits_.end()) {
+    it = shard_lease_audits_
+             .emplace(shard, std::make_unique<LeaseAudit>(*this))
+             .first;
+  }
+  return it->second.get();
 }
 
 void ConformanceMonitor::report(std::string rule, std::string detail) {

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +47,14 @@ class ConformanceMonitor {
   // The monitor must outlive the controller's last event.
   void attach(cc::ConcurrencyController& controller, ProtocolFamily family);
 
+  // Partitioned scheme: like attach, but the family audit is wrapped in a
+  // shard-scope check — a grant/adoption of an object `in_shard` rejects
+  // is flagged as shard.wrong_shard_grant (a manager can never hand out a
+  // lock its shard does not own).
+  void attach_sharded(cc::ConcurrencyController& controller,
+                      ProtocolFamily family, std::uint32_t shard,
+                      std::function<bool(db::ObjectId)> in_shard);
+
   // Timestamp ordering holds no locks; it gets the timestamp-shadow audit
   // instead of a lock-family one.
   void attach_timestamp(cc::ConcurrencyController& controller);
@@ -57,6 +67,12 @@ class ConformanceMonitor {
   // GlobalCeilingManager::set_lease_observer. One instance sees every
   // site's lease events, which is exactly what lets it detect two holders.
   dist::LeaseObserver* lease_observer() { return &lease_audit_; }
+
+  // Partitioned scheme: one lease audit per shard. Each shard's election
+  // runs an independent term space, so a shared audit would see two
+  // legitimate holders; a per-shard instance keeps the single-holder rule
+  // exact within the shard. Lazily created; stable for the monitor's life.
+  dist::LeaseObserver* lease_observer(std::uint32_t shard);
 
   // ---- run scalars ----
   std::uint64_t violations() const { return violations_; }
@@ -88,6 +104,7 @@ class ConformanceMonitor {
   std::vector<std::unique_ptr<cc::CcObserver>> lock_audits_;
   CommitAudit commit_audit_;
   LeaseAudit lease_audit_;
+  std::map<std::uint32_t, std::unique_ptr<LeaseAudit>> shard_lease_audits_;
   std::vector<Violation> reports_;
   std::uint64_t violations_ = 0;
   std::uint64_t wait_cycles_ = 0;

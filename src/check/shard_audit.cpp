@@ -1,0 +1,65 @@
+#include "check/shard_audit.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "check/monitor.hpp"
+
+namespace rtdb::check {
+
+ShardScopeAudit::ShardScopeAudit(ConformanceMonitor& monitor,
+                                 ProtocolFamily family, std::uint32_t shard,
+                                 std::function<bool(db::ObjectId)> in_shard)
+    : monitor_(monitor),
+      inner_(monitor, family),
+      shard_(shard),
+      in_shard_(std::move(in_shard)) {}
+
+void ShardScopeAudit::check_scope(const cc::CcTxn& txn, db::ObjectId object,
+                                  const char* how) {
+  if (in_shard_(object)) return;
+  std::ostringstream detail;
+  detail << "txn " << txn.id.value << " " << how << " object " << object
+         << " at shard " << shard_ << ", which does not own it";
+  monitor_.report("shard.wrong_shard_grant", detail.str());
+}
+
+void ShardScopeAudit::on_txn_begin(const cc::CcTxn& txn) {
+  inner_.on_txn_begin(txn);
+}
+
+void ShardScopeAudit::on_txn_end(const cc::CcTxn& txn) {
+  inner_.on_txn_end(txn);
+}
+
+void ShardScopeAudit::on_grant(const cc::CcTxn& txn, db::ObjectId object,
+                               cc::LockMode mode) {
+  check_scope(txn, object, "granted");
+  inner_.on_grant(txn, object, mode);
+}
+
+void ShardScopeAudit::on_block(const cc::CcTxn& txn, db::ObjectId object,
+                               cc::LockMode mode,
+                               std::span<cc::CcTxn* const> blockers) {
+  inner_.on_block(txn, object, mode, blockers);
+}
+
+void ShardScopeAudit::on_unblock(const cc::CcTxn& txn) {
+  inner_.on_unblock(txn);
+}
+
+void ShardScopeAudit::on_release_all(const cc::CcTxn& txn) {
+  inner_.on_release_all(txn);
+}
+
+void ShardScopeAudit::on_abort(db::TxnId victim, cc::AbortReason reason) {
+  inner_.on_abort(victim, reason);
+}
+
+void ShardScopeAudit::on_adopt(const cc::CcTxn& txn, db::ObjectId object,
+                               cc::LockMode mode) {
+  check_scope(txn, object, "adopted");
+  inner_.on_adopt(txn, object, mode);
+}
+
+}  // namespace rtdb::check

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "check/lock_audit.hpp"
+
+namespace rtdb::check {
+
+class ConformanceMonitor;
+
+// Shard-scope wrapper for a per-shard ceiling manager's audit (the
+// partitioned scheme). Every event is forwarded to the wrapped family
+// audit unchanged; in addition, a grant or adoption of an object outside
+// the manager's own shard is flagged — a correct manager can never hand
+// out a lock it does not own, so a wrong-shard grant means the router or
+// the partitioner diverged between client and manager.
+class ShardScopeAudit final : public cc::CcObserver {
+ public:
+  ShardScopeAudit(ConformanceMonitor& monitor, ProtocolFamily family,
+                  std::uint32_t shard,
+                  std::function<bool(db::ObjectId)> in_shard);
+
+  void on_txn_begin(const cc::CcTxn& txn) override;
+  void on_txn_end(const cc::CcTxn& txn) override;
+  void on_grant(const cc::CcTxn& txn, db::ObjectId object,
+                cc::LockMode mode) override;
+  void on_block(const cc::CcTxn& txn, db::ObjectId object, cc::LockMode mode,
+                std::span<cc::CcTxn* const> blockers) override;
+  void on_unblock(const cc::CcTxn& txn) override;
+  void on_release_all(const cc::CcTxn& txn) override;
+  void on_abort(db::TxnId victim, cc::AbortReason reason) override;
+  void on_adopt(const cc::CcTxn& txn, db::ObjectId object,
+                cc::LockMode mode) override;
+
+ private:
+  void check_scope(const cc::CcTxn& txn, db::ObjectId object,
+                   const char* how);
+
+  ConformanceMonitor& monitor_;
+  LockAudit inner_;
+  std::uint32_t shard_;
+  std::function<bool(db::ObjectId)> in_shard_;
+};
+
+}  // namespace rtdb::check

@@ -27,14 +27,46 @@ enum class Protocol : std::uint8_t {
 
 const char* to_string(Protocol protocol);
 
-// Distribution scheme of §4.
+// Distribution scheme of §4 (plus the scale-out extension).
 enum class DistScheme : std::uint8_t {
   kSingleSite,
   kGlobalCeiling,  // one global ceiling manager, locks across the network
   kLocalCeiling,   // per-site ceiling managers over full replication
+  // DPCP-style resource agents: the object space is sharded across
+  // per-shard ceiling managers (each a full GlobalCeilingManager over its
+  // shard's declared sets), data is partitioned single-copy, and each
+  // shard runs its own lease-fenced failover. Removes the single-manager
+  // serialization point the global scheme funnels everything through.
+  kPartitionedCeiling,
 };
 
 const char* to_string(DistScheme scheme);
+
+// How kPartitionedCeiling splits the object space across shards.
+enum class Partitioner : std::uint8_t {
+  kHash,   // splitmix64-mixed object id: spreads hot keys across shards
+  kRange,  // contiguous slices: concentrates Zipfian hot ranks on shard 0
+};
+
+const char* to_string(Partitioner partitioner);
+
+// The shard owning `object`; pure function of the config so the client,
+// the router, and the conformance audit agree without coordination.
+inline std::uint32_t shard_of(std::uint32_t object, std::uint32_t db_objects,
+                              std::uint32_t shards, Partitioner partitioner) {
+  if (shards <= 1) return 0;
+  if (partitioner == Partitioner::kRange) {
+    const std::uint32_t span = (db_objects + shards - 1) / shards;
+    const std::uint32_t shard = object / span;
+    return shard < shards ? shard : shards - 1;
+  }
+  // splitmix64 finalizer: cheap, deterministic, platform-independent.
+  std::uint64_t z = object;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z % shards);
+}
 
 // Execution substrate: the discrete-event simulation (default; virtual
 // time, byte-identical artifacts per seed) or the real-hardware thread
@@ -74,6 +106,18 @@ struct SystemConfig {
   // fully replicated database with synchronous updates at commit; true =
   // partitioned single-copy data with remote reads (extension).
   bool global_partitioned = false;
+  // kPartitionedCeiling: ceiling-manager shards (0 = one per site, capped
+  // at 8) and how objects map onto them. Shard s's initial manager is site
+  // s, so shards never exceeds the site count.
+  std::uint32_t shards = 0;
+  Partitioner partitioner = Partitioner::kHash;
+  // Control-message batching (global + partitioned ceiling schemes): sends
+  // to the same destination within this window coalesce into one framed
+  // message (net::BatchChannel). Zero = off — the channel is an exact
+  // passthrough and runs stay byte-identical to builds without it. Keep
+  // the window well under heartbeat_interval: heartbeats ride the batch
+  // too, and a window that swallows a whole beat delays failure detection.
+  sim::Duration batch_window{};
   cc::TwoPhaseLocking::VictimPolicy victim_policy =
       cc::TwoPhaseLocking::VictimPolicy::kLowestPriority;
   sim::Duration restart_backoff = sim::Duration::units(1);

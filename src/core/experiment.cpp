@@ -132,6 +132,18 @@ constexpr RunScalar kRunScalars[] = {
      [](const RunResult& r) {
        return static_cast<double>(r.partition_drops);
      }},
+    // Appended by the scale-out control plane (message batching,
+    // partitioned ceiling managers) — new columns only, stable order.
+    {"batched_messages",
+     [](const RunResult& r) {
+       return static_cast<double>(r.batched_messages);
+     }},
+    {"batch_flushes",
+     [](const RunResult& r) { return static_cast<double>(r.batch_flushes); }},
+    {"shard_migrations",
+     [](const RunResult& r) {
+       return static_cast<double>(r.shard_migrations);
+     }},
 };
 
 // Runs the cell on the real-hardware thread backend (src/rt) and maps its
@@ -222,6 +234,9 @@ RunResult ExperimentRunner::run_once(const SystemConfig& config) {
   result.lease_expiries = system.total_lease_expiries();
   result.stale_grants_rejected = system.total_stale_grants_rejected();
   result.partition_drops = system.total_partition_drops();
+  result.batched_messages = system.total_batched_messages();
+  result.batch_flushes = system.total_batch_flushes();
+  result.shard_migrations = system.total_shard_migrations();
   if (config.faults.active()) {
     result.invariant_violations = system.invariant_violations();
   }

@@ -59,6 +59,11 @@ struct RunResult {
   std::uint64_t lease_expiries = 0;
   std::uint64_t stale_grants_rejected = 0;
   std::uint64_t partition_drops = 0;
+  // Scale-out control plane (all 0 with batching off / outside the
+  // partitioned scheme).
+  std::uint64_t batched_messages = 0;
+  std::uint64_t batch_flushes = 0;
+  std::uint64_t shard_migrations = 0;
 };
 
 // A named per-run scalar — the catalog below is the single list the text

@@ -1,5 +1,6 @@
 #include "core/system.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "cc/hp2pl.hpp"
@@ -28,6 +29,10 @@ db::Placement placement_for(const SystemConfig& config) {
                                        : db::Placement::kFullyReplicated;
     case DistScheme::kLocalCeiling:
       return db::Placement::kFullyReplicated;
+    case DistScheme::kPartitionedCeiling:
+      // Single-copy data: a fully replicated database would make every
+      // update a cross-shard broadcast and erase the scheme's point.
+      return db::Placement::kPartitioned;
   }
   return db::Placement::kSingleSite;
 }
@@ -37,6 +42,7 @@ workload::Assignment assignment_for(const SystemConfig& config) {
     case DistScheme::kSingleSite:
       return workload::Assignment::kSingleSite;
     case DistScheme::kGlobalCeiling:
+    case DistScheme::kPartitionedCeiling:
       return workload::Assignment::kUniformSite;
     case DistScheme::kLocalCeiling:
       return workload::Assignment::kHomeByWriteSet;
@@ -58,6 +64,18 @@ const char* to_string(DistScheme scheme) {
       return "global-ceiling";
     case DistScheme::kLocalCeiling:
       return "local-ceiling";
+    case DistScheme::kPartitionedCeiling:
+      return "partitioned";
+  }
+  return "?";
+}
+
+const char* to_string(Partitioner partitioner) {
+  switch (partitioner) {
+    case Partitioner::kHash:
+      return "hash";
+    case Partitioner::kRange:
+      return "range";
   }
   return "?";
 }
@@ -94,6 +112,9 @@ System::System(SystemConfig config)
       break;
     case DistScheme::kLocalCeiling:
       build_local_ceiling();
+      break;
+    case DistScheme::kPartitionedCeiling:
+      build_partitioned_ceiling();
       break;
   }
   if (config_.conformance_check) attach_conformance();
@@ -189,6 +210,11 @@ void System::build_global_ceiling() {
                                       config_.backoff_base,
                                       config_.backoff_max},
         sim::RandomStream{config_.seed}.fork(kChannelStream + id));
+    // Coalesces same-destination control traffic; a zero window (the
+    // default) is an exact passthrough onto the reliable channel.
+    site.batch = std::make_unique<net::BatchChannel>(
+        *site.server, site.channel.get(),
+        net::BatchChannel::Options{config_.batch_window});
     site.rpc_client = std::make_unique<net::RpcClient>(*site.server);
     site.rpc_dispatcher = std::make_unique<net::RpcDispatcher>(*site.server);
     // Presumed abort only matters once faults can lose the decision; the
@@ -232,6 +258,7 @@ void System::build_global_ceiling() {
         kernel_, *site.server, *site.rpc_client,
         dist::GlobalCeilingClient::Options{kManagerSite, acquire_timeout},
         site.channel.get());
+    client->set_batch(site.batch.get());
     // Site 0 hosts the initially active manager; with failover every site
     // hosts a standby instance the election can activate.
     if (id == kManagerSite || failover) {
@@ -240,7 +267,7 @@ void System::build_global_ceiling() {
       // nothing else removes its mirror from a surviving manager.
       site.manager = std::make_unique<dist::GlobalCeilingManager>(
           *site.server, *site.rpc_dispatcher, config_.db_objects,
-          site.channel.get(), id == kManagerSite, faulty);
+          site.channel.get(), id == kManagerSite, faulty, site.batch.get());
     }
     if (failover) {
       site.failover = std::make_unique<dist::FailoverCoordinator>(
@@ -321,6 +348,128 @@ void System::build_local_ceiling() {
   }
 }
 
+std::uint32_t System::effective_shards() const {
+  if (config_.scheme != DistScheme::kPartitionedCeiling) return 0;
+  if (config_.shards != 0) return std::min(config_.shards, config_.sites);
+  // Default: one shard per site, capped — past a handful of managers the
+  // control plane is spread thin enough and standby cost dominates.
+  return std::min(config_.sites, 8u);
+}
+
+std::function<std::uint32_t(db::ObjectId)> System::shard_fn() const {
+  return [objects = config_.db_objects, shards = effective_shards(),
+          partitioner = config_.partitioner](db::ObjectId object) {
+    return shard_of(object, objects, shards, partitioner);
+  };
+}
+
+void System::build_partitioned_ceiling() {
+  network_ = std::make_unique<net::Network>(kernel_, config_.sites,
+                                            config_.comm_delay);
+  const std::uint32_t shards = effective_shards();
+  const bool faulty = config_.faults.active();
+  const bool failover = faulty && config_.enable_failover;
+  for (net::SiteId id = 0; id < config_.sites; ++id) {
+    Site site = make_site_base(id, schema_.placement());
+    site.server = std::make_unique<net::MessageServer>(kernel_, *network_, id);
+    site.channel = std::make_unique<net::ReliableChannel>(
+        *site.server,
+        net::ReliableChannel::Options{faulty, config_.retransmit_max,
+                                      config_.backoff_base,
+                                      config_.backoff_max},
+        sim::RandomStream{config_.seed}.fork(kChannelStream + id));
+    site.batch = std::make_unique<net::BatchChannel>(
+        *site.server, site.channel.get(),
+        net::BatchChannel::Options{config_.batch_window});
+    site.rpc_client = std::make_unique<net::RpcClient>(*site.server);
+    site.rpc_dispatcher = std::make_unique<net::RpcDispatcher>(*site.server);
+    const sim::Duration decision_timeout =
+        faulty ? config_.commit_vote_timeout * 2 : sim::Duration::zero();
+    site.data_server = std::make_unique<dist::DataServer>(
+        *site.server, *site.rpc_dispatcher, *site.rm,
+        txn::CommitParticipant::Options{decision_timeout, faulty});
+    site.coordinator = std::make_unique<txn::CommitCoordinator>(*site.server);
+    site.data_server->participant().set_outcome_source(
+        [coordinator = site.coordinator.get()](std::uint64_t txn,
+                                               std::uint64_t epoch) {
+          return coordinator->outcome(txn, epoch);
+        });
+    const sim::Duration acquire_timeout =
+        faulty ? config_.heartbeat_interval *
+                     static_cast<std::int64_t>(
+                         config_.heartbeat_miss_threshold + 2)
+               : sim::Duration::zero();
+    auto client = std::make_unique<dist::PartitionedCeilingClient>(
+        kernel_, *site.server, *site.rpc_client,
+        dist::PartitionedCeilingClient::Options{shards, shard_fn(),
+                                                acquire_timeout},
+        site.channel.get(), site.batch.get());
+    // One handler slot per message type per site: the router owns them all
+    // and demultiplexes on the shard field.
+    site.router = std::make_unique<dist::ShardRouter>(
+        *site.server, *site.rpc_dispatcher, shards, site.channel.get(),
+        site.batch.get());
+    site.shard_managers.resize(shards);
+    site.shard_failovers.resize(shards);
+    for (std::uint32_t shard = 0; shard < shards; ++shard) {
+      // Shard `shard`'s initially active manager lives at site `shard`;
+      // under failover every site hosts a standby per shard.
+      const bool host = id == shard;
+      if (host || failover) {
+        site.shard_managers[shard] =
+            std::make_unique<dist::GlobalCeilingManager>(
+                dist::GlobalCeilingManager::Routed{}, *site.server,
+                config_.db_objects, host, faulty);
+        site.router->set_manager(shard, site.shard_managers[shard].get());
+      }
+      if (failover) {
+        // One election per shard, each an independent term space.
+        site.shard_failovers[shard] =
+            std::make_unique<dist::FailoverCoordinator>(
+                *site.server,
+                dist::FailoverCoordinator::Options{
+                    config_.heartbeat_interval,
+                    config_.heartbeat_miss_threshold,
+                    /*initial_manager=*/shard, config_.sites,
+                    config_.lease_interval, shard,
+                    /*register_handlers=*/false},
+                dist::FailoverCoordinator::Hooks{
+                    [manager = site.shard_managers[shard].get()](
+                        std::uint64_t term) { manager->activate(term); },
+                    [manager = site.shard_managers[shard].get()] {
+                      manager->deactivate();
+                    },
+                    [manager = site.shard_managers[shard].get()](bool fenced) {
+                      manager->set_fenced(fenced);
+                    },
+                    [client = client.get(), shard](net::SiteId manager,
+                                                   std::uint64_t term) {
+                      client->set_manager(shard, manager, term);
+                    },
+                    [this] { return !drained(); }});
+        site.shard_failovers[shard]->set_batch(site.batch.get());
+        site.router->set_failover(shard, site.shard_failovers[shard].get());
+      }
+    }
+    site.executor = std::make_unique<dist::GlobalExecutor>(
+        dist::GlobalExecutor::Services{
+            &kernel_, site.cpu.get(), site.rm.get(), &schema_, client.get(),
+            site.server.get(), site.rpc_client.get(), site.coordinator.get(),
+            config_.record_history ? &history_ : nullptr},
+        dist::GlobalExecutor::Costs{config_.cpu_per_object,
+                                    use_priority_scheduling(),
+                                    config_.commit_vote_timeout});
+    site.cc = std::move(client);
+    site.tm = std::make_unique<txn::TransactionManager>(
+        kernel_, *site.cc, *site.executor, monitor_,
+        txn::TransactionManager::Options{config_.restart_backoff,
+                                         config_.admission});
+    site.tm->connect_cpu(*site.cpu);
+    site.server->start();
+    sites_.push_back(std::move(site));
+  }
+}
+
 void System::attach_conformance() {
   conformance_ = std::make_unique<check::ConformanceMonitor>(kernel_);
   // The rule family of the per-site controllers. Under the global scheme
@@ -328,7 +477,8 @@ void System::attach_conformance() {
   // only — the blockers are at the manager); the manager's own protocol
   // instance gets the full ceiling audit below.
   const auto family = [&]() -> check::ProtocolFamily {
-    if (config_.scheme == DistScheme::kGlobalCeiling) {
+    if (config_.scheme == DistScheme::kGlobalCeiling ||
+        config_.scheme == DistScheme::kPartitionedCeiling) {
       return check::ProtocolFamily::kRemoteClient;
     }
     switch (config_.protocol) {
@@ -350,8 +500,9 @@ void System::attach_conformance() {
     }
     return check::ProtocolFamily::kTwoPhase;
   }();
-  const bool timestamp = config_.scheme != DistScheme::kGlobalCeiling &&
-                         config_.protocol == Protocol::kTimestampOrdering;
+  const bool timestamp = family == check::ProtocolFamily::kRemoteClient
+                             ? false
+                             : config_.protocol == Protocol::kTimestampOrdering;
   for (Site& site : sites_) {
     if (timestamp) {
       conformance_->attach_timestamp(*site.cc);
@@ -363,6 +514,19 @@ void System::attach_conformance() {
     if (site.manager != nullptr) {
       conformance_->attach(site.manager->protocol(),
                            check::ProtocolFamily::kCeiling);
+    }
+    // Shard managers additionally audit grant scope: a manager granting an
+    // object its shard does not own is a routing/config bug the ordinary
+    // ceiling rules cannot see.
+    for (std::uint32_t shard = 0; shard < site.shard_managers.size();
+         ++shard) {
+      if (site.shard_managers[shard] == nullptr) continue;
+      conformance_->attach_sharded(
+          site.shard_managers[shard]->protocol(),
+          check::ProtocolFamily::kCeiling, shard,
+          [shard, fn = shard_fn()](db::ObjectId object) {
+            return fn(object) == shard;
+          });
     }
     if (site.coordinator != nullptr) {
       site.coordinator->set_observer(conformance_->commit_observer());
@@ -383,6 +547,21 @@ void System::attach_conformance() {
       }
       if (auto* gcc = dynamic_cast<dist::GlobalCeilingClient*>(site.cc.get())) {
         gcc->set_lease_observer(conformance_->lease_observer());
+      }
+    }
+    // Per-shard lease audits: every shard's election is an independent term
+    // space, so each gets its own single-holder audit instance.
+    for (std::uint32_t shard = 0; shard < site.shard_failovers.size();
+         ++shard) {
+      if (site.shard_failovers[shard] == nullptr) continue;
+      dist::LeaseObserver* observer = conformance_->lease_observer(shard);
+      site.shard_failovers[shard]->set_observer(observer);
+      if (site.shard_managers[shard] != nullptr) {
+        site.shard_managers[shard]->set_lease_observer(observer);
+      }
+      if (auto* pcc =
+              dynamic_cast<dist::PartitionedCeilingClient*>(site.cc.get())) {
+        pcc->set_lease_observer(shard, observer);
       }
     }
   }
@@ -436,15 +615,25 @@ void System::crash_site(net::SiteId site) {
     network_->inbox(site).clear();  // undispatched inbox dies with the site
   }
   if (s.channel != nullptr) s.channel->on_crash();
+  if (s.batch != nullptr) s.batch->on_crash();
   if (s.data_server != nullptr) s.data_server->on_crash();
   if (s.failover != nullptr) s.failover->on_crash();
   if (s.manager != nullptr) s.manager->on_crash();
+  for (auto& failover : s.shard_failovers) {
+    if (failover != nullptr) failover->on_crash();
+  }
+  for (auto& manager : s.shard_managers) {
+    if (manager != nullptr) manager->on_crash();
+  }
   s.tm->crash();
   // Idealized instantaneous failure detection at the lock manager: free
   // whatever the dead site's transactions held so survivors are not
   // blocked behind a corpse. (Standby managers hold no mirrors — no-op.)
   for (Site& other : sites_) {
     if (other.manager != nullptr) other.manager->abort_site(site);
+    for (auto& manager : other.shard_managers) {
+      if (manager != nullptr) manager->abort_site(site);
+    }
   }
 }
 
@@ -456,6 +645,9 @@ void System::restore_site(net::SiteId site) {
   if (s.server != nullptr) s.server->start();
   s.tm->restore();
   if (s.failover != nullptr) s.failover->on_restore();
+  for (auto& failover : s.shard_failovers) {
+    if (failover != nullptr) failover->on_restore();
+  }
   if (s.recovery != nullptr) s.recovery->request_catch_up();
 }
 
@@ -470,6 +662,9 @@ void System::start() {
   generator_->start();
   for (Site& site : sites_) {
     if (site.failover != nullptr) site.failover->start();
+    for (auto& failover : site.shard_failovers) {
+      if (failover != nullptr) failover->start();
+    }
   }
 }
 
@@ -512,6 +707,9 @@ std::uint64_t System::total_protocol_aborts() const {
     if (site.manager != nullptr) {
       n += site.manager->protocol().protocol_aborts();
     }
+    for (const auto& manager : site.shard_managers) {
+      if (manager != nullptr) n += manager->protocol().protocol_aborts();
+    }
   }
   return n;
 }
@@ -525,6 +723,9 @@ std::uint64_t System::total_ceiling_denials() const {
     if (site.manager != nullptr) {
       n += site.manager->protocol().ceiling_denials();
     }
+    for (const auto& manager : site.shard_managers) {
+      if (manager != nullptr) n += manager->protocol().ceiling_denials();
+    }
   }
   return n;
 }
@@ -537,6 +738,9 @@ std::uint64_t System::total_dynamic_deadlocks() const {
     }
     if (site.manager != nullptr) {
       n += site.manager->protocol().dynamic_deadlocks();
+    }
+    for (const auto& manager : site.shard_managers) {
+      if (manager != nullptr) n += manager->protocol().dynamic_deadlocks();
     }
   }
   return n;
@@ -608,6 +812,9 @@ std::uint64_t System::total_failovers() const {
   std::uint64_t n = 0;
   for (const Site& site : sites_) {
     if (site.failover != nullptr) n += site.failover->promotions();
+    for (const auto& failover : site.shard_failovers) {
+      if (failover != nullptr) n += failover->promotions();
+    }
   }
   return n;
 }
@@ -634,6 +841,9 @@ std::uint64_t System::total_orphan_locks_reclaimed() const {
   std::uint64_t n = 0;
   for (const Site& site : sites_) {
     if (site.manager != nullptr) n += site.manager->orphan_locks_reclaimed();
+    for (const auto& manager : site.shard_managers) {
+      if (manager != nullptr) n += manager->orphan_locks_reclaimed();
+    }
   }
   return n;
 }
@@ -646,6 +856,9 @@ std::uint64_t System::total_lease_expiries() const {
   std::uint64_t n = 0;
   for (const Site& site : sites_) {
     if (site.failover != nullptr) n += site.failover->lease_expiries();
+    for (const auto& failover : site.shard_failovers) {
+      if (failover != nullptr) n += failover->lease_expiries();
+    }
   }
   return n;
 }
@@ -654,6 +867,9 @@ std::uint64_t System::total_fence_denials() const {
   std::uint64_t n = 0;
   for (const Site& site : sites_) {
     if (site.manager != nullptr) n += site.manager->fence_denials();
+    for (const auto& manager : site.shard_managers) {
+      if (manager != nullptr) n += manager->fence_denials();
+    }
   }
   return n;
 }
@@ -664,6 +880,37 @@ std::uint64_t System::total_stale_grants_rejected() const {
     if (const auto* client =
             dynamic_cast<const dist::GlobalCeilingClient*>(site.cc.get())) {
       n += client->stale_grants_rejected();
+    }
+    if (const auto* client =
+            dynamic_cast<const dist::PartitionedCeilingClient*>(
+                site.cc.get())) {
+      n += client->stale_grants_rejected();
+    }
+  }
+  return n;
+}
+
+std::uint64_t System::total_batched_messages() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.batch != nullptr) n += site.batch->batched_messages();
+  }
+  return n;
+}
+
+std::uint64_t System::total_batch_flushes() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    if (site.batch != nullptr) n += site.batch->batch_flushes();
+  }
+  return n;
+}
+
+std::uint64_t System::total_shard_migrations() const {
+  std::uint64_t n = 0;
+  for (const Site& site : sites_) {
+    for (const auto& failover : site.shard_failovers) {
+      if (failover != nullptr) n += failover->promotions();
     }
   }
   return n;
@@ -702,6 +949,20 @@ std::uint64_t System::invariant_violations(std::string* why) const {
       reason.clear();
       if (!site.manager->protocol().quiescent(&reason)) {
         fail("site " + std::to_string(id) +
+             " manager protocol not quiescent: " + reason);
+      }
+    }
+    for (std::size_t shard = 0; shard < site.shard_managers.size(); ++shard) {
+      const auto& manager = site.shard_managers[shard];
+      if (manager == nullptr) continue;
+      if (manager->live_mirrors() != 0) {
+        fail("site " + std::to_string(id) + " shard " + std::to_string(shard) +
+             " manager holds " + std::to_string(manager->live_mirrors()) +
+             " live mirrors");
+      }
+      reason.clear();
+      if (!manager->protocol().quiescent(&reason)) {
+        fail("site " + std::to_string(id) + " shard " + std::to_string(shard) +
              " manager protocol not quiescent: " + reason);
       }
     }

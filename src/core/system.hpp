@@ -14,8 +14,10 @@
 #include "dist/failover.hpp"
 #include "dist/global_ceiling.hpp"
 #include "dist/local_ceiling.hpp"
+#include "dist/partitioned.hpp"
 #include "dist/recovery.hpp"
 #include "dist/replication.hpp"
+#include "net/batch.hpp"
 #include "net/message_server.hpp"
 #include "net/reliable.hpp"
 #include "net/network.hpp"
@@ -73,6 +75,9 @@ class System {
   struct Site {
     std::unique_ptr<net::MessageServer> server;
     std::unique_ptr<net::ReliableChannel> channel;
+    // Control-message batching (global + partitioned schemes); an exact
+    // passthrough when config.batch_window is zero.
+    std::unique_ptr<net::BatchChannel> batch;
     std::unique_ptr<net::RpcClient> rpc_client;
     std::unique_ptr<net::RpcDispatcher> rpc_dispatcher;
     std::unique_ptr<sched::PreemptiveCpu> cpu;
@@ -86,6 +91,12 @@ class System {
     // under failover every site hosts a standby one plus a coordinator.
     std::unique_ptr<dist::GlobalCeilingManager> manager;
     std::unique_ptr<dist::FailoverCoordinator> failover;
+    // Partitioned scheme: the per-site demultiplexer plus one (standby)
+    // manager and failover coordinator per shard. Indexed by shard; null
+    // where this site hosts no endpoint for the shard.
+    std::unique_ptr<dist::ShardRouter> router;
+    std::vector<std::unique_ptr<dist::GlobalCeilingManager>> shard_managers;
+    std::vector<std::unique_ptr<dist::FailoverCoordinator>> shard_failovers;
     std::unique_ptr<txn::CommitCoordinator> coordinator;
     std::unique_ptr<txn::TxnExecutor> executor;
     std::unique_ptr<txn::TransactionManager> tm;
@@ -144,6 +155,17 @@ class System {
   std::uint64_t total_stale_grants_rejected() const;
   std::uint64_t total_admitted() const;
   std::uint64_t total_shed() const;
+  // Batching counters (0 with batch_window zero, where the channel is a
+  // passthrough) and shard-manager migrations (elections moving a shard's
+  // manager off its initial site; 0 outside the partitioned scheme).
+  std::uint64_t total_batched_messages() const;
+  std::uint64_t total_batch_flushes() const;
+  std::uint64_t total_shard_migrations() const;
+
+  // Partitioned scheme: ceiling-manager shards actually built (0 for the
+  // other schemes). config.shards clamped to the site count, default one
+  // per site capped at 8.
+  std::uint32_t effective_shards() const;
 
   // Post-run invariant audit: every controller quiescent (no live
   // transactions, empty lock tables, ceilings reset), every manager drained
@@ -156,6 +178,9 @@ class System {
   void build_single_site();
   void build_global_ceiling();
   void build_local_ceiling();
+  void build_partitioned_ceiling();
+  // Object -> shard map bound to this run's config.
+  std::function<std::uint32_t(db::ObjectId)> shard_fn() const;
   void attach_conformance();
   void schedule_faults();
   Site make_site_base(net::SiteId id, db::Placement placement);

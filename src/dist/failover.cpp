@@ -18,6 +18,7 @@ FailoverCoordinator::FailoverCoordinator(net::MessageServer& server,
                                     options.miss_threshold,
                                     options.lease_interval}) {
   assert(options_.site_count > 0);
+  if (!options_.register_handlers) return;  // routed mode: deliver_view
   server_.on<HeartbeatMsg>([this](SiteId from, HeartbeatMsg msg) {
     handle_view(from, msg.term, msg.manager);
   });
@@ -37,8 +38,7 @@ void FailoverCoordinator::start() {
       observer_->on_lease_acquired(server_.site(), state_.term());
     }
   }
-  loop_ = server_.kernel().spawn(
-      "failover-" + std::to_string(server_.site()), beat_loop());
+  loop_ = server_.kernel().spawn(loop_name(), beat_loop());
 }
 
 void FailoverCoordinator::on_crash() {
@@ -56,8 +56,16 @@ void FailoverCoordinator::on_restore() {
   // Fresh grace period: nobody is declared dead on stale pre-crash stamps.
   // The lease stays dropped until quorum is re-established by a tick.
   state_.reset(server_.kernel().now());
-  loop_ = server_.kernel().spawn(
-      "failover-" + std::to_string(server_.site()), beat_loop());
+  loop_ = server_.kernel().spawn(loop_name(), beat_loop());
+}
+
+std::string FailoverCoordinator::loop_name() const {
+  std::string name = "failover-" + std::to_string(server_.site());
+  // Routed (per-shard) coordinators share a site; disambiguate traces.
+  if (!options_.register_handlers) {
+    name += "-s" + std::to_string(options_.shard);
+  }
+  return name;
 }
 
 sim::Task<void> FailoverCoordinator::beat_loop() {
@@ -66,7 +74,13 @@ sim::Task<void> FailoverCoordinator::beat_loop() {
     if (hooks_.keep_running && !hooks_.keep_running()) co_return;
     for (SiteId site = 0; site < options_.site_count; ++site) {
       if (site == server_.site()) continue;
-      server_.send(site, HeartbeatMsg{state_.term(), state_.manager()});
+      const HeartbeatMsg beat{state_.term(), state_.manager(),
+                              options_.shard};
+      if (batch_ != nullptr) {
+        batch_->send_raw(site, beat);
+      } else {
+        server_.send(site, beat);
+      }
     }
     apply_tick_event(state_.tick(server_.kernel().now()));
   }
@@ -106,7 +120,13 @@ void FailoverCoordinator::apply_tick_event(ElectionState::Event event) {
 void FailoverCoordinator::broadcast_elected() {
   for (SiteId site = 0; site < options_.site_count; ++site) {
     if (site == server_.site()) continue;
-    server_.send(site, ManagerElectedMsg{state_.term(), state_.manager()});
+    const ManagerElectedMsg msg{state_.term(), state_.manager(),
+                                options_.shard};
+    if (batch_ != nullptr) {
+      batch_->send_raw(site, msg);
+    } else {
+      server_.send(site, msg);
+    }
   }
 }
 

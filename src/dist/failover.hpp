@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "dist/election.hpp"
 #include "dist/lease.hpp"
+#include "net/batch.hpp"
 #include "net/message_server.hpp"
 #include "sim/kernel.hpp"
 #include "sim/task.hpp"
@@ -17,11 +19,16 @@ namespace rtdb::dist {
 struct HeartbeatMsg {
   std::uint64_t term = 0;
   net::SiteId manager = 0;
+  // Which shard's election this beat speaks for (partitioned scheme; the
+  // global scheme always sends 0). Last so positional initializers keep
+  // their meaning.
+  std::uint32_t shard = 0;
 };
 // Announced once by a site that promoted itself; heartbeats repair losses.
 struct ManagerElectedMsg {
   std::uint64_t term = 0;
   net::SiteId manager = 0;
+  std::uint32_t shard = 0;
 };
 
 // Deterministic ceiling-manager failover: every site runs one of these,
@@ -50,6 +57,13 @@ class FailoverCoordinator {
     // Lease validity window; zero derives heartbeat_interval *
     // (miss_threshold - 1). See ElectionState::Options.
     sim::Duration lease_interval{};
+    // Partitioned scheme: the shard whose manager this coordinator
+    // elects. Stamped into outgoing heartbeats/announcements so the
+    // per-site ShardRouter can demultiplex.
+    std::uint32_t shard = 0;
+    // False = routed mode: the coordinator registers NO handlers (the
+    // ShardRouter owns the per-type slots and calls deliver_view).
+    bool register_handlers = true;
   };
   struct Hooks {
     // This site became / stopped being the manager; promote carries the
@@ -86,6 +100,16 @@ class FailoverCoordinator {
 
   // Conformance audit tap (optional; may be null).
   void set_observer(LeaseObserver* observer) { observer_ = observer; }
+  // Coalesce heartbeats/announcements through the site's BatchChannel
+  // (fire-and-forget pathway, so they stay loss-tolerant). May be null.
+  void set_batch(net::BatchChannel* batch) { batch_ = batch; }
+
+  // Routed mode: the ShardRouter feeds election views (heartbeats and
+  // elected announcements) for this coordinator's shard through here.
+  void deliver_view(net::SiteId from, std::uint64_t term,
+                    net::SiteId manager) {
+    handle_view(from, term, manager);
+  }
 
   net::SiteId manager() const { return state_.manager(); }
   std::uint64_t term() const { return state_.term(); }
@@ -97,6 +121,7 @@ class FailoverCoordinator {
 
  private:
   sim::Task<void> beat_loop();
+  std::string loop_name() const;
   void handle_view(net::SiteId from, std::uint64_t term, net::SiteId manager);
   void apply_tick_event(ElectionState::Event event);
   void broadcast_elected();
@@ -106,6 +131,7 @@ class FailoverCoordinator {
   Hooks hooks_;
   ElectionState state_;
   LeaseObserver* observer_ = nullptr;
+  net::BatchChannel* batch_ = nullptr;
   sim::ProcessId loop_{};
   bool started_ = false;
 };

@@ -13,21 +13,18 @@ GlobalCeilingManager::GlobalCeilingManager(net::MessageServer& server,
                                            net::RpcDispatcher& rpc,
                                            std::uint32_t object_count,
                                            net::ReliableChannel* channel,
-                                           bool active, bool reap_orphans)
+                                           bool active, bool reap_orphans,
+                                           net::BatchChannel* batch)
     : server_(server),
       pcp_(server.kernel(), object_count),
       channel_(channel),
       active_(active),
       reap_orphans_(reap_orphans) {
-  pcp_.set_hooks(cc::ControllerHooks{
-      [this](db::TxnId victim, cc::AbortReason reason) {
-        abort_mirror(victim, reason);
-      },
-      // Inherited priorities are not propagated to remote CPUs (the
-      // grant/wake ordering at the manager still honours them).
-      [](const cc::CcTxn&) {}});
-  // Through the channel when given (registers the raw handlers too), so
-  // retransmitted control messages arrive deduplicated.
+  install_hooks();
+  // Through the batch channel when given (unpacks coalesced frames and
+  // registers the layers below), else through the reliable channel
+  // (registers the raw handlers too), so retransmitted control messages
+  // arrive deduplicated.
   auto on_register = [this](SiteId from, RegisterTxnMsg message) {
     handle_register(from, std::move(message));
   };
@@ -37,7 +34,11 @@ GlobalCeilingManager::GlobalCeilingManager(net::MessageServer& server,
   auto on_end = [this](SiteId /*from*/, EndTxnMsg message) {
     handle_end(message);
   };
-  if (channel_ != nullptr) {
+  if (batch != nullptr) {
+    batch->on<RegisterTxnMsg>(on_register);
+    batch->on<ReleaseAllMsg>(on_release);
+    batch->on<EndTxnMsg>(on_end);
+  } else if (channel_ != nullptr) {
     channel_->on<RegisterTxnMsg>(on_register);
     channel_->on<ReleaseAllMsg>(on_release);
     channel_->on<EndTxnMsg>(on_end);
@@ -50,6 +51,27 @@ GlobalCeilingManager::GlobalCeilingManager(net::MessageServer& server,
                             net::RpcServer::Responder respond) {
     handle_acquire(std::move(request), std::move(respond));
   });
+}
+
+GlobalCeilingManager::GlobalCeilingManager(Routed, net::MessageServer& server,
+                                           std::uint32_t object_count,
+                                           bool active, bool reap_orphans)
+    : server_(server),
+      pcp_(server.kernel(), object_count),
+      active_(active),
+      reap_orphans_(reap_orphans) {
+  install_hooks();
+  // No handler registration: the ShardRouter owns the per-type slots.
+}
+
+void GlobalCeilingManager::install_hooks() {
+  pcp_.set_hooks(cc::ControllerHooks{
+      [this](db::TxnId victim, cc::AbortReason reason) {
+        abort_mirror(victim, reason);
+      },
+      // Inherited priorities are not propagated to remote CPUs (the
+      // grant/wake ordering at the manager still honours them).
+      [](const cc::CcTxn&) {}});
 }
 
 void GlobalCeilingManager::handle_register(SiteId from,
@@ -408,6 +430,9 @@ sim::Task<void> GlobalCeilingClient::acquire(cc::CcTxn& txn,
   } guard{this, &txn};
   const AcquireReq request{txn.id.value, txn.attempt, object, mode};
   AcquireResp resp{};
+  // The Register this acquire depends on may still sit in the batch
+  // window; push it out before blocking on the manager's answer.
+  if (batch_ != nullptr) batch_->flush(manager_site_);
   if (acquire_timeout_.is_zero()) {
     std::optional<std::any> response =
         co_await rpc_.call(manager_site_, std::any{request});
@@ -420,6 +445,9 @@ sim::Task<void> GlobalCeilingClient::acquire(cc::CcTxn& txn,
     // successor. The manager side makes re-issues idempotent; the attempt
     // deadline watchdog bounds the loop.
     while (true) {
+      // After a failover, the re-registration may be queued for the new
+      // manager; it must land before this re-issued request.
+      if (batch_ != nullptr) batch_->flush(manager_site_);
       std::optional<std::any> response = co_await rpc_.call(
           manager_site_, std::any{request}, acquire_timeout_);
       if (!response.has_value()) {

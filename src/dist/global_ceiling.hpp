@@ -12,6 +12,7 @@
 #include "db/database.hpp"
 #include "db/resource_manager.hpp"
 #include "dist/lease.hpp"
+#include "net/batch.hpp"
 #include "net/message_server.hpp"
 #include "net/reliable.hpp"
 #include "net/rpc.hpp"
@@ -27,6 +28,11 @@ namespace rtdb::dist {
 // Control messages carry the 1-based attempt number of the sending attempt
 // (0 = legacy sender): with retransmission in play, a duplicate from an
 // aborted attempt must not corrupt the state of the current one.
+//
+// Under the partitioned scheme every control message also carries the
+// shard it addresses: a site hosts one handler slot per message type, so
+// a per-site ShardRouter demultiplexes on this field. 0 (the only value
+// the global scheme ever sends) routes to the sole manager.
 struct RegisterTxnMsg {
   std::uint64_t txn = 0;
   std::uint32_t attempt = 0;
@@ -41,14 +47,18 @@ struct RegisterTxnMsg {
   // Locks the attempt already holds (failover re-registration only): the
   // successor manager adopts them instead of re-running the grant rule.
   std::vector<cc::Operation> held;
+  // Last so existing positional initializers keep their meaning.
+  std::uint32_t shard = 0;
 };
 struct ReleaseAllMsg {
   std::uint64_t txn = 0;
   std::uint32_t attempt = 0;
+  std::uint32_t shard = 0;
 };
 struct EndTxnMsg {
   std::uint64_t txn = 0;
   std::uint32_t attempt = 0;
+  std::uint32_t shard = 0;
 };
 // RPC request/response for lock acquisition.
 struct AcquireReq {
@@ -56,6 +66,7 @@ struct AcquireReq {
   std::uint32_t attempt = 0;
   db::ObjectId object = 0;
   cc::LockMode mode = cc::LockMode::kRead;
+  std::uint32_t shard = 0;
 };
 struct AcquireResp {
   bool granted = false;
@@ -104,10 +115,32 @@ class GlobalCeilingManager {
   // longer than the retransmit budget, leaving its mirror and any blocked
   // grant stuck here forever) and left off in fault-free runs so no extra
   // kernel events exist and artifacts stay byte-identical.
+  // `batch` non-null routes the handler registrations through the site's
+  // BatchChannel so coalesced control frames are unpacked (the channel is
+  // an exact passthrough when its window is zero).
   GlobalCeilingManager(net::MessageServer& server, net::RpcDispatcher& rpc,
                        std::uint32_t object_count,
                        net::ReliableChannel* channel, bool active,
-                       bool reap_orphans = false);
+                       bool reap_orphans = false,
+                       net::BatchChannel* batch = nullptr);
+
+  // Routed mode (the partitioned scheme): the manager registers NO
+  // handlers — a per-site ShardRouter owns the per-type handler slots and
+  // feeds the right shard's manager through the route_* entry points.
+  struct Routed {};
+  GlobalCeilingManager(Routed, net::MessageServer& server,
+                       std::uint32_t object_count, bool active,
+                       bool reap_orphans);
+
+  // Entry points for the ShardRouter (routed mode; harmless otherwise).
+  void route_register(net::SiteId from, RegisterTxnMsg message) {
+    handle_register(from, std::move(message));
+  }
+  void route_release(const ReleaseAllMsg& message) { handle_release(message); }
+  void route_end(const EndTxnMsg& message) { handle_end(message); }
+  void route_acquire(AcquireReq request, net::RpcServer::Responder respond) {
+    handle_acquire(std::move(request), std::move(respond));
+  }
 
   GlobalCeilingManager(const GlobalCeilingManager&) = delete;
   GlobalCeilingManager& operator=(const GlobalCeilingManager&) = delete;
@@ -175,6 +208,7 @@ class GlobalCeilingManager {
     bool reap_armed = false;
   };
 
+  void install_hooks();
   void handle_register(net::SiteId from, RegisterTxnMsg message);
   void handle_release(const ReleaseAllMsg& message);
   void handle_end(const EndTxnMsg& message);
@@ -262,6 +296,10 @@ class GlobalCeilingClient : public cc::ConcurrencyController {
   }
   // Conformance audit tap for grant acceptance (optional; may be null).
   void set_lease_observer(LeaseObserver* observer) { observer_ = observer; }
+  // Routes control messages through the site's BatchChannel (coalesced
+  // same-destination frames). May be null; a disabled channel passes
+  // through unchanged.
+  void set_batch(net::BatchChannel* batch) { batch_ = batch; }
 
  protected:
   void do_begin(cc::CcTxn& txn) override;
@@ -276,7 +314,9 @@ class GlobalCeilingClient : public cc::ConcurrencyController {
 
   template <typename T>
   void send_control(T message) {
-    if (channel_ != nullptr) {
+    if (batch_ != nullptr) {
+      batch_->send(manager_site_, std::move(message));
+    } else if (channel_ != nullptr) {
       channel_->send(manager_site_, std::move(message));
     } else {
       server_.send(manager_site_, std::move(message));
@@ -289,6 +329,7 @@ class GlobalCeilingClient : public cc::ConcurrencyController {
   std::uint64_t term_ = 0;
   sim::Duration acquire_timeout_{};
   net::ReliableChannel* channel_ = nullptr;
+  net::BatchChannel* batch_ = nullptr;
   LeaseObserver* observer_ = nullptr;
   std::map<std::uint64_t, Registration> registered_;
   std::uint64_t acquire_retries_ = 0;
@@ -363,7 +404,10 @@ class GlobalExecutor : public txn::TxnExecutor {
     sched::PreemptiveCpu* cpu = nullptr;
     db::ResourceManager* rm = nullptr;  // this site's partition
     const db::Database* schema = nullptr;
-    GlobalCeilingClient* cc = nullptr;
+    // Any remote-client controller (GlobalCeilingClient or the
+    // partitioned scheme's PartitionedCeilingClient); only the base
+    // lifecycle is used.
+    cc::ConcurrencyController* cc = nullptr;
     net::MessageServer* server = nullptr;
     net::RpcClient* rpc = nullptr;
     txn::CommitCoordinator* coordinator = nullptr;

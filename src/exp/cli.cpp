@@ -218,6 +218,41 @@ std::optional<Options> parse_options(int argc, char** argv,
       if (!v || !parse_double(*v, &rate) || rate <= 0.0)
         return fail("--arrival-rate requires a positive rate (txns per unit)");
       opts.arrival_rate = rate;
+    } else if (arg == "--sites") {
+      const auto v = value("--sites");
+      long long n = 0;
+      if (!v || !parse_int(*v, &n) || n < 2)
+        return fail("--sites requires an integer >= 2");
+      opts.sites = static_cast<std::uint32_t>(n);
+    } else if (arg == "--scheme") {
+      const auto v = value("--scheme");
+      if (!v || (*v != "global" && *v != "local" && *v != "partitioned"))
+        return fail("--scheme requires 'global', 'local', or 'partitioned'");
+      opts.scheme = *v;
+    } else if (arg == "--shards") {
+      const auto v = value("--shards");
+      long long n = 0;
+      if (!v || !parse_int(*v, &n) || n < 0)
+        return fail("--shards requires a non-negative integer (0 = one per "
+                    "site, capped at 8)");
+      opts.shards = static_cast<std::uint32_t>(n);
+    } else if (arg == "--partitioner") {
+      const auto v = value("--partitioner");
+      if (!v || (*v != "hash" && *v != "range"))
+        return fail("--partitioner requires 'hash' or 'range'");
+      opts.partitioner = *v;
+    } else if (arg == "--zipf") {
+      const auto v = value("--zipf");
+      double theta = 0.0;
+      if (!v || !parse_double(*v, &theta) || theta < 0.0)
+        return fail("--zipf requires a non-negative skew exponent");
+      opts.zipf_theta = theta;
+    } else if (arg == "--batch-window") {
+      const auto v = value("--batch-window");
+      double units = 0.0;
+      if (!v || !parse_double(*v, &units) || units < 0.0)
+        return fail("--batch-window requires a non-negative duration in units");
+      opts.batch_window_units = units;
     } else if (arg == "--backend") {
       const auto v = value("--backend");
       if (!v || (*v != "sim" && *v != "threads"))
@@ -295,7 +330,24 @@ std::string usage(const std::string& program) {
          "EXPERIMENTS.md):\n"
          "  --arrival-rate R       override every cell's aperiodic load to "
          "R transactions\n"
-         "               per unit time (mean interarrival 1/R units)\n";
+         "               per unit time (mean interarrival 1/R units)\n"
+         "scale-out (applied to every cell; see EXPERIMENTS.md):\n"
+         "  --sites N              override the site count (N >= 2)\n"
+         "  --scheme S             distribution scheme: 'global', 'local', "
+         "or 'partitioned'\n"
+         "  --shards N             partitioned scheme: ceiling-manager "
+         "shards (0 = one per\n"
+         "               site, capped at 8; clamped to the site count)\n"
+         "  --partitioner P        object->shard map: 'hash' (default) or "
+         "'range'\n"
+         "  --zipf THETA           Zipfian access skew, P(rank r) ~ "
+         "1/(r+1)^THETA\n"
+         "               (0 = uniform, bit-identical to builds without the "
+         "knob)\n"
+         "  --batch-window U       coalesce same-destination control "
+         "messages within U\n"
+         "               units (0 = off — artifacts byte-identical to "
+         "unbatched builds)\n";
 }
 
 Options parse_options_or_exit(int argc, char** argv) {

@@ -45,6 +45,15 @@ struct Options {
   // time (mean interarrival 1/R units) applied to every cell.
   std::optional<double> arrival_rate;
 
+  // Scale-out overlays (applied uniformly to every cell, like the fault
+  // flags; unset leaves the bench's own config in force).
+  std::optional<std::uint32_t> sites;        // --sites N
+  std::optional<std::string> scheme;         // --scheme (3 schemes, see cpp)
+  std::optional<std::uint32_t> shards;       // --shards N (partitioned)
+  std::optional<std::string> partitioner;    // --partitioner {hash,range}
+  std::optional<double> zipf_theta;          // --zipf THETA (0 = uniform)
+  std::optional<double> batch_window_units;  // --batch-window U (0 = off)
+
   // The worker count actually used: --jobs if given, else
   // hardware_concurrency (min 1).
   int effective_jobs() const;

@@ -79,6 +79,25 @@ SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
         config.workload.mean_interarrival =
             sim::Duration::from_units(1.0 / *opts.arrival_rate);
       }
+      if (opts.sites) config.sites = *opts.sites;
+      if (opts.scheme) {
+        config.scheme = *opts.scheme == "global"
+                            ? core::DistScheme::kGlobalCeiling
+                        : *opts.scheme == "local"
+                            ? core::DistScheme::kLocalCeiling
+                            : core::DistScheme::kPartitionedCeiling;
+      }
+      if (opts.shards) config.shards = *opts.shards;
+      if (opts.partitioner) {
+        config.partitioner = *opts.partitioner == "range"
+                                 ? core::Partitioner::kRange
+                                 : core::Partitioner::kHash;
+      }
+      if (opts.zipf_theta) config.workload.zipf_theta = *opts.zipf_theta;
+      if (opts.batch_window_units) {
+        config.batch_window =
+            sim::Duration::from_units(*opts.batch_window_units);
+      }
       if (opts.check) config.conformance_check = true;
       flat[i] = core::ExperimentRunner::run_once(config);
       if (flat[i].conformance_violations > 0) {

@@ -1,0 +1,89 @@
+#include "net/batch.hpp"
+
+#include <utility>
+
+namespace rtdb::net {
+
+BatchChannel::BatchChannel(MessageServer& server, ReliableChannel* channel,
+                           Options options)
+    : server_(server), channel_(channel), options_(options) {
+  if (!enabled()) return;  // passthrough: no handler slot, no timer, ever
+  auto handler = [this](SiteId from, BatchMsg frame) {
+    handle_frame(from, std::move(frame));
+  };
+  if (channel_ != nullptr) {
+    channel_->on<BatchMsg>(std::move(handler));
+  } else {
+    server_.on<BatchMsg>(std::move(handler));
+  }
+}
+
+BatchChannel::~BatchChannel() {
+  if (timer_armed_) server_.kernel().cancel_event(timer_);
+}
+
+void BatchChannel::enqueue(SiteId to, std::any payload, bool reliable) {
+  Queues& queues = queued_[to];
+  (reliable ? queues.reliable : queues.raw).push_back(std::move(payload));
+  ++batched_messages_;
+  if (!timer_armed_) {
+    timer_armed_ = true;
+    timer_ = server_.kernel().schedule_in(options_.window, [this] {
+      timer_armed_ = false;
+      on_timer();
+    });
+  }
+}
+
+void BatchChannel::flush(SiteId to) {
+  auto it = queued_.find(to);
+  if (it == queued_.end()) return;
+  flush_queues(to, it->second);
+  queued_.erase(it);
+}
+
+void BatchChannel::flush_queues(SiteId to, Queues& queues) {
+  // Reliable frame first: an election result queued reliably must not be
+  // overtaken by the raw heartbeats of the same window.
+  if (!queues.reliable.empty()) {
+    ++batch_flushes_;
+    if (channel_ != nullptr) {
+      channel_->send(to, BatchMsg{std::move(queues.reliable)});
+    } else {
+      server_.send(to, BatchMsg{std::move(queues.reliable)});
+    }
+  }
+  if (!queues.raw.empty()) {
+    ++batch_flushes_;
+    server_.send(to, BatchMsg{std::move(queues.raw)});
+  }
+}
+
+void BatchChannel::on_timer() {
+  // Ascending destination order keeps the delivery schedule a pure
+  // function of (config, seed).
+  auto queued = std::move(queued_);
+  queued_.clear();
+  for (auto& [to, queues] : queued) flush_queues(to, queues);
+}
+
+void BatchChannel::handle_frame(SiteId from, BatchMsg frame) {
+  for (std::any& item : frame.items) {
+    auto it = unpackers_.find(std::type_index{item.type()});
+    if (it == unpackers_.end()) {
+      ++unroutable_;
+      continue;
+    }
+    it->second(from, std::move(item));
+  }
+}
+
+void BatchChannel::on_crash() {
+  if (timer_armed_) {
+    server_.kernel().cancel_event(timer_);
+    timer_armed_ = false;
+  }
+  queued_.clear();
+}
+
+}  // namespace rtdb::net

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/reliable.hpp"
+
+namespace rtdb::net {
+
+// One coalesced frame: the payloads queued for a destination within a
+// flush window, delivered (and retransmitted, on the reliable pathway) as
+// a unit and unpacked in enqueue order at the receiver.
+struct BatchMsg {
+  std::vector<std::any> items;
+};
+
+// Control-message batching on top of the ReliableChannel. The ceiling
+// schemes emit many small same-destination control messages back to back —
+// a registration burst, per-beat heartbeats to every peer — and at large
+// site counts the per-message network events dominate the control plane.
+// The BatchChannel holds sends to the same destination for a configurable
+// window and flushes them as one framed message.
+//
+// Two pathways, matching the traffic it carries:
+//   - send<T>:     reliable — the frame goes through the ReliableChannel,
+//                  so registrations/releases keep their retransmission
+//                  guarantee (acked and retried as one unit);
+//   - send_raw<T>: fire-and-forget — the frame goes through the raw
+//                  MessageServer; heartbeats stay loss-tolerant and a
+//                  dropped frame costs one beat, exactly like today.
+//
+// A disabled channel (window == zero, the default) forwards everything
+// verbatim to the layer below and registers no BatchMsg handler —
+// bit-identical to a build without it. Intra-site sends always bypass.
+//
+// At most one BatchChannel per MessageServer (it owns the BatchMsg
+// handler slot when enabled).
+class BatchChannel {
+ public:
+  struct Options {
+    // Zero = batching off (exact passthrough). Keep well under the
+    // failover heartbeat interval; see SystemConfig::batch_window.
+    sim::Duration window{};
+  };
+
+  // `channel` may be null (no reliable layer): both pathways then frame
+  // through the raw server.
+  BatchChannel(MessageServer& server, ReliableChannel* channel,
+               Options options);
+  ~BatchChannel();
+
+  BatchChannel(const BatchChannel&) = delete;
+  BatchChannel& operator=(const BatchChannel&) = delete;
+
+  // Registers the handler for payloads of type T, arriving either
+  // directly (unbatched sender / disabled channel) or inside a BatchMsg
+  // frame. One handler per type, shared with the layers below.
+  template <typename T>
+  void on(std::function<void(SiteId from, T message)> handler) {
+    auto shared = std::make_shared<std::function<void(SiteId, T)>>(
+        std::move(handler));
+    auto direct = [shared](SiteId from, T message) {
+      (*shared)(from, std::move(message));
+    };
+    if (channel_ != nullptr) {
+      channel_->on<T>(std::move(direct));
+    } else {
+      server_.on<T>(std::move(direct));
+    }
+    unpackers_.emplace(std::type_index{typeid(T)},
+                       [shared](SiteId from, std::any payload) {
+                         (*shared)(from, std::any_cast<T>(std::move(payload)));
+                       });
+  }
+
+  // Reliable pathway (registrations, releases, election results).
+  template <typename T>
+  void send(SiteId to, T message) {
+    if (!enabled() || to == server_.site()) {
+      if (channel_ != nullptr) {
+        channel_->send(to, std::move(message));
+      } else {
+        server_.send(to, std::move(message));
+      }
+      return;
+    }
+    enqueue(to, std::any{std::move(message)}, /*reliable=*/true);
+  }
+
+  // Fire-and-forget pathway (heartbeats).
+  template <typename T>
+  void send_raw(SiteId to, T message) {
+    if (!enabled() || to == server_.site()) {
+      server_.send(to, std::move(message));
+      return;
+    }
+    enqueue(to, std::any{std::move(message)}, /*reliable=*/false);
+  }
+
+  // Flushes everything queued for `to` right now. Callers that are about
+  // to block on a reply from `to` (the client's acquire RPC) use this so
+  // the registration the reply depends on is not still sitting in the
+  // window.
+  void flush(SiteId to);
+
+  // Site failure: queued frames and the flush timer are volatile state.
+  void on_crash();
+
+  bool enabled() const { return options_.window > sim::Duration::zero(); }
+  // Payloads that rode inside a frame rather than going out on their own.
+  std::uint64_t batched_messages() const { return batched_messages_; }
+  // Frames actually sent (reliable and raw frames count separately).
+  std::uint64_t batch_flushes() const { return batch_flushes_; }
+
+ private:
+  struct Queues {
+    std::vector<std::any> reliable;
+    std::vector<std::any> raw;
+  };
+
+  void enqueue(SiteId to, std::any payload, bool reliable);
+  void flush_queues(SiteId to, Queues& queues);
+  void on_timer();
+  void handle_frame(SiteId from, BatchMsg frame);
+
+  MessageServer& server_;
+  ReliableChannel* channel_;
+  Options options_;
+  std::unordered_map<std::type_index, std::function<void(SiteId, std::any)>>
+      unpackers_;
+  // Ordered so a timer flush walks destinations deterministically.
+  std::map<SiteId, Queues> queued_;
+  bool timer_armed_ = false;
+  sim::EventId timer_{};
+  std::uint64_t batched_messages_ = 0;
+  std::uint64_t batch_flushes_ = 0;
+  std::uint64_t unroutable_ = 0;
+};
+
+}  // namespace rtdb::net

@@ -107,4 +107,39 @@ RandomStream RandomStream::fork(std::uint64_t stream_id) const {
   return RandomStream{splitmix64(mix)};
 }
 
+ZipfDistribution::ZipfDistribution(std::uint32_t n, double theta)
+    : theta_(theta) {
+  assert(n >= 1);
+  assert(theta >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r) + 1.0, theta);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_[n - 1] = 1.0;  // exact, despite rounding
+}
+
+std::uint32_t ZipfDistribution::sample(RandomStream& rng) const {
+  const double u = rng.next_double();  // in [0, 1)
+  // First rank whose CDF exceeds u; binary search keeps sampling O(log n).
+  std::uint32_t lo = 0;
+  std::uint32_t hi = static_cast<std::uint32_t>(cdf_.size()) - 1;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double ZipfDistribution::mass(std::uint32_t rank) const {
+  assert(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
 }  // namespace rtdb::sim

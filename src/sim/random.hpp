@@ -50,4 +50,28 @@ class RandomStream {
   std::uint64_t state_[4];
 };
 
+// Bounded Zipf over the ranks {0, 1, ..., n-1}: P(rank r) proportional to
+// 1 / (r + 1)^theta. theta = 0 is the uniform distribution; theta around 1
+// is the classic web/OLTP hot-key skew. Sampling is one uniform draw
+// inverted through the precomputed CDF, so the draw count (and therefore
+// the stream position of every later draw) is independent of theta — a
+// property the workload generator's replay determinism relies on.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::uint32_t n, double theta);
+
+  std::uint32_t sample(RandomStream& rng) const;
+
+  // Analytic probability mass of `rank` (tests compare empirical
+  // frequencies against this).
+  double mass(std::uint32_t rank) const;
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(cdf_.size()); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r); cdf_[n-1] == 1
+};
+
 }  // namespace rtdb::sim

@@ -57,6 +57,12 @@ struct WorkloadConfig {
   // Total aperiodic transactions to generate (the experiments run a fixed
   // batch to completion and measure over it).
   std::uint64_t transaction_count = 1000;
+  // Zipfian hot-key skew over the object space: object picks follow
+  // P(object r) proportional to 1 / (r + 1)^zipf_theta, so low-numbered
+  // objects are the hot ranks. 0 (the default) is the uniform draw the
+  // paper uses — the zero path is bit-identical to a build without the
+  // knob (same RNG calls in the same order).
+  double zipf_theta = 0.0;
 
   Assignment assignment = Assignment::kSingleSite;
 

@@ -67,6 +67,38 @@ sim::Task<void> TransactionGenerator::periodic_stream(
   }
 }
 
+std::vector<std::uint32_t> TransactionGenerator::sample_objects(
+    std::uint32_t n, std::uint32_t k) {
+  assert(k <= n);
+  if (config_.zipf_theta == 0.0) {
+    // Bit-identical to the pre-Zipf generator: same helper, same draws.
+    return rng_.sample_without_replacement(n, k);
+  }
+  auto it = zipf_by_n_.find(n);
+  if (it == zipf_by_n_.end()) {
+    it = zipf_by_n_.emplace(n, sim::ZipfDistribution(n, config_.zipf_theta))
+             .first;
+  }
+  const sim::ZipfDistribution& zipf = it->second;
+  // Rejection-sample until k distinct ranks accumulate. With k << n and
+  // theta around 1 the expected retry count is small; the worst case
+  // (k == n) still terminates because every rank has positive mass.
+  std::vector<std::uint32_t> result;
+  result.reserve(k);
+  while (result.size() < k) {
+    const std::uint32_t pick = zipf.sample(rng_);
+    bool duplicate = false;
+    for (const std::uint32_t chosen : result) {
+      if (chosen == pick) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) result.push_back(pick);
+  }
+  return result;
+}
+
 txn::TransactionSpec TransactionGenerator::make_transaction(
     bool read_only, std::uint32_t size,
     std::optional<net::SiteId> forced_home) {
@@ -79,26 +111,25 @@ txn::TransactionSpec TransactionGenerator::make_transaction(
   switch (config_.assignment) {
     case Assignment::kSingleSite:
       spec.home_site = 0;
-      objects = rng_.sample_without_replacement(schema_.object_count(), size);
+      objects = sample_objects(schema_.object_count(), size);
       break;
     case Assignment::kUniformSite:
       spec.home_site = forced_home.value_or(static_cast<net::SiteId>(
           rng_.uniform_int(0, schema_.site_count() - 1)));
-      objects = rng_.sample_without_replacement(schema_.object_count(), size);
+      objects = sample_objects(schema_.object_count(), size);
       break;
     case Assignment::kHomeByWriteSet: {
       spec.home_site = forced_home.value_or(static_cast<net::SiteId>(
           rng_.uniform_int(0, schema_.site_count() - 1)));
       if (read_only) {
-        // Read-only transactions read local (replica) copies of uniformly
-        // chosen objects.
-        objects =
-            rng_.sample_without_replacement(schema_.object_count(), size);
+        // Read-only transactions read local (replica) copies of objects
+        // drawn from the whole database.
+        objects = sample_objects(schema_.object_count(), size);
       } else {
         // Updates must write primary copies co-located with them.
         const auto primaries = schema_.primaries_at(spec.home_site);
         assert(size <= primaries.size());
-        const auto picks = rng_.sample_without_replacement(
+        const auto picks = sample_objects(
             static_cast<std::uint32_t>(primaries.size()), size);
         for (const std::uint32_t p : picks) objects.push_back(primaries[p]);
       }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 
 #include "db/database.hpp"
 #include "sim/kernel.hpp"
@@ -41,6 +42,12 @@ class TransactionGenerator {
       bool read_only, std::uint32_t size,
       std::optional<net::SiteId> forced_home = std::nullopt);
 
+  // k distinct objects from {0..n-1}: uniform when zipf_theta == 0 (the
+  // exact sample_without_replacement path, same RNG draws), Zipf-skewed
+  // toward low ids otherwise. Public so the Zipf tests can compare the
+  // two paths draw for draw.
+  std::vector<std::uint32_t> sample_objects(std::uint32_t n, std::uint32_t k);
+
  private:
   sim::Task<void> aperiodic_stream();
   sim::Task<void> periodic_stream(PeriodicSource source,
@@ -55,6 +62,9 @@ class TransactionGenerator {
   std::uint64_t next_id_ = 1;
   std::uint64_t generated_ = 0;
   bool started_ = false;
+  // Zipf CDFs cached per object-space size (the whole database vs. a
+  // site's primary set differ under kHomeByWriteSet).
+  std::map<std::uint32_t, sim::ZipfDistribution> zipf_by_n_;
 };
 
 }  // namespace rtdb::workload

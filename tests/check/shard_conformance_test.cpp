@@ -1,0 +1,124 @@
+// Mutation fixtures for the partitioned scheme's conformance checks. Two
+// buggy twins, each one mutated event away from a legal trace:
+//
+//  * wrong-shard grant — a shard manager hands out a lock on an object its
+//    shard does not own (a router/partitioner mismatch); the shard-scope
+//    audit must flag it even though the grant is perfectly legal by the
+//    ceiling rules themselves;
+//  * per-shard lease-fencing violation — within one shard's election a
+//    fenced manager keeps granting / two sites hold the same term; the
+//    per-shard lease audits must flag it, while the same term numbers
+//    appearing in *different* shards stay legal (independent term spaces).
+
+#include <gtest/gtest.h>
+
+#include "cc/controller.hpp"
+#include "check/monitor.hpp"
+#include "check/shard_audit.hpp"
+#include "core/config.hpp"
+#include "sim/kernel.hpp"
+
+namespace rtdb::check {
+namespace {
+
+using cc::LockMode;
+
+cc::CcTxn make_txn(std::uint64_t id, std::int64_t prio_key) {
+  cc::CcTxn txn;
+  txn.id = db::TxnId{id};
+  txn.attempt = 1;
+  txn.base_priority = sim::Priority{prio_key, static_cast<std::uint32_t>(id)};
+  return txn;
+}
+
+// The shard-ownership predicate the System wires in: core::shard_of bound
+// to a 2-shard range partition over 20 objects (shard 0: 0-9, shard 1:
+// 10-19).
+auto in_shard(std::uint32_t shard) {
+  return [shard](db::ObjectId object) {
+    return core::shard_of(object, 20, 2, core::Partitioner::kRange) == shard;
+  };
+}
+
+TEST(ShardScopeAuditTest, InScopeGrantsPassAndForwardToTheFamilyAudit) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  ShardScopeAudit audit{monitor, ProtocolFamily::kCeiling, 1, in_shard(1)};
+  cc::CcTxn t1 = make_txn(1, 5);
+  audit.on_txn_begin(t1);
+  audit.on_grant(t1, 12, LockMode::kWrite);  // object 12 lives at shard 1
+  audit.on_release_all(t1);
+  audit.on_txn_end(t1);
+  EXPECT_EQ(monitor.violations(), 0u) << monitor.format_reports();
+}
+
+TEST(ShardScopeAuditTest, FlagsWrongShardGrantTwin) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  ShardScopeAudit audit{monitor, ProtocolFamily::kCeiling, 1, in_shard(1)};
+  cc::CcTxn t1 = make_txn(1, 5);
+  audit.on_txn_begin(t1);
+  // Mutation: shard 1's manager grants object 3, which shard 0 owns — the
+  // grant is legal ceiling-wise, so only the scope check can catch it.
+  audit.on_grant(t1, 3, LockMode::kWrite);
+  ASSERT_GE(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "shard.wrong_shard_grant");
+}
+
+TEST(ShardScopeAuditTest, FlagsWrongShardAdoptionTwin) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  ShardScopeAudit audit{monitor, ProtocolFamily::kCeiling, 0, in_shard(0)};
+  cc::CcTxn t1 = make_txn(1, 5);
+  audit.on_txn_begin(t1);
+  // Mutation: a failover re-registration makes shard 0's successor adopt a
+  // held lock on shard 1's object.
+  audit.on_adopt(t1, 15, LockMode::kWrite);
+  ASSERT_GE(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "shard.wrong_shard_grant");
+}
+
+TEST(ShardLeaseAuditTest, IndependentTermSpacesPerShardAreLegal) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  // Shard 0's election: site 0 holds term 0. Shard 1's election: site 1
+  // holds term 0 too. Same term number, different shards — two observers,
+  // no split brain.
+  dist::LeaseObserver* shard0 = monitor.lease_observer(0);
+  dist::LeaseObserver* shard1 = monitor.lease_observer(1);
+  shard0->on_lease_acquired(0, 0);
+  shard0->on_lease_grant(0, 0);
+  shard1->on_lease_acquired(1, 0);
+  shard1->on_lease_grant(1, 0);
+  EXPECT_EQ(monitor.violations(), 0u) << monitor.format_reports();
+  // The per-shard observers are stable across lookups.
+  EXPECT_EQ(monitor.lease_observer(0), shard0);
+  EXPECT_EQ(monitor.lease_observer(1), shard1);
+}
+
+TEST(ShardLeaseAuditTest, FlagsFencelessShardManagerTwin) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  dist::LeaseObserver* shard1 = monitor.lease_observer(1);
+  shard1->on_lease_acquired(1, 0);
+  shard1->on_lease_grant(1, 0);
+  shard1->on_lease_released(1, 0);  // shard 1's lease expired
+  // Mutation: the fence failed — shard 1's manager keeps granting.
+  shard1->on_lease_grant(1, 0);
+  ASSERT_EQ(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "lease.grant_without_lease");
+}
+
+TEST(ShardLeaseAuditTest, FlagsSplitBrainWithinOneShard) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  dist::LeaseObserver* shard0 = monitor.lease_observer(0);
+  shard0->on_lease_acquired(0, 3);
+  // Mutation: a second site claims the same shard's term 3.
+  shard0->on_lease_acquired(2, 3);
+  ASSERT_GE(monitor.violations(), 1u);
+  EXPECT_EQ(monitor.reports()[0].rule, "lease.single_holder");
+}
+
+}  // namespace
+}  // namespace rtdb::check

@@ -1,0 +1,198 @@
+// ZipfDistribution and its workload integration: analytic mass, replay
+// determinism, stream-position independence of theta, and the guarantee
+// that theta = 0 leaves the generator's output bit-identical to a build
+// without the knob (uniform sampling takes the pre-existing path).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "workload/generator.hpp"
+
+namespace rtdb::workload {
+namespace {
+
+using sim::Duration;
+using sim::Kernel;
+using sim::RandomStream;
+using sim::ZipfDistribution;
+
+TEST(ZipfDistributionTest, MassSumsToOneAndMatchesDefinition) {
+  const std::uint32_t n = 40;
+  const double theta = 0.9;
+  ZipfDistribution zipf{n, theta};
+  double sum = 0.0;
+  double weight_sum = 0.0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    weight_sum += 1.0 / std::pow(r + 1.0, theta);
+  }
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const double expected = (1.0 / std::pow(r + 1.0, theta)) / weight_sum;
+    EXPECT_NEAR(zipf.mass(r), expected, 1e-12);
+    sum += zipf.mass(r);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Monotone: lower rank, higher mass.
+  for (std::uint32_t r = 1; r < n; ++r) {
+    EXPECT_GT(zipf.mass(r - 1), zipf.mass(r));
+  }
+}
+
+TEST(ZipfDistributionTest, ThetaZeroIsExactlyUniform) {
+  const std::uint32_t n = 32;
+  ZipfDistribution zipf{n, 0.0};
+  for (std::uint32_t r = 0; r < n; ++r) {
+    EXPECT_NEAR(zipf.mass(r), 1.0 / n, 1e-12);
+  }
+}
+
+TEST(ZipfDistributionTest, SamplingReplaysExactly) {
+  ZipfDistribution zipf{100, 1.1};
+  RandomStream a{42};
+  RandomStream b{42};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.sample(a), zipf.sample(b));
+  }
+}
+
+TEST(ZipfDistributionTest, SampleConsumesOneDrawRegardlessOfTheta) {
+  // The draw count must not depend on theta: every sample is exactly one
+  // next_double inverted through the CDF, so the stream position of any
+  // later draw is unchanged when the skew knob moves.
+  for (const double theta : {0.0, 0.5, 0.9, 2.0}) {
+    ZipfDistribution zipf{64, theta};
+    RandomStream sampled{7};
+    RandomStream advanced{7};
+    for (int i = 0; i < 100; ++i) {
+      (void)zipf.sample(sampled);
+      (void)advanced.next_double();
+    }
+    EXPECT_EQ(sampled.next_u64(), advanced.next_u64()) << "theta " << theta;
+  }
+}
+
+TEST(ZipfDistributionTest, EmpiricalFrequenciesTrackAnalyticMass) {
+  const std::uint32_t n = 50;
+  ZipfDistribution zipf{n, 0.9};
+  RandomStream rng{123};
+  const int samples = 200000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < samples; ++i) ++counts[zipf.sample(rng)];
+  // Frequency-rank agreement: every rank within 3 sigma of its analytic
+  // mass (binomial stddev), and the hot ranks ordered by count.
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const double p = zipf.mass(r);
+    const double sigma = std::sqrt(samples * p * (1.0 - p));
+    EXPECT_NEAR(counts[r], samples * p, 4.0 * sigma) << "rank " << r;
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[20]);
+}
+
+// ---- workload integration ----
+
+WorkloadConfig base_config() {
+  WorkloadConfig cfg;
+  cfg.mean_interarrival = Duration::units(10);
+  cfg.size_min = 2;
+  cfg.size_max = 6;
+  cfg.read_only_fraction = 0.5;
+  cfg.slack_min = 4;
+  cfg.slack_max = 8;
+  cfg.est_time_per_object = Duration::units(3);
+  cfg.transaction_count = 150;
+  return cfg;
+}
+
+std::vector<txn::TransactionSpec> generate(const WorkloadConfig& cfg,
+                                           std::uint64_t seed) {
+  Kernel k;
+  db::Database schema{db::DatabaseConfig{60, 1, db::Placement::kSingleSite}};
+  std::vector<txn::TransactionSpec> specs;
+  TransactionGenerator gen{k, schema, cfg, sim::RandomStream{seed},
+                           [&](txn::TransactionSpec s) { specs.push_back(s); }};
+  gen.start();
+  k.run();
+  return specs;
+}
+
+bool identical(const std::vector<txn::TransactionSpec>& a,
+               const std::vector<txn::TransactionSpec>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id.value != b[i].id.value || a[i].arrival != b[i].arrival ||
+        a[i].deadline != b[i].deadline ||
+        a[i].read_only != b[i].read_only ||
+        a[i].access.operations().size() != b[i].access.operations().size()) {
+      return false;
+    }
+    for (std::size_t o = 0; o < a[i].access.operations().size(); ++o) {
+      if (a[i].access.operations()[o].object !=
+              b[i].access.operations()[o].object ||
+          a[i].access.operations()[o].mode !=
+              b[i].access.operations()[o].mode) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(ZipfWorkloadTest, ThetaZeroIsBitIdenticalToUniformPath) {
+  // Explicitly setting the knob to zero must not perturb a single draw:
+  // the generator takes the pre-existing sample_without_replacement path.
+  WorkloadConfig uniform = base_config();
+  WorkloadConfig zipf_zero = base_config();
+  zipf_zero.zipf_theta = 0.0;
+  EXPECT_TRUE(identical(generate(uniform, 9), generate(zipf_zero, 9)));
+}
+
+TEST(ZipfWorkloadTest, SkewedSpecsAreWellFormedAndDeterministic) {
+  WorkloadConfig cfg = base_config();
+  cfg.zipf_theta = 0.9;
+  const auto specs = generate(cfg, 5);
+  ASSERT_EQ(specs.size(), 150u);
+  for (const auto& s : specs) {
+    std::set<db::ObjectId> objects;
+    for (const auto& op : s.access.operations()) {
+      EXPECT_LT(op.object, 60u);
+      objects.insert(op.object);
+    }
+    // Distinct objects, as with uniform sampling.
+    EXPECT_EQ(objects.size(), s.access.operations().size());
+  }
+  EXPECT_TRUE(identical(specs, generate(cfg, 5)));
+}
+
+TEST(ZipfWorkloadTest, SkewConcentratesAccessesOnHotObjects) {
+  WorkloadConfig cfg = base_config();
+  cfg.transaction_count = 400;
+  std::vector<int> uniform_hits(60, 0);
+  for (const auto& s : generate(cfg, 3)) {
+    for (const auto& op : s.access.operations()) ++uniform_hits[op.object];
+  }
+  cfg.zipf_theta = 1.2;
+  std::vector<int> skewed_hits(60, 0);
+  int hot = 0, total = 0;
+  for (const auto& s : generate(cfg, 3)) {
+    for (const auto& op : s.access.operations()) {
+      ++skewed_hits[op.object];
+      ++total;
+      if (op.object < 6) ++hot;  // the 10% hottest ranks
+    }
+  }
+  // Under theta=1.2 the top-6 ranks carry far more than their uniform 10%.
+  EXPECT_GT(hot, total / 4);
+  int uniform_hot = 0, uniform_total = 0;
+  for (std::uint32_t o = 0; o < 60; ++o) {
+    uniform_total += uniform_hits[o];
+    if (o < 6) uniform_hot += uniform_hits[o];
+  }
+  EXPECT_LT(uniform_hot * 5, uniform_total);  // uniform: roughly 10%
+}
+
+}  // namespace
+}  // namespace rtdb::workload
