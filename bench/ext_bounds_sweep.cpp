@@ -1,0 +1,112 @@
+// Extension — bound tightness across the Fig-2 load axis.
+//
+// Every protocol with a finite analytic blocking bound (src/analysis)
+// runs the Fig-2 size sweep with bound auditing armed, on BOTH execution
+// backends, and the figure reports the observed/bound ratio: how much of
+// the analytic worst case the workload actually realizes. A ratio above
+// 1.0 would be a bound violation (the monitor flags it and the
+// bound_violations scalar records it — CI gates on zero); a ratio near
+// 1.0 says the bound is tight, not merely sound. Expect the ceiling
+// protocols to approach 1.0 at large sizes (a doomed attempt blocks the
+// moment it arrives and waits until its watchdog kill, the exact episode
+// the bound is met by) and the chain-bounded 2PL family to sit lower
+// (deadlock victims restart before their deadline closes the episode).
+//
+// TSO and wait-die carry an Unbounded verdict and are deliberately
+// absent: there is no bound to plot (run any sweep with --bounds to see
+// their verdict measured but ungated).
+//
+// Thread cells are physical experiments (the sweep engine serializes
+// them); the default 2 runs/point take on the order of a minute. CI
+// smokes with --runs 1, and the j1-vs-j8 determinism gate pins
+// --backend sim to keep the artifact byte-stable.
+
+#include "params.hpp"
+
+namespace {
+
+using namespace rtdb;
+using core::Protocol;
+
+struct Curve {
+  Protocol protocol;
+  const char* label;
+};
+
+// The seven bounded families; labels follow the figure-2 convention.
+constexpr Curve kCurves[] = {
+    {Protocol::kPriorityCeiling, "C"},
+    {Protocol::kPriorityCeilingExclusive, "Cx"},
+    {Protocol::kTwoPhasePriority, "P"},
+    {Protocol::kTwoPhase, "L"},
+    {Protocol::kPriorityInheritance, "PIP"},
+    {Protocol::kHighPriority, "HP"},
+    {Protocol::kWoundWait, "WW"},
+};
+constexpr std::uint32_t kSizes[] = {4, 8, 12, 16, 20};
+constexpr const char* kBackends[] = {"sim", "threads"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtdb::bench;
+
+  const exp::Options opts = exp::parse_options_or_exit(argc, argv);
+
+  exp::SweepSpec spec;
+  spec.name = "ext_bounds_sweep";
+  spec.title =
+      "Bound tightness: observed/bound blocking ratio vs transaction "
+      "size, all bounded protocols";
+  spec.default_runs = 2;
+  for (const std::uint32_t size : kSizes) {
+    for (const Curve& curve : kCurves) {
+      for (const char* backend : kBackends) {
+        core::SystemConfig config = fig23_config(curve.protocol, size, 1);
+        config.backend = backend == std::string_view{"threads"}
+                             ? core::BackendKind::kThreads
+                             : core::BackendKind::kSim;
+        // The bound audit is the experiment; --bounds additionally prints
+        // the per-cell theory-vs-observed table.
+        config.bounds_check = true;
+        spec.add_cell({{"size", std::to_string(size)},
+                       {"protocol", curve.label},
+                       {"backend", backend}},
+                      config);
+      }
+    }
+  }
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
+
+  // Cells appear in add_cell order: size-major, protocol, then backend.
+  stats::Table table{{"size", "backend", "C", "Cx", "P", "L", "PIP", "HP",
+                      "WW", "violations"}};
+  std::size_t cell = 0;
+  for (const std::uint32_t size : kSizes) {
+    std::vector<std::string> rows[2] = {{std::to_string(size), "sim"},
+                                        {std::to_string(size), "threads"}};
+    double violations[2] = {0.0, 0.0};
+    for (std::size_t p = 0; p < std::size(kCurves); ++p) {
+      for (std::size_t b = 0; b < std::size(kBackends); ++b) {
+        const exp::CellResult& c = res.cell(cell++);
+        double bound = 0.0;
+        double observed = 0.0;
+        for (const core::RunResult& run : c.runs) {
+          bound = run.bound_blocking_units;
+          if (run.observed_max_blocking_units > observed) {
+            observed = run.observed_max_blocking_units;
+          }
+          violations[b] += static_cast<double>(run.bound_violations);
+        }
+        rows[b].push_back(
+            bound > 0.0 ? stats::Table::num(observed / bound, 3) : "-");
+      }
+    }
+    for (std::size_t b = 0; b < std::size(kBackends); ++b) {
+      rows[b].push_back(stats::Table::num(violations[b], 0));
+      table.add_row(std::move(rows[b]));
+    }
+  }
+  return exp::emit(res, table, opts) ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+#pragma once
+
+// Static blocking-bound analysis: the worst-case time one transaction
+// attempt can spend blocked behind other transactions, derived from the
+// configuration alone — no execution. The 1990 study only *measures*
+// blocking; the modern RT-locking literature (Brandenburg's survey, the
+// DPCP line of work for the distributed case) derives analytic bounds
+// from the task set, and this module closes that loop for the shipped
+// protocols so the conformance monitor can gate observation against
+// theory (check/monitor.hpp, --bounds).
+//
+// The workload model has no static priority levels: priorities are
+// deadlines (EDF-style), transactions arrive open-loop, and a watchdog
+// kills every attempt at its deadline. The analysis therefore works in
+// per-*class* terms — one class per aperiodic transaction size plus one
+// per periodic source, each with a relative deadline D_c that the
+// generator computes the same way — and bounds a single *blocking
+// episode* (one block→unblock span of a lock wait, the unit the
+// conformance monitor observes):
+//
+//   * Every blocker holding a lock when the episode opens began its
+//     attempt earlier, so its own deadline — where the watchdog kills it
+//     — lies within R_max (the largest relative deadline of any class)
+//     of the episode start. How the protocol *structures* the wait
+//     decides whether that residence argument alone closes the episode:
+//
+//     - kSingleCriticalSection (ceiling protocols, incl. the distributed
+//       schemes): the classic PCP argument — while a transaction is
+//       ceiling-blocked, the blocking lock's ceiling denies every
+//       lower-priority newcomer a first lock, so exactly the one blocking
+//       critical section must drain; no recruitment.
+//     - kFixedChain (2PL-FIFO, wound-wait): the set of transactions that
+//       can delay the waiter is fixed when the episode opens (FIFO queues
+//       admit newcomers only behind it; wound-wait chains point strictly
+//       to older transactions and wound every younger intruder), and every
+//       member is gone — committed or killed — within R_max.
+//     - kDeadlineBackstop (2PL-P, PIP, 2PL-HP): priority queues let
+//       later-but-more-urgent arrivals cut in, so no arrival-independent
+//       structural bound exists; but every cutter has an earlier deadline
+//       than the waiter, so the waiter is granted — or killed by its own
+//       watchdog — no later than its own deadline.
+//
+//     In all three cases the per-class episode bound is
+//     B_c = min(D_c, R_max) = D_c, met with equality only by an attempt
+//     that blocks the instant it arrives and waits until its kill.
+//
+//   * kUnbounded: timestamp ordering never blocks — conflicts restart,
+//     and the restart count under open-loop arrivals has no finite bound,
+//     so "blocking until access" is unbounded by construction. Wait-die
+//     waits only behind *younger* holders, and a freshly arrived (still
+//     younger) transaction can seize a free lock and extend the transitive
+//     chain, recruiting unboundedly many newcomers. Both verdicts are
+//     results, not gaps: the analyzer reports them explicitly and the
+//     monitor measures without gating.
+//
+// On top of the per-class bound the analyzer adds a statically known
+// margin: distributed schemes observe a blocked mirror at the ceiling
+// manager until the release/abort message arrives (communication hops,
+// batching windows, worst-case retransmission backoff, failover detection
+// and scheduled outages — all pure functions of the config), and the
+// thread backend measures with a real clock whose wakeups overshoot
+// (OS-scheduling allowance). An outage that never heals leaves no finite
+// teardown margin, and the verdict degrades to Unbounded.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/time.hpp"
+
+namespace rtdb::analysis {
+
+// Which structural argument closes a blocking episode (see file comment).
+enum class DerivationKind : std::uint8_t {
+  kSingleCriticalSection,  // ceiling protocols: one blocking CS, no recruits
+  kFixedChain,             // FIFO / wound-wait: delay set fixed at block time
+  kDeadlineBackstop,       // priority cut-ins; own watchdog closes the span
+  kUnbounded,              // no finite bound exists (reason says why)
+};
+
+const char* to_string(DerivationKind kind);
+
+// One priority class: aperiodic transactions of one size, or one periodic
+// source. `relative_deadline` is exactly what the workload generator
+// computes for the class's worst draw, so observed spans compare against
+// it tick-for-tick.
+struct ClassBound {
+  std::string label;                  // "size=8", "periodic[1]"
+  sim::Duration relative_deadline{};  // D_c
+  sim::Duration bound{};              // per-episode bound, margin excluded
+};
+
+// The analyzer's verdict for one configuration.
+struct BlockingBounds {
+  bool bounded = false;
+  DerivationKind kind = DerivationKind::kUnbounded;
+  // Bounded: a one-line sketch of the argument. Unbounded: the reason.
+  std::string argument;
+  std::vector<ClassBound> classes;
+  // Teardown / clock allowance added on top of every class bound
+  // (communication, retransmission, failover, thread-clock overshoot).
+  sim::Duration margin{};
+  // max over classes of (bound + margin); zero when !bounded.
+  sim::Duration worst_bound{};
+
+  // The artifact scalar: 0 is the documented "no finite bound" sentinel
+  // (a bounded verdict always has a positive bound — every class bound is
+  // at least one tick of relative deadline).
+  double worst_bound_units() const {
+    return bounded ? worst_bound.as_units() : 0.0;
+  }
+};
+
+// Derives the blocking bounds for `config`. Pure function of the config —
+// deterministic, no execution, cheap enough to run per run_once.
+BlockingBounds analyze(const core::SystemConfig& config);
+
+}  // namespace rtdb::analysis

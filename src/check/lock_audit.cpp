@@ -66,6 +66,7 @@ void LockAudit::on_txn_end(const cc::CcTxn& txn) {
   auto it = txns_.find(txn.id.value);
   if (it != txns_.end()) {
     close_inversion(txn.id.value, it->second);
+    close_wait(txn, it->second);
     txns_.erase(it);
   }
   graph_.remove(txn.id.value);
@@ -157,6 +158,14 @@ void LockAudit::on_block(const cc::CcTxn& txn, db::ObjectId object,
     }
   }
 
+  // Blocking episode for the bound gate: opened by the first block of a
+  // wait, closed by the matching unblock (grant, abort, or kill — the
+  // observer contract guarantees exactly one per block).
+  if (!shadow.waiting) {
+    shadow.waiting = true;
+    shadow.wait_start = monitor_.now();
+  }
+
   // Priority-inversion span: a higher-priority transaction starts waiting
   // behind at least one lower-priority holder.
   if (!shadow.inversion) {
@@ -175,7 +184,10 @@ void LockAudit::on_unblock(const cc::CcTxn& txn) {
   monitor_.record({{}, "unblock", txn.id.value, txn.attempt, 0, 0});
   graph_.clear_waiter(txn.id.value);
   auto it = txns_.find(txn.id.value);
-  if (it != txns_.end()) close_inversion(txn.id.value, it->second);
+  if (it != txns_.end()) {
+    close_inversion(txn.id.value, it->second);
+    close_wait(txn, it->second);
+  }
 }
 
 void LockAudit::on_release_all(const cc::CcTxn& txn) {
@@ -308,6 +320,12 @@ void LockAudit::close_inversion(std::uint64_t txn, ShadowTxn& shadow) {
   if (!shadow.inversion) return;
   shadow.inversion = false;
   monitor_.note_inversion(monitor_.now() - shadow.inversion_start);
+}
+
+void LockAudit::close_wait(const cc::CcTxn& txn, ShadowTxn& shadow) {
+  if (!shadow.waiting) return;
+  shadow.waiting = false;
+  monitor_.note_blocking(txn, monitor_.now() - shadow.wait_start);
 }
 
 }  // namespace rtdb::check

@@ -69,6 +69,10 @@ class LockAudit final : public cc::CcObserver {
     bool released = false;  // release_all seen for this attempt
     bool inversion = false;
     sim::TimePoint inversion_start{};
+    // Open blocking episode (block → unblock), fed to the monitor's
+    // blocking-bound gate when it closes.
+    bool waiting = false;
+    sim::TimePoint wait_start{};
   };
 
   ShadowTxn& shadow_of(const cc::CcTxn& txn);
@@ -83,6 +87,7 @@ class LockAudit final : public cc::CcObserver {
   sim::Priority declared_abs_ceiling(db::ObjectId object) const;
   sim::Priority declared_write_ceiling(db::ObjectId object) const;
   void close_inversion(std::uint64_t txn, ShadowTxn& shadow);
+  void close_wait(const cc::CcTxn& txn, ShadowTxn& shadow);
 
   ConformanceMonitor& monitor_;
   ProtocolFamily family_;

@@ -52,6 +52,25 @@ void ConformanceMonitor::report(std::string rule, std::string detail) {
                                ring_.window(options_.trace_window)});
 }
 
+void ConformanceMonitor::note_blocking(const cc::CcTxn& txn,
+                                       sim::Duration span) {
+  if (span > max_blocking_) max_blocking_ = span;
+  if (!bound_gate_ || span <= *bound_gate_) return;
+  // Observation beat theory: either the protocol blocked longer than its
+  // structural argument allows, or the analyzer's bound (or margin) is
+  // wrong. Both are reportable defects; the count is its own scalar so
+  // the artifact separates them from protocol rule breaks.
+  ++bound_violations_;
+  if (reports_.size() >= options_.max_reports) return;
+  std::ostringstream detail;
+  detail << "txn " << txn.id.value << "/" << txn.attempt
+         << " observed a blocking episode of " << span.to_string()
+         << ", exceeding the analytic worst case "
+         << bound_gate_->to_string();
+  reports_.push_back(Violation{kernel_.now(), "bound.blocking", detail.str(),
+                               ring_.window(options_.trace_window)});
+}
+
 std::string ConformanceMonitor::format_reports() const {
   std::ostringstream out;
   for (const Violation& violation : reports_) {
@@ -60,8 +79,8 @@ std::string ConformanceMonitor::format_reports() const {
         << "trace window (oldest first):\n"
         << violation.trace;
   }
-  if (violations_ > reports_.size()) {
-    out << "... " << (violations_ - reports_.size())
+  if (violations_ + bound_violations_ > reports_.size()) {
+    out << "... " << (violations_ + bound_violations_ - reports_.size())
         << " further violation(s) not retained\n";
   }
   return out.str();

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -74,11 +75,25 @@ class ConformanceMonitor {
   // exact within the shard. Lazily created; stable for the monitor's life.
   dist::LeaseObserver* lease_observer(std::uint32_t shard);
 
+  // Arms the blocking-bound gate (src/analysis): every blocking episode
+  // longer than `gate` is reported under bound.blocking and counted into
+  // bound_violations() — a separate scalar, not a conformance violation,
+  // so theory-vs-observation failures stay distinguishable from protocol
+  // rule breaks. nullopt arms measurement only (the analyzer returned an
+  // Unbounded verdict: spans are recorded, nothing is flagged).
+  void arm_bounds(std::optional<sim::Duration> gate) {
+    bound_gate_ = gate;
+  }
+
   // ---- run scalars ----
   std::uint64_t violations() const { return violations_; }
   std::uint64_t wait_cycles_detected() const { return wait_cycles_; }
   double max_inversion_span_units() const {
     return max_inversion_.as_units();
+  }
+  std::uint64_t bound_violations() const { return bound_violations_; }
+  double observed_max_blocking_units() const {
+    return max_blocking_.as_units();
   }
 
   const std::vector<Violation>& reports() const { return reports_; }
@@ -95,6 +110,10 @@ class ConformanceMonitor {
   void note_inversion(sim::Duration span) {
     if (span > max_inversion_) max_inversion_ = span;
   }
+  // One closed blocking episode (block → unblock) of `txn`, reported by
+  // the lock audits. Tracks the observed maximum and, when the bound gate
+  // is armed, flags spans the static analysis proved impossible.
+  void note_blocking(const cc::CcTxn& txn, sim::Duration span);
   sim::TimePoint now() const { return kernel_.now(); }
 
  private:
@@ -109,6 +128,9 @@ class ConformanceMonitor {
   std::uint64_t violations_ = 0;
   std::uint64_t wait_cycles_ = 0;
   sim::Duration max_inversion_{};
+  std::optional<sim::Duration> bound_gate_;
+  std::uint64_t bound_violations_ = 0;
+  sim::Duration max_blocking_{};
 };
 
 }  // namespace rtdb::check

@@ -182,6 +182,12 @@ struct SystemConfig {
 #else
   bool conformance_check = false;
 #endif
+  // Blocking-bound auditing (src/analysis + check::ConformanceMonitor):
+  // statically derive the per-protocol worst-case blocking episode and
+  // flag any observed episode that exceeds it (scalar bound_violations).
+  // Constructs the conformance monitor even when conformance_check is
+  // off; protocols with an Unbounded verdict are measured, never gated.
+  bool bounds_check = false;
 };
 
 }  // namespace rtdb::core

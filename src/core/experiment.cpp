@@ -4,6 +4,7 @@
 #include <iostream>
 #include <mutex>
 
+#include "analysis/bounds.hpp"
 #include "rt/runner.hpp"
 
 namespace rtdb::core {
@@ -144,6 +145,17 @@ constexpr RunScalar kRunScalars[] = {
      [](const RunResult& r) {
        return static_cast<double>(r.shard_migrations);
      }},
+    // Appended by the static blocking-bound analyzer (src/analysis) — new
+    // columns only, stable order. The bound is stamped on every run (0 =
+    // no finite bound); observed/violations need --bounds.
+    {"bound_blocking_units",
+     [](const RunResult& r) { return r.bound_blocking_units; }},
+    {"observed_max_blocking_units",
+     [](const RunResult& r) { return r.observed_max_blocking_units; }},
+    {"bound_violations",
+     [](const RunResult& r) {
+       return static_cast<double>(r.bound_violations);
+     }},
 };
 
 // Runs the cell on the real-hardware thread backend (src/rt) and maps its
@@ -152,9 +164,13 @@ constexpr RunScalar kRunScalars[] = {
 // counterpart (commit protocol, faults, resilience) stay zero — the thread
 // backend is single-site and fault-free by construction.
 RunResult run_once_threaded(const SystemConfig& config) {
+  const analysis::BlockingBounds bounds = analysis::analyze(config);
   rt::RtRunnerConfig runner_config;
   runner_config.workers = config.rt_workers;
   runner_config.unit_nanos = config.rt_unit_nanos;
+  if (config.bounds_check && bounds.bounded) {
+    runner_config.bound_gate = bounds.worst_bound;
+  }
   const rt::RtRunResult rt = rt::run_threaded(config, runner_config);
 
   RunResult result;
@@ -169,6 +185,11 @@ RunResult run_once_threaded(const SystemConfig& config) {
   result.wait_cycles_detected = rt.locks.deadlocks;
   // No shedding on the thread backend: everything that arrived was admitted.
   result.admitted = rt.records.size();
+  result.bound_blocking_units = bounds.worst_bound_units();
+  if (config.bounds_check || config.conformance_check) {
+    result.observed_max_blocking_units = rt.locks.max_block_span.as_units();
+    result.bound_violations = rt.locks.bound_violations;
+  }
   if (rt.conformance_violations > 0) {
     static std::mutex report_mutex;
     const std::lock_guard<std::mutex> guard(report_mutex);
@@ -240,11 +261,15 @@ RunResult ExperimentRunner::run_once(const SystemConfig& config) {
   if (config.faults.active()) {
     result.invariant_violations = system.invariant_violations();
   }
+  result.bound_blocking_units =
+      analysis::analyze(config).worst_bound_units();
   if (const check::ConformanceMonitor* mon = system.conformance()) {
     result.conformance_violations = mon->violations();
     result.wait_cycles_detected = mon->wait_cycles_detected();
     result.max_inversion_span_units = mon->max_inversion_span_units();
-    if (mon->violations() > 0) {
+    result.observed_max_blocking_units = mon->observed_max_blocking_units();
+    result.bound_violations = mon->bound_violations();
+    if (mon->violations() > 0 || mon->bound_violations() > 0) {
       // Sweep workers call run_once concurrently; keep the reports whole.
       static std::mutex report_mutex;
       const std::lock_guard<std::mutex> guard(report_mutex);

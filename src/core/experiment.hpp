@@ -64,6 +64,15 @@ struct RunResult {
   std::uint64_t batched_messages = 0;
   std::uint64_t batch_flushes = 0;
   std::uint64_t shard_migrations = 0;
+  // Static blocking-bound analysis (src/analysis). The bound is a pure
+  // function of the config and is stamped on every run (0 = the analyzer
+  // returned Unbounded); the observed/violation pair needs bounds_check
+  // (--bounds). bound_violations nonzero means an observed blocking
+  // episode exceeded the analytic worst case — a bug in the protocol or
+  // in the bound derivation, either way a defect.
+  double bound_blocking_units = 0.0;
+  double observed_max_blocking_units = 0.0;
+  std::uint64_t bound_violations = 0;
 };
 
 // A named per-run scalar — the catalog below is the single list the text

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "analysis/bounds.hpp"
 #include "cc/hp2pl.hpp"
 #include "cc/tso.hpp"
 #include "cc/wait_die.hpp"
@@ -117,7 +118,9 @@ System::System(SystemConfig config)
       build_partitioned_ceiling();
       break;
   }
-  if (config_.conformance_check) attach_conformance();
+  if (config_.conformance_check || config_.bounds_check) {
+    attach_conformance();
+  }
   schedule_faults();
 
   generator_ = std::make_unique<workload::TransactionGenerator>(
@@ -472,6 +475,14 @@ void System::build_partitioned_ceiling() {
 
 void System::attach_conformance() {
   conformance_ = std::make_unique<check::ConformanceMonitor>(kernel_);
+  if (config_.bounds_check) {
+    // Gate observed blocking episodes against the static analysis; an
+    // Unbounded verdict measures without gating (nothing to compare to).
+    const analysis::BlockingBounds bounds = analysis::analyze(config_);
+    conformance_->arm_bounds(
+        bounds.bounded ? std::optional<sim::Duration>(bounds.worst_bound)
+                       : std::nullopt);
+  }
   // The rule family of the per-site controllers. Under the global scheme
   // the site controller is the remote ceiling client (structural checks
   // only — the blockers are at the manager); the manager's own protocol

@@ -116,6 +116,44 @@ bool write_artifacts(const SweepResult& result, const Options& opts) {
   return ok;
 }
 
+std::string bounds_table(const SweepResult& result) {
+  std::string out =
+      "blocking bounds (units): theory vs observed, per cell\n"
+      "  cell                                bound    observed    ratio  "
+      "violations\n";
+  for (const CellResult& cell : result.cells) {
+    std::string label;
+    for (const Axis& axis : cell.axes) {
+      if (!label.empty()) label += " ";
+      label += axis.first + "=" + axis.second;
+    }
+    double bound = 0.0;
+    double observed = 0.0;
+    std::uint64_t violations = 0;
+    for (const core::RunResult& run : cell.runs) {
+      bound = run.bound_blocking_units;  // pure function of the cell config
+      if (run.observed_max_blocking_units > observed) {
+        observed = run.observed_max_blocking_units;
+      }
+      violations += run.bound_violations;
+    }
+    char row[160];
+    if (bound > 0.0) {
+      std::snprintf(row, sizeof(row),
+                    "  %-32s %10.1f %11.3f %8.3f  %10llu\n", label.c_str(),
+                    bound, observed, observed / bound,
+                    static_cast<unsigned long long>(violations));
+    } else {
+      std::snprintf(row, sizeof(row),
+                    "  %-32s  unbounded %11.3f        -  %10llu\n",
+                    label.c_str(), observed,
+                    static_cast<unsigned long long>(violations));
+    }
+    out += row;
+  }
+  return out;
+}
+
 bool emit(const SweepResult& result, const stats::Table& table,
           const Options& opts) {
   std::string caption = result.title;
@@ -124,6 +162,10 @@ bool emit(const SweepResult& result, const stats::Table& table,
   }
   std::fputs(table.to_text(caption).c_str(), stdout);
   std::fputs("\n", stdout);
+  if (opts.bounds) {
+    std::fputs(bounds_table(result).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
   return write_artifacts(result, opts);
 }
 

@@ -35,4 +35,10 @@ bool emit(const SweepResult& result, const stats::Table& table,
 // Writes only the artifacts (for callers that render no table).
 bool write_artifacts(const SweepResult& result, const Options& opts);
 
+// The --bounds epilogue emit() appends after the figure table: one row
+// per cell with the analytic worst-case blocking, the observed maximum
+// across the cell's runs, their ratio (bound tightness; "-" when the
+// verdict is Unbounded), and the violation count.
+std::string bounds_table(const SweepResult& result);
+
 }  // namespace rtdb::exp

@@ -135,6 +135,8 @@ std::optional<Options> parse_options(int argc, char** argv,
       opts.quiet = true;
     } else if (arg == "--check") {
       opts.check = true;
+    } else if (arg == "--bounds") {
+      opts.bounds = true;
     } else if (arg == "--runs") {
       const auto v = value("--runs");
       long long n = 0;
@@ -304,6 +306,10 @@ std::string usage(const std::string& program) {
          "and flag\n"
          "               invariant violations (conformance_violations scalar; "
          "reports on stderr)\n"
+         "  --bounds     gate observed blocking against the static "
+         "worst-case analysis\n"
+         "               (bound_* scalars; theory-vs-observed table after "
+         "the figure table)\n"
          "  --help       this message\n"
          "fault injection (distributed schemes; deterministic per seed):\n"
          "  --drop-rate P          drop each inter-site message with "

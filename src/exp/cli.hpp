@@ -22,6 +22,10 @@ struct Options {
   std::optional<std::string> csv_path;   // empty optional = stdout
   bool quiet = false;                    // --quiet: no progress meter
   bool check = false;  // --check: online conformance auditing (src/check)
+  // --bounds: static blocking-bound gating (src/analysis) — every cell
+  // runs with bounds_check, the observed/bound table is printed after the
+  // figure table, and the bound_* scalars land in the artifacts.
+  bool bounds = false;
   bool help = false;
 
   // --backend {sim,threads}: execution substrate override. "threads" runs

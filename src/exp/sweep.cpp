@@ -99,6 +99,7 @@ SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
             sim::Duration::from_units(*opts.batch_window_units);
       }
       if (opts.check) config.conformance_check = true;
+      if (opts.bounds) config.bounds_check = true;
       flat[i] = core::ExperimentRunner::run_once(config);
       if (flat[i].conformance_violations > 0) {
         notes.add("cell " + std::to_string(cell) + " run " +
@@ -106,6 +107,13 @@ SweepResult run_sweep(const SweepSpec& spec, const Options& opts) {
                   std::to_string(config.seed) + "): " +
                   std::to_string(flat[i].conformance_violations) +
                   " conformance violation(s)");
+      }
+      if (flat[i].bound_violations > 0) {
+        notes.add("cell " + std::to_string(cell) + " run " +
+                  std::to_string(run) + " (seed " +
+                  std::to_string(config.seed) + "): " +
+                  std::to_string(flat[i].bound_violations) +
+                  " blocking-bound violation(s)");
       }
       meter.tick();
     }

@@ -26,6 +26,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/annotations.hpp"
 #include "sim/time.hpp"
 
 namespace rtdb::rt {
@@ -40,14 +41,21 @@ class WaitToken {
   WaitToken(const WaitToken&) = delete;
   WaitToken& operator=(const WaitToken&) = delete;
 
-  void reset() {
+  void reset() RTDB_EXCLUDES(mutex) {
     const std::lock_guard<std::mutex> guard(mutex);
     signaled = false;
   }
 
+  // Locked read for pollers (the sim backend's block() loop). The DES is
+  // single-threaded, so the mutex is never contended there.
+  bool is_signaled() RTDB_EXCLUDES(mutex) {
+    const std::lock_guard<std::mutex> guard(mutex);
+    return signaled;
+  }
+
   std::mutex mutex;
   std::condition_variable cv;
-  bool signaled = false;
+  bool signaled RTDB_GUARDED_BY(mutex) = false;
 };
 
 // The clock + scheduling interface both backends implement. All times are

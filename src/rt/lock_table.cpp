@@ -76,8 +76,13 @@ void RtLockTable::begin_block(RtTxn& txn) {
 }
 
 void RtLockTable::end_block(RtTxn& txn) {
-  txn.blocked_total += backend_.now() - txn.blocked_since;
+  const sim::Duration span = backend_.now() - txn.blocked_since;
+  txn.blocked_total += span;
   txn.blocked = false;
+  if (span > stats_.max_block_span) stats_.max_block_span = span;
+  if (!options_.bound_gate.is_zero() && span > options_.bound_gate) {
+    ++stats_.bound_violations;
+  }
 }
 
 bool RtLockTable::wound(RtTxn& victim, AbortReason reason) {
@@ -578,10 +583,25 @@ void RtLockTable::acquire_locking(RtTxn& txn, db::ObjectId object,
   if (uses_inheritance()) update_inheritance();
   unlock_latch();
 
-  const bool woken = backend_.block(txn.token, txn.deadline);
+  bool woken = backend_.block(txn.token, txn.deadline);
 
   PqSpinLock::Node node2;
   lock_latch(node2, txn.base_priority);
+  // Wakes are delivered outside the latch (unlock_latch), so a preempted
+  // waker can land its signal after the wait it meant to end — even into
+  // this transaction's next attempt, whose token.reset() raced the
+  // delivery. A wake with no cause on the books (no grant, no wound) is
+  // such a stale signal: re-arm and keep waiting. A wake with a live
+  // cause never reaches the reset — grant and wound both post under the
+  // latch before their wake is queued, so the loop condition sees them.
+  while (woken && !request.granted &&
+         !txn.wounded.load(std::memory_order_relaxed) &&
+         backend_.now() < txn.deadline) {
+    txn.token.reset();
+    unlock_latch();
+    woken = backend_.block(txn.token, txn.deadline);
+    lock_latch(node2, txn.base_priority);
+  }
   if (!request.granted) {
     cancel(request);
     end_block(txn);
@@ -593,7 +613,7 @@ void RtLockTable::acquire_locking(RtTxn& txn, db::ObjectId object,
     const bool was_wounded = txn.wounded.load(std::memory_order_relaxed);
     const AbortReason reason =
         was_wounded ? txn.wound_reason : AbortReason::kDeadlineMiss;
-    assert(was_wounded || !woken);
+    assert(was_wounded || !woken || backend_.now() >= txn.deadline);
     (void)woken;
     unlock_latch();
     throw TxnAborted{reason};
@@ -875,10 +895,19 @@ void RtLockTable::acquire_ceiling(RtTxn& txn, db::ObjectId object,
   stabilize();  // may grant this very waiter (wake drains on unlock)
   unlock_latch();
 
-  const bool woken = backend_.block(txn.token, txn.deadline);
+  bool woken = backend_.block(txn.token, txn.deadline);
 
   PqSpinLock::Node node2;
   lock_latch(node2, txn.base_priority);
+  // Stale-signal filter; see acquire_locking for the race.
+  while (woken && !waiter.granted &&
+         !txn.wounded.load(std::memory_order_relaxed) &&
+         backend_.now() < txn.deadline) {
+    txn.token.reset();
+    unlock_latch();
+    woken = backend_.block(txn.token, txn.deadline);
+    lock_latch(node2, txn.base_priority);
+  }
   if (!waiter.granted) {
     remove_waiter(waiter);
     end_block(txn);
@@ -886,7 +915,7 @@ void RtLockTable::acquire_ceiling(RtTxn& txn, db::ObjectId object,
     const bool was_wounded = txn.wounded.load(std::memory_order_relaxed);
     const AbortReason reason =
         was_wounded ? txn.wound_reason : AbortReason::kDeadlineMiss;
-    assert(was_wounded || !woken);
+    assert(was_wounded || !woken || backend_.now() >= txn.deadline);
     (void)woken;
     unlock_latch();
     throw TxnAborted{reason};

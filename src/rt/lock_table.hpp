@@ -94,6 +94,10 @@ struct RtLockStats {
   std::uint64_t ceiling_denials = 0;
   // Conformance self-audit failures (0 on a correct implementation).
   std::uint64_t audit_violations = 0;
+  // Longest single blocking episode observed, and how many episodes
+  // exceeded Options::bound_gate (0 with the gate off).
+  sim::Duration max_block_span{};
+  std::uint64_t bound_violations = 0;
 };
 
 class RtLockTable {
@@ -107,6 +111,10 @@ class RtLockTable {
     // Run the inline conformance audit (compatibility at every grant,
     // ceiling grant rule, two-phase rule, quiescence).
     bool audit = false;
+    // Blocking-bound gate (zero = off): episodes longer than this count
+    // into RtLockStats::bound_violations. Includes the analyzer's
+    // thread-backend clock allowance; see analysis/bounds.hpp.
+    sim::Duration bound_gate{};
   };
 
   RtLockTable(Options options, ExecutionBackend& backend);

@@ -40,6 +40,12 @@ struct RtRunResult {
 struct RtRunnerConfig {
   std::uint32_t workers = 0;       // 0 = one per hardware core
   std::uint64_t unit_nanos = 20'000;
+  // Blocking-bound gate (sim units; zero = off): the lock table counts
+  // every blocking episode longer than this into bound_violations. The
+  // caller (core/experiment.cpp) derives it from analysis::analyze — the
+  // thread-backend margin for real-clock wakeup overshoot is already in
+  // the analyzer's figure, so the gate is used as-is.
+  sim::Duration bound_gate{};
 };
 
 // Runs config's workload to completion on real threads. Throws

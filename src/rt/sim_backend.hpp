@@ -45,7 +45,7 @@ class SimBackend final : public ExecutionBackend {
   }
 
   bool block(WaitToken& token, sim::TimePoint until) override {
-    while (!token.signaled) {
+    while (!token.is_signaled()) {
       if (kernel_.now() >= until) return false;
       if (!kernel_.step()) {
         // Queue drained with the token unsignaled: nothing can ever wake

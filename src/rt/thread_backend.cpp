@@ -71,12 +71,16 @@ void ThreadBackend::spawn(std::string name, std::function<void()> body) {
 
 bool ThreadBackend::block(WaitToken& token, sim::TimePoint until) {
   std::unique_lock<std::mutex> guard(token.mutex);
+  // wait() invokes the predicate with the lock held; the annotation states
+  // what the analysis cannot see through the condition_variable template.
+  const auto is_signaled = [&token]() RTDB_REQUIRES(token.mutex) {
+    return token.signaled;
+  };
   if (until == sim::TimePoint::max()) {
-    token.cv.wait(guard, [&token] { return token.signaled; });
+    token.cv.wait(guard, is_signaled);
     return true;
   }
-  return token.cv.wait_until(guard, to_real(until),
-                             [&token] { return token.signaled; });
+  return token.cv.wait_until(guard, to_real(until), is_signaled);
 }
 
 void ThreadBackend::wake(WaitToken& token) {
@@ -89,7 +93,8 @@ void ThreadBackend::wake(WaitToken& token) {
 
 void ThreadBackend::run() {
   std::unique_lock<std::mutex> guard(mutex_);
-  idle_cv_.wait(guard, [this] { return outstanding_ == 0; });
+  idle_cv_.wait(guard,
+                [this]() RTDB_REQUIRES(mutex_) { return outstanding_ == 0; });
 }
 
 std::uint64_t ThreadBackend::body_exceptions() const {
@@ -102,7 +107,9 @@ void ThreadBackend::worker_loop() {
     Job job;
     {
       std::unique_lock<std::mutex> guard(mutex_);
-      queue_cv_.wait(guard, [this] { return shutdown_ || !queue_.empty(); });
+      queue_cv_.wait(guard, [this]() RTDB_REQUIRES(mutex_) {
+        return shutdown_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // shutdown with nothing left to run
       job = std::move(queue_.front());
       queue_.pop_front();

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "rt/backend.hpp"
 
 namespace rtdb::rt {
@@ -72,10 +73,11 @@ class ThreadBackend final : public ExecutionBackend {
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  // workers wait for jobs
   std::condition_variable idle_cv_;   // run() waits for drain
-  std::deque<Job> queue_;
-  std::uint64_t outstanding_ = 0;  // queued + running bodies
-  std::uint64_t exceptions_ = 0;
-  bool shutdown_ = false;
+  std::deque<Job> queue_ RTDB_GUARDED_BY(mutex_);
+  // Queued + running bodies.
+  std::uint64_t outstanding_ RTDB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t exceptions_ RTDB_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ RTDB_GUARDED_BY(mutex_) = false;
 
   std::vector<std::thread> threads_;
 };

@@ -1,0 +1,236 @@
+#include "analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+
+// Hand-computed fixtures for the static blocking-bound analyzer: every
+// expected value below is worked out from the config by hand (class
+// deadlines, margins, ladder sums), so a formula regression shows up as
+// an exact-value mismatch, not a drifting tolerance.
+
+namespace rtdb::analysis {
+namespace {
+
+using core::DistScheme;
+using core::Protocol;
+using core::SystemConfig;
+using sim::Duration;
+
+// The Fig-2/3 single-site shape: one aperiodic class per size.
+SystemConfig fig2_like(Protocol protocol, std::uint32_t size) {
+  SystemConfig cfg;
+  cfg.protocol = protocol;
+  cfg.db_objects = 200;
+  cfg.workload.size_min = size;
+  cfg.workload.size_max = size;
+  cfg.workload.transaction_count = 400;
+  cfg.workload.slack_min = 15;
+  cfg.workload.slack_max = 30;
+  cfg.workload.est_time_per_object = Duration::units(4);
+  return cfg;
+}
+
+TEST(BoundsTest, AperiodicSingleSiteExactValue) {
+  // D(size) = est * size * slack_max = 4 * 8 * 30 = 960 units; single
+  // class, no margin on the sim backend, so the worst bound is D itself.
+  const BlockingBounds b = analyze(fig2_like(Protocol::kPriorityCeiling, 8));
+  EXPECT_TRUE(b.bounded);
+  EXPECT_EQ(b.kind, DerivationKind::kSingleCriticalSection);
+  ASSERT_EQ(b.classes.size(), 1u);
+  EXPECT_EQ(b.classes[0].label, "size=8");
+  EXPECT_EQ(b.classes[0].relative_deadline, Duration::units(960));
+  EXPECT_EQ(b.classes[0].bound, Duration::units(960));
+  EXPECT_EQ(b.margin, Duration::zero());
+  EXPECT_EQ(b.worst_bound, Duration::units(960));
+  EXPECT_DOUBLE_EQ(b.worst_bound_units(), 960.0);
+}
+
+TEST(BoundsTest, DerivationKindPerProtocolFamily) {
+  const auto kind = [](Protocol p) { return analyze(fig2_like(p, 8)).kind; };
+  EXPECT_EQ(kind(Protocol::kPriorityCeiling),
+            DerivationKind::kSingleCriticalSection);
+  EXPECT_EQ(kind(Protocol::kPriorityCeilingExclusive),
+            DerivationKind::kSingleCriticalSection);
+  EXPECT_EQ(kind(Protocol::kTwoPhase), DerivationKind::kFixedChain);
+  EXPECT_EQ(kind(Protocol::kWoundWait), DerivationKind::kFixedChain);
+  EXPECT_EQ(kind(Protocol::kTwoPhasePriority),
+            DerivationKind::kDeadlineBackstop);
+  EXPECT_EQ(kind(Protocol::kPriorityInheritance),
+            DerivationKind::kDeadlineBackstop);
+  EXPECT_EQ(kind(Protocol::kHighPriority),
+            DerivationKind::kDeadlineBackstop);
+  EXPECT_EQ(kind(Protocol::kTimestampOrdering), DerivationKind::kUnbounded);
+  EXPECT_EQ(kind(Protocol::kWaitDie), DerivationKind::kUnbounded);
+}
+
+TEST(BoundsTest, ThreeTaskPeriodicPcpFixture) {
+  // The classic three-periodic-task PCP example shape: periods 100 / 150 /
+  // 300 units with implicit deadlines (slack 1.0). Per-class bound is
+  // min(D_c, R_max) = D_c; the worst bound is the longest deadline.
+  SystemConfig cfg;
+  cfg.protocol = Protocol::kPriorityCeiling;
+  cfg.workload.transaction_count = 0;  // periodic-only task set
+  for (const std::int64_t period : {100, 150, 300}) {
+    workload::PeriodicSource source;
+    source.period = Duration::units(period);
+    source.size = 2;
+    cfg.workload.periodic.push_back(source);
+  }
+  const BlockingBounds b = analyze(cfg);
+  EXPECT_TRUE(b.bounded);
+  ASSERT_EQ(b.classes.size(), 3u);
+  EXPECT_EQ(b.classes[0].label, "periodic[0]");
+  EXPECT_EQ(b.classes[0].bound, Duration::units(100));
+  EXPECT_EQ(b.classes[1].bound, Duration::units(150));
+  EXPECT_EQ(b.classes[2].bound, Duration::units(300));
+  EXPECT_EQ(b.worst_bound, Duration::units(300));
+}
+
+TEST(BoundsTest, PeriodicDeadlineSlackScalesTheBound) {
+  SystemConfig cfg;
+  cfg.protocol = Protocol::kPriorityCeiling;
+  cfg.workload.transaction_count = 0;
+  workload::PeriodicSource source;
+  source.period = Duration::units(200);
+  source.deadline_slack = 0.5;  // deadline halfway to the next release
+  cfg.workload.periodic.push_back(source);
+  const BlockingBounds b = analyze(cfg);
+  ASSERT_EQ(b.classes.size(), 1u);
+  EXPECT_EQ(b.classes[0].relative_deadline, Duration::units(100));
+  EXPECT_EQ(b.worst_bound, Duration::units(100));
+}
+
+// The Fig-4-style distributed shape: 2 sites, global ceiling manager.
+SystemConfig two_site_global() {
+  SystemConfig cfg;
+  cfg.scheme = DistScheme::kGlobalCeiling;
+  cfg.sites = 2;
+  cfg.db_objects = 60;
+  cfg.comm_delay = Duration::units(2);
+  cfg.workload.size_min = 4;
+  cfg.workload.size_max = 8;
+  cfg.workload.transaction_count = 300;
+  cfg.workload.slack_min = 3.5;
+  cfg.workload.slack_max = 7;
+  cfg.workload.est_time_per_object = Duration::units(3);
+  return cfg;
+}
+
+TEST(BoundsTest, TwoSiteGlobalSchemeMargin) {
+  // Classes size 4..8: D(s) = 3 * s * 7 = 21s units, worst 168. The
+  // fault-free distributed margin is 4 teardown hops of comm_delay:
+  // 4 * 2 = 8. Worst bound 168 + 8 = 176 units.
+  const BlockingBounds b = analyze(two_site_global());
+  EXPECT_TRUE(b.bounded);
+  // Every distributed scheme runs ceiling managers, whatever the
+  // single-site protocol knob says.
+  EXPECT_EQ(b.kind, DerivationKind::kSingleCriticalSection);
+  ASSERT_EQ(b.classes.size(), 5u);
+  EXPECT_EQ(b.classes[0].relative_deadline, Duration::units(84));
+  EXPECT_EQ(b.classes[4].relative_deadline, Duration::units(168));
+  EXPECT_EQ(b.margin, Duration::units(8));
+  EXPECT_EQ(b.worst_bound, Duration::units(176));
+}
+
+TEST(BoundsTest, MessageFaultsAddTheRetransmitLadder) {
+  // hop = comm_delay = 2. Defaults: retransmit_max 5, backoff 8 doubling,
+  // cap 256 → ladder = (8+16+32+64+128) + 5 hops = 248 + 10 = 258. Plus
+  // the fault-free 4 hops = 8. Margin 266, worst bound 168 + 266 = 434.
+  SystemConfig cfg = two_site_global();
+  cfg.faults.drop_rate = 0.05;
+  const BlockingBounds b = analyze(cfg);
+  EXPECT_TRUE(b.bounded);
+  EXPECT_EQ(b.margin, Duration::units(266));
+  EXPECT_EQ(b.worst_bound, Duration::units(434));
+}
+
+TEST(BoundsTest, BackoffLadderSaturatesAtTheCap) {
+  SystemConfig cfg = two_site_global();
+  cfg.faults.drop_rate = 0.05;
+  cfg.backoff_base = Duration::units(128);
+  cfg.backoff_max = Duration::units(256);
+  // Ladder: 128 + 256 + 256 + 256 + 256 (cap) + 5 hops = 1152 + 10; plus
+  // the 4 fault-free hops = 8 → margin 1170.
+  const BlockingBounds b = analyze(cfg);
+  EXPECT_EQ(b.margin, Duration::units(1170));
+}
+
+TEST(BoundsTest, CrashAddsFailoverWindowAndOutage) {
+  // A healing crash adds the failure-detection window, heartbeat_interval
+  // * (miss_threshold + 2) = 20 * 5 = 100, plus the outage itself (400).
+  // Fault-free hops 8 → margin 508, worst bound 168 + 508 = 676.
+  SystemConfig cfg = two_site_global();
+  cfg.faults.crashes.push_back(
+      {1, Duration::units(300), Duration::units(400)});
+  const BlockingBounds b = analyze(cfg);
+  EXPECT_TRUE(b.bounded);
+  EXPECT_EQ(b.margin, Duration::units(508));
+  EXPECT_EQ(b.worst_bound, Duration::units(676));
+}
+
+TEST(BoundsTest, UnhealedOutagesAreUnbounded) {
+  SystemConfig crash_cfg = two_site_global();
+  crash_cfg.faults.crashes.push_back({1, Duration::units(300), {}});
+  const BlockingBounds crash = analyze(crash_cfg);
+  EXPECT_FALSE(crash.bounded);
+  EXPECT_EQ(crash.kind, DerivationKind::kUnbounded);
+  EXPECT_NE(crash.argument.find("never recovers"), std::string::npos);
+  EXPECT_DOUBLE_EQ(crash.worst_bound_units(), 0.0);
+
+  SystemConfig part_cfg = two_site_global();
+  part_cfg.faults.partitions.push_back({{0}, Duration::units(300), {}, true});
+  const BlockingBounds part = analyze(part_cfg);
+  EXPECT_FALSE(part.bounded);
+  EXPECT_NE(part.argument.find("never heals"), std::string::npos);
+}
+
+TEST(BoundsTest, UnboundedVerdictsCarryReasons) {
+  const BlockingBounds tso =
+      analyze(fig2_like(Protocol::kTimestampOrdering, 8));
+  EXPECT_FALSE(tso.bounded);
+  EXPECT_FALSE(tso.argument.empty());
+  EXPECT_NE(tso.argument.find("restart"), std::string::npos);
+  EXPECT_DOUBLE_EQ(tso.worst_bound_units(), 0.0);
+  EXPECT_TRUE(tso.classes.empty());
+
+  const BlockingBounds wd = analyze(fig2_like(Protocol::kWaitDie, 8));
+  EXPECT_FALSE(wd.bounded);
+  EXPECT_NE(wd.argument.find("younger"), std::string::npos);
+}
+
+TEST(BoundsTest, ThreadBackendAddsClockJitterMargin) {
+  // 500 ms of real clock allowance at 20 us per unit = 25000 units.
+  SystemConfig cfg = fig2_like(Protocol::kPriorityCeiling, 8);
+  cfg.backend = core::BackendKind::kThreads;
+  cfg.rt_unit_nanos = 20'000;
+  const BlockingBounds b = analyze(cfg);
+  EXPECT_TRUE(b.bounded);
+  EXPECT_EQ(b.margin, Duration::units(25'000));
+  EXPECT_EQ(b.worst_bound, Duration::units(25'960));
+}
+
+TEST(BoundsTest, WideSizeRangeKeepsExactWorstBound) {
+  // A pathologically wide size range enumerates only the endpoints; the
+  // worst bound (monotone in size) is exact either way.
+  SystemConfig cfg = fig2_like(Protocol::kTwoPhase, 8);
+  cfg.workload.size_min = 1;
+  cfg.workload.size_max = 1000;
+  const BlockingBounds b = analyze(cfg);
+  ASSERT_EQ(b.classes.size(), 2u);
+  EXPECT_EQ(b.classes[1].relative_deadline, Duration::units(120'000));
+  EXPECT_EQ(b.worst_bound, Duration::units(120'000));
+}
+
+TEST(BoundsTest, BoundedArgumentsAreNonEmpty) {
+  for (const Protocol p :
+       {Protocol::kPriorityCeiling, Protocol::kTwoPhase,
+        Protocol::kTwoPhasePriority, Protocol::kWoundWait}) {
+    const BlockingBounds b = analyze(fig2_like(p, 4));
+    EXPECT_TRUE(b.bounded) << static_cast<int>(p);
+    EXPECT_FALSE(b.argument.empty()) << static_cast<int>(p);
+  }
+}
+
+}  // namespace
+}  // namespace rtdb::analysis

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "check/lock_audit.hpp"
+#include "check/monitor.hpp"
+#include "sim/kernel.hpp"
+
+// The blocking-bound audit: the LockAudit measures every block→unblock
+// span and the monitor gates it against the analytic worst case
+// (analysis::analyze → ConformanceMonitor::arm_bounds). Mutation-style:
+// a span inside the bound passes untouched, a deliberately-loosened
+// (tiny) bound is tripped, and an Unbounded verdict (no gate) measures
+// without flagging.
+
+namespace rtdb::check {
+namespace {
+
+using cc::LockMode;
+using sim::Duration;
+
+cc::CcTxn make_txn(std::uint64_t id, std::int64_t prio_key) {
+  cc::CcTxn txn;
+  txn.id = db::TxnId{id};
+  txn.attempt = 1;
+  txn.base_priority = sim::Priority{prio_key, static_cast<std::uint32_t>(id)};
+  return txn;
+}
+
+std::span<cc::CcTxn* const> blockers(std::vector<cc::CcTxn*>& v) { return v; }
+
+TEST(BoundAuditTest, SpanWithinBoundPassesAndIsRecorded) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  monitor.arm_bounds(Duration::units(10));
+  LockAudit audit{monitor, ProtocolFamily::kTwoPhase};
+  cc::CcTxn t1 = make_txn(1, 5);
+  cc::CcTxn t2 = make_txn(2, 7);
+  audit.on_txn_begin(t1);
+  audit.on_txn_begin(t2);
+  audit.on_grant(t1, 10, LockMode::kWrite);
+  std::vector<cc::CcTxn*> b{&t1};
+  audit.on_block(t2, 10, LockMode::kWrite, blockers(b));
+  k.run_for(Duration::units(6));
+  audit.on_unblock(t2);
+  EXPECT_EQ(monitor.bound_violations(), 0u);
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.observed_max_blocking_units(), 6.0);
+}
+
+TEST(BoundAuditTest, LoosenedBoundIsCaught) {
+  // The mutation fixture: arm a deliberately-loosened (too-tight) bound
+  // and let the same legal trace run — the 6-unit episode must trip it.
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  monitor.arm_bounds(Duration::units(2));
+  LockAudit audit{monitor, ProtocolFamily::kTwoPhase};
+  cc::CcTxn t1 = make_txn(1, 5);
+  cc::CcTxn t2 = make_txn(2, 7);
+  audit.on_txn_begin(t1);
+  audit.on_txn_begin(t2);
+  audit.on_grant(t1, 10, LockMode::kWrite);
+  std::vector<cc::CcTxn*> b{&t1};
+  audit.on_block(t2, 10, LockMode::kWrite, blockers(b));
+  k.run_for(Duration::units(6));
+  audit.on_unblock(t2);
+  EXPECT_EQ(monitor.bound_violations(), 1u);
+  ASSERT_FALSE(monitor.reports().empty());
+  EXPECT_EQ(monitor.reports().back().rule, "bound.blocking");
+  EXPECT_NE(monitor.reports().back().detail.find("exceeding"),
+            std::string::npos);
+  // Bound violations are their own scalar, not conformance violations.
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.observed_max_blocking_units(), 6.0);
+}
+
+TEST(BoundAuditTest, UnboundedVerdictMeasuresWithoutGating) {
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  monitor.arm_bounds(std::nullopt);  // Unbounded: measure-only
+  LockAudit audit{monitor, ProtocolFamily::kTwoPhase};
+  cc::CcTxn t1 = make_txn(1, 5);
+  cc::CcTxn t2 = make_txn(2, 7);
+  audit.on_txn_begin(t1);
+  audit.on_txn_begin(t2);
+  audit.on_grant(t1, 10, LockMode::kWrite);
+  std::vector<cc::CcTxn*> b{&t1};
+  audit.on_block(t2, 10, LockMode::kWrite, blockers(b));
+  k.run_for(Duration::units(5000));
+  audit.on_unblock(t2);
+  EXPECT_EQ(monitor.bound_violations(), 0u);
+  EXPECT_TRUE(monitor.reports().empty());
+  EXPECT_DOUBLE_EQ(monitor.observed_max_blocking_units(), 5000.0);
+}
+
+TEST(BoundAuditTest, AbortClosesTheEpisode) {
+  // A watchdog kill ends the attempt without on_unblock; on_txn_end must
+  // close the open episode so the kill-at-deadline span is observed.
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  monitor.arm_bounds(Duration::units(4));
+  LockAudit audit{monitor, ProtocolFamily::kTwoPhase};
+  cc::CcTxn t1 = make_txn(1, 5);
+  cc::CcTxn t2 = make_txn(2, 7);
+  audit.on_txn_begin(t1);
+  audit.on_txn_begin(t2);
+  audit.on_grant(t1, 10, LockMode::kWrite);
+  std::vector<cc::CcTxn*> b{&t1};
+  audit.on_block(t2, 10, LockMode::kWrite, blockers(b));
+  k.run_for(Duration::units(9));
+  audit.on_txn_end(t2);
+  EXPECT_EQ(monitor.bound_violations(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.observed_max_blocking_units(), 9.0);
+}
+
+TEST(BoundAuditTest, RepeatedBlocksAreSeparateEpisodes) {
+  // Two short waits must not be summed into one long episode: the bound
+  // is per block→unblock span.
+  sim::Kernel k;
+  ConformanceMonitor monitor{k};
+  monitor.arm_bounds(Duration::units(10));
+  LockAudit audit{monitor, ProtocolFamily::kTwoPhase};
+  cc::CcTxn t1 = make_txn(1, 5);
+  cc::CcTxn t2 = make_txn(2, 7);
+  audit.on_txn_begin(t1);
+  audit.on_txn_begin(t2);
+  audit.on_grant(t1, 10, LockMode::kWrite);
+  std::vector<cc::CcTxn*> b{&t1};
+  audit.on_block(t2, 10, LockMode::kWrite, blockers(b));
+  k.run_for(Duration::units(7));
+  audit.on_unblock(t2);
+  audit.on_block(t2, 11, LockMode::kWrite, blockers(b));
+  k.run_for(Duration::units(7));
+  audit.on_unblock(t2);
+  EXPECT_EQ(monitor.bound_violations(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.observed_max_blocking_units(), 7.0);
+}
+
+}  // namespace
+}  // namespace rtdb::check

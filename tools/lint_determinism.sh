@@ -1,0 +1,90 @@
+#!/bin/sh
+# Source scan for nondeterminism hazards in artifact-producing code.
+#
+# Sweep artifacts (JSON/CSV) must be byte-identical across runs and across
+# --jobs parallelism; CI cmp-gates that. It only holds if the code that
+# produces them never consults wall clocks, ambient entropy, or containers
+# with unspecified iteration order. This lint fails on:
+#
+#   * std::random_device                          ambient entropy
+#   * rand( / srand(                              C PRNG, ambient seeding
+#   * std::chrono::{system,steady}_clock          wall clocks
+#   * range-for iteration over an unordered_{map,set} member or local
+#     (order is unspecified and varies across libstdc++ versions and hash
+#      seeds; use std::map / std::set, or sort before emitting)
+#
+# Allowlisted, by design (see DESIGN.md on the determinism contract):
+#   * src/rt/             real-thread backend: genuinely physical time, and
+#                         its artifacts are exempt from byte-identity
+#   * src/exp/progress.*  stderr progress meter: wall clock for humans only,
+#                         never written into artifacts
+#
+# bench/ and tests/ are out of scope: benches only orchestrate sweeps over
+# the library (all artifact bytes come from src/exp/), and tests are not
+# artifact-producing.
+#
+# Usage: tools/lint_determinism.sh [src-dir]   (default: src, repo-relative)
+
+set -u
+cd "$(dirname "$0")/.." || exit 2
+scan_dir=${1:-src}
+status=0
+
+allowlisted() {
+  case "$1" in
+    src/rt/* | src/exp/progress.*) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+report() {
+  # $1 = what, $2 = file:line:text hits, newline-separated (possibly empty)
+  [ -n "$2" ] || return 0
+  old_ifs=$IFS
+  IFS='
+'
+  for hit in $2; do
+    allowlisted "${hit%%:*}" && continue
+    echo "lint_determinism: $1: $hit"
+    status=1
+  done
+  IFS=$old_ifs
+}
+
+report "ambient entropy" "$(grep -rnE 'std::random_device' "$scan_dir")"
+report "C PRNG" "$(grep -rnE '(^|[^_[:alnum:]])s?rand\(' "$scan_dir")"
+report "wall clock" "$(grep -rnE \
+    'std::chrono::(system_clock|steady_clock)|[^_[:alnum:]](system_clock|steady_clock)::' \
+    "$scan_dir")"
+
+# Unordered-container iteration: per file, collect every identifier declared
+# with an unordered_{map,set} type (declarations may wrap lines, so scan from
+# the type token to the terminating ';'), then flag any range-for whose range
+# expression is one of those identifiers.
+for f in $(grep -rlE 'unordered_(map|set)' "$scan_dir"); do
+  allowlisted "$f" && continue
+  names=$(awk '
+    /unordered_(map|set)</ { collecting = 1; buf = "" }
+    collecting {
+      buf = buf " " $0
+      if (index($0, ";")) {
+        collecting = 0
+        sub(/;.*/, "", buf)
+        if (match(buf, /[A-Za-z_][A-Za-z0-9_]*[[:space:]]*$/))
+          print substr(buf, RSTART, RLENGTH)
+      }
+    }' "$f" | tr -d ' \t' | sort -u)
+  for name in $names; do
+    report "unordered-container iteration" \
+        "$(grep -nE "for[[:space:]]*\(.*:[[:space:]]*${name}[[:space:]]*\)" \
+            "$f" | sed "s|^|$f:|")"
+  done
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "lint_determinism: FAIL — nondeterminism hazard in artifact-producing" \
+       "code (allowlist: src/rt/, src/exp/progress.*)" >&2
+else
+  echo "lint_determinism: OK ($scan_dir clean)"
+fi
+exit "$status"
